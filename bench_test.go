@@ -1,0 +1,173 @@
+// Benchmarks regenerating the paper's evaluation artifacts: one testing.B
+// per table and figure, each running the corresponding experiment from
+// internal/bench at a reduced scale and reporting the figure's headline
+// numbers as custom metrics (virtual-time results are deterministic; b.N
+// repetition exists for harness conformance, wall-clock ns/op measures the
+// simulator itself). Run `go run ./cmd/fompi-bench -exp all -full` for the
+// full sweeps that EXPERIMENTS.md records.
+package fompi_test
+
+import (
+	"testing"
+
+	"fompi/internal/bench"
+)
+
+// benchCfg keeps every experiment fast enough for `go test -bench`.
+func benchCfg() bench.Config {
+	return bench.Config{Reps: 11, MaxP: 16, Inserts: 256, Seed: 7}
+}
+
+// report emits a Y value of one series at one X as a named metric.
+func report(b *testing.B, t *bench.Table, x float64, series, metric string) {
+	b.Helper()
+	if y, ok := t.Get(x, series); ok {
+		b.ReportMetric(y, metric)
+	}
+}
+
+func BenchmarkFig4aLatencyInterPut(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = bench.Fig4a(benchCfg())
+	}
+	report(b, t, 8, "foMPI", "foMPI_8B_us")
+	report(b, t, 8, "CrayUPC", "UPC_8B_us")
+	report(b, t, 8, "CrayMPI1", "MPI1_8B_us")
+}
+
+func BenchmarkFig4bLatencyInterGet(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = bench.Fig4b(benchCfg())
+	}
+	report(b, t, 8, "foMPI", "foMPI_8B_us")
+	report(b, t, 8, "CrayUPC", "UPC_8B_us")
+}
+
+func BenchmarkFig4cLatencyIntra(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = bench.Fig4c(benchCfg())
+	}
+	report(b, t, 8, "foMPI", "foMPI_8B_us")
+	report(b, t, 8, "CrayMPI1", "MPI1_8B_us")
+}
+
+func BenchmarkFig5aOverlap(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = bench.Fig5a(benchCfg())
+	}
+	report(b, t, 64<<10, "foMPI", "foMPI_64KiB_pct")
+	report(b, t, 64<<10, "CrayMPI22", "MPI22_64KiB_pct")
+}
+
+func BenchmarkFig5bMessageRateInter(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = bench.Fig5b(benchCfg())
+	}
+	report(b, t, 8, "foMPI", "foMPI_Mmsgs")
+	report(b, t, 8, "CrayMPI1", "MPI1_Mmsgs")
+}
+
+func BenchmarkFig5cMessageRateIntra(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = bench.Fig5c(benchCfg())
+	}
+	report(b, t, 8, "foMPI", "foMPI_Mmsgs")
+}
+
+func BenchmarkFig6aAtomics(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = bench.Fig6a(benchCfg())
+	}
+	report(b, t, 1, "foMPI-SUM", "SUM_1el_us")
+	report(b, t, 1, "foMPI-CAS", "CAS_us")
+	report(b, t, 1, "UPC-aadd", "aadd_us")
+}
+
+func BenchmarkFig6bGlobalSync(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = bench.Fig6b(benchCfg())
+	}
+	report(b, t, 16, "foMPI-fence", "fence_p16_us")
+	report(b, t, 16, "CrayMPI22-fence", "crayfence_p16_us")
+}
+
+func BenchmarkFig6cPSCWRing(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = bench.Fig6c(benchCfg())
+	}
+	report(b, t, 16, "foMPI", "pscw_p16_us")
+	report(b, t, 16, "CrayMPI22", "craypscw_p16_us")
+}
+
+func BenchmarkFig7aHashtable(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = bench.Fig7a(benchCfg())
+	}
+	report(b, t, 16, "foMPI", "foMPI_p16_Mops")
+	report(b, t, 16, "CrayMPI1", "MPI1_p16_Mops")
+}
+
+func BenchmarkFig7bDSDE(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = bench.Fig7b(benchCfg())
+	}
+	report(b, t, 16, "RMA-foMPI", "RMA_p16_us")
+	report(b, t, 16, "Alltoall", "alltoall_p16_us")
+}
+
+func BenchmarkFig7cFFT(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = bench.Fig7c(benchCfg())
+	}
+	report(b, t, 16, "foMPI", "foMPI_p16_gflops")
+	report(b, t, 16, "CrayMPI1", "MPI1_p16_gflops")
+}
+
+func BenchmarkFig8MILC(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = bench.Fig8(benchCfg())
+	}
+	report(b, t, 16, "foMPI", "foMPI_p16_ms")
+	report(b, t, 16, "CrayMPI1", "MPI1_p16_ms")
+}
+
+func BenchmarkModelsTable(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = bench.Models(benchCfg())
+	}
+	// P_put intercept (paper: 1.0 µs) and slope (paper: 0.16 ns/B).
+	report(b, t, 0, "intercept_or_const_us", "Pput_intercept_us")
+	report(b, t, 0, "slope_ns_per_B", "Pput_slope_nsB")
+}
+
+func BenchmarkInstrTable(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = bench.Instr(benchCfg())
+	}
+	report(b, t, 1, "soft_steps", "put_steps")
+	report(b, t, 3, "soft_steps", "flush_steps")
+}
+
+func BenchmarkMemoryTable(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = bench.Memory(benchCfg())
+	}
+	report(b, t, 16, "allocate", "allocate_p16_B")
+	report(b, t, 16, "create", "create_p16_B")
+}

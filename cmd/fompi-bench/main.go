@@ -1,0 +1,61 @@
+// Command fompi-bench regenerates the paper's evaluation artifacts: every
+// figure (4a–8) and the model/instruction/memory tables, printed as aligned
+// text tables in the paper's units.
+//
+// Usage:
+//
+//	fompi-bench -exp fig4a            # one experiment, quick configuration
+//	fompi-bench -exp all -full        # everything, paper-scale repetitions
+//	fompi-bench -list                 # enumerate experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fompi/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
+	full := flag.Bool("full", false, "use paper-scale repetitions and rank counts")
+	maxP := flag.Int("maxp", 0, "override the largest rank count")
+	reps := flag.Int("reps", 0, "override repetitions per configuration")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.IDs() {
+			fmt.Printf("%-8s %s\n", id, bench.Registry[id].Paper)
+		}
+		return
+	}
+
+	cfg := bench.Quick()
+	if *full {
+		cfg = bench.Full()
+	}
+	if *maxP > 0 {
+		cfg.MaxP = *maxP
+	}
+	if *reps > 0 {
+		cfg.Reps = *reps
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = bench.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		t, err := bench.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		t.Fprint(os.Stdout)
+		fmt.Printf("(%s took %v wall-clock)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,143 @@
+// Package fompi is a Go reproduction of foMPI — the scalable MPI-3.0
+// remote-memory-access (RMA) library of Gerstenberger, Besta and Hoefler,
+// "Enabling Highly-Scalable Remote Memory Access Programming with MPI-3 One
+// Sided" (SC'13) — together with the simulated RDMA substrate it runs on.
+//
+// Ranks are goroutines launched by Run; each receives a *Proc. Windows
+// expose memory for one-sided access with the four MPI-3 flavours and all
+// synchronization modes; the protocols underneath are the paper's: O(log p)
+// window creation, free-storage-managed matching lists for general active
+// target, and a two-level global/local lock hierarchy for passive target.
+//
+// A minimal program:
+//
+//	fompi.MustRun(fompi.Config{Ranks: 4}, func(p *fompi.Proc) {
+//		win, mem := fompi.WinAllocate(p, 4096)
+//		defer win.Free()
+//		win.Fence()
+//		if p.Rank() == 0 {
+//			win.Put([]byte("hello"), 1, 0)
+//		}
+//		win.Fence()
+//		_ = mem
+//	})
+//
+// Every operation advances a per-rank virtual clock calibrated to the
+// paper's Cray XE6 (Gemini) measurements; p.Now() reads it, so latency
+// studies are reproducible on any host. See DESIGN.md and EXPERIMENTS.md.
+package fompi
+
+import (
+	"fompi/internal/core"
+	"fompi/internal/datatype"
+	"fompi/internal/simnet"
+	"fompi/internal/spmd"
+	"fompi/internal/timing"
+)
+
+// Config describes an SPMD world: rank count, node width (ranks sharing the
+// XPMEM fast path), and optionally a non-default transport cost model.
+type Config = spmd.Config
+
+// Proc is one rank's handle: rank/size, virtual clock, collectives.
+type Proc = spmd.Proc
+
+// Win is an MPI-3 window handle.
+type Win = core.Win
+
+// WinConfig bounds a window's fixed protocol buffers.
+type WinConfig = core.Config
+
+// Time is a virtual-time instant or interval in nanoseconds.
+type Time = timing.Time
+
+// Datatype describes a (possibly non-contiguous) memory layout for PutD
+// and GetD.
+type Datatype = datatype.Datatype
+
+// Lock modes of Win.Lock.
+const (
+	LockShared    = core.LockShared
+	LockExclusive = core.LockExclusive
+)
+
+// Accumulate operators for Win.Accumulate, GetAccumulate and FetchAndOp.
+const (
+	AccSum     = core.AccSum
+	AccBand    = core.AccBand
+	AccBor     = core.AccBor
+	AccBxor    = core.AccBxor
+	AccReplace = core.AccReplace
+	AccMin     = core.AccMin
+	AccMax     = core.AccMax
+	AccFSum    = core.AccFSum
+	AccNoOp    = core.AccNoOp
+)
+
+// Run launches cfg.Ranks goroutine ranks executing body and waits for them;
+// a rank panic aborts the world and is returned as an error.
+func Run(cfg Config, body func(*Proc)) error { return spmd.Run(cfg, body) }
+
+// MustRun is Run but panics on error.
+func MustRun(cfg Config, body func(*Proc)) { spmd.MustRun(cfg, body) }
+
+// WinAllocate creates an allocated window (MPI_Win_allocate): library-
+// provided symmetric memory, O(1) remote-addressing state. Collective.
+func WinAllocate(p *Proc, size int) (*Win, []byte) {
+	return core.Allocate(p, size, core.Config{})
+}
+
+// WinAllocateCfg is WinAllocate with explicit protocol-buffer bounds.
+func WinAllocateCfg(p *Proc, size int, cfg WinConfig) (*Win, []byte) {
+	return core.Allocate(p, size, cfg)
+}
+
+// WinCreate creates a traditional window (MPI_Win_create) over existing
+// user memory; requires Ω(p) addressing state per rank and is kept for
+// compatibility, as in the paper. Collective.
+func WinCreate(p *Proc, buf []byte) *Win { return core.Create(p, buf, core.Config{}) }
+
+// WinCreateDynamic creates a dynamic window (MPI_Win_create_dynamic); use
+// Win.Attach/Win.Detach and PutDyn/GetDyn. Collective.
+func WinCreateDynamic(p *Proc) *Win { return core.CreateDynamic(p, core.Config{}) }
+
+// WinAllocateShared creates a shared-memory window
+// (MPI_Win_allocate_shared); all ranks must share one node, and
+// Win.SharedSlice gives direct load/store access. Collective.
+func WinAllocateShared(p *Proc, size int) (*Win, []byte) {
+	return core.AllocateShared(p, size, core.Config{})
+}
+
+// Derived-datatype constructors (the MPITypes-equivalent engine).
+var (
+	TypeByte    = datatype.Byte
+	TypeInt32   = datatype.Int32
+	TypeInt64   = datatype.Int64
+	TypeUint64  = datatype.Uint64
+	TypeFloat32 = datatype.Float32
+	TypeDouble  = datatype.Double
+)
+
+// TypeContiguous is MPI_Type_contiguous.
+func TypeContiguous(count int, elem *Datatype) *Datatype {
+	return datatype.Contiguous(count, elem)
+}
+
+// TypeVector is MPI_Type_vector (counts and strides in elements).
+func TypeVector(count, blocklen, stride int, elem *Datatype) *Datatype {
+	return datatype.Vector(count, blocklen, stride, elem)
+}
+
+// TypeIndexed is MPI_Type_indexed.
+func TypeIndexed(blocklens, displs []int, elem *Datatype) *Datatype {
+	return datatype.Indexed(blocklens, displs, elem)
+}
+
+// TypeStruct is MPI_Type_create_struct (byte displacements).
+func TypeStruct(blocklens, displs []int, types []*Datatype) *Datatype {
+	return datatype.Struct(blocklens, displs, types)
+}
+
+// DefaultModel returns the calibrated foMPI transport cost model, useful
+// for building a Config with modified constants.
+func DefaultModel() *simnet.CostModel { return simnet.FoMPI() }

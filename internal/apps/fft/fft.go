@@ -1,0 +1,423 @@
+// Package fft implements the paper's third motif (§4.3, Fig. 7c): a
+// three-dimensional Fast Fourier Transform in the style of the NAS FT
+// benchmark, decomposed into slabs along the last dimension. Three variants
+// reproduce the paper's comparison:
+//
+//   - MPI-1 "nonblocking": all planes are transformed first, then the
+//     global transpose runs as one bulk nonblocking message exchange, then
+//     the final 1-D transforms — no overlap between compute and transpose.
+//   - UPC "slab": each plane's contribution is communicated (one-sided
+//     deferred put) as soon as the plane is transformed, completing as late
+//     as possible — the overlap scheme of Nishtala et al. and Bell et
+//     al. [7,28].
+//   - foMPI "slab": the identical decomposition and communication scheme
+//     over MPI-3 RMA with fence epochs, as the paper requires for a fair
+//     comparison ("minimal code changes resulting in the same code
+//     complexity").
+//
+// The transform itself is a real radix-2 complex Cooley-Tukey FFT (stdlib
+// only); every variant produces bit-identical spectra, which the tests
+// verify against a naive DFT.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"fompi/internal/core"
+	"fompi/internal/mpi1"
+	"fompi/internal/pgas"
+	"fompi/internal/spmd"
+	"fompi/internal/timing"
+)
+
+// Params configures one 3-D FFT run. NX, NY, NZ must be powers of two; NZ
+// and NX must be divisible by the rank count.
+type Params struct {
+	NX, NY, NZ int
+	// Iters repeats the forward transform (the NAS FT time step loop);
+	// default 1.
+	Iters int
+	// NsPerFlop calibrates the virtual compute cost; default 0.5 ns/flop
+	// (≈2 GFlop/s per core, an Interlagos-core-like scalar rate).
+	NsPerFlop float64
+}
+
+func (p Params) withDefaults() Params {
+	if p.NX == 0 {
+		p.NX = 32
+	}
+	if p.NY == 0 {
+		p.NY = 32
+	}
+	if p.NZ == 0 {
+		p.NZ = 32
+	}
+	if p.Iters <= 0 {
+		p.Iters = 1
+	}
+	if p.NsPerFlop <= 0 {
+		p.NsPerFlop = 0.5
+	}
+	return p
+}
+
+func (p Params) check(ranks int) {
+	for _, n := range []int{p.NX, p.NY, p.NZ} {
+		if n&(n-1) != 0 || n == 0 {
+			panic(fmt.Sprintf("fft: dimensions must be powers of two, got %d×%d×%d", p.NX, p.NY, p.NZ))
+		}
+	}
+	if p.NZ%ranks != 0 || p.NX%ranks != 0 {
+		panic(fmt.Sprintf("fft: NZ=%d and NX=%d must divide by %d ranks", p.NZ, p.NX, ranks))
+	}
+}
+
+// flops returns the total floating-point operations of one 3-D transform
+// (the 5·N·log2 N convention the NAS FT benchmark reports).
+func (p Params) flops() float64 {
+	n := float64(p.NX) * float64(p.NY) * float64(p.NZ)
+	return 5 * n * math.Log2(n)
+}
+
+// Result is one rank's outcome.
+type Result struct {
+	Elapsed timing.Time // virtual time of the full Iters-transform run
+	GFlops  float64     // aggregate rate: Iters·5N·log2 N / Elapsed
+	// Checksum is the NAS-FT-style complex sum over a stride of spectrum
+	// entries of the local slab, for cross-variant verification.
+	Checksum complex128
+}
+
+// Input generates the deterministic initial field value at global grid
+// coordinates; every variant and the reference transform use it.
+func Input(x, y, z int) complex128 {
+	h := uint64(x)*0x9e3779b97f4a7c15 ^ uint64(y)*0xc2b2ae3d27d4eb4f ^ uint64(z)*0x165667b19e3779f9
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	re := float64(int64(h>>32))/float64(1<<31) - 1
+	im := float64(int64(h&0xffffffff))/float64(1<<31) - 1
+	return complex(re, im)
+}
+
+// fft1 runs an in-place radix-2 decimation-in-time FFT over v.
+func fft1(v []complex128) {
+	n := len(v)
+	if n <= 1 {
+		return
+	}
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			v[i], v[j] = v[j], v[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		ang := -2 * math.Pi / float64(size)
+		wn := complex(math.Cos(ang), math.Sin(ang))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < size/2; k++ {
+				a := v[start+k]
+				b := v[start+k+size/2] * w
+				v[start+k] = a + b
+				v[start+k+size/2] = a - b
+				w *= wn
+			}
+		}
+	}
+}
+
+// flops1 is the conventional flop count of one length-n 1-D FFT.
+func flops1(n int) float64 { return 5 * float64(n) * math.Log2(float64(n)) }
+
+// plan holds the per-rank decomposition.
+type plan struct {
+	Params
+	rank, ranks int
+	lz          int // planes (z indices) owned in phase 1
+	lx          int // x columns owned in phase 2
+}
+
+func newPlan(prm Params, rank, ranks int) *plan {
+	prm.check(ranks)
+	return &plan{Params: prm, rank: rank, ranks: ranks, lz: prm.NZ / ranks, lx: prm.NX / ranks}
+}
+
+// load fills the rank's phase-1 slab, indexed [z][y][x] (z local).
+func (pl *plan) load() []complex128 {
+	s := make([]complex128, pl.lz*pl.NY*pl.NX)
+	for z := 0; z < pl.lz; z++ {
+		gz := pl.rank*pl.lz + z
+		for y := 0; y < pl.NY; y++ {
+			for x := 0; x < pl.NX; x++ {
+				s[(z*pl.NY+y)*pl.NX+x] = Input(x, y, gz)
+			}
+		}
+	}
+	return s
+}
+
+// planeFFT transforms one local plane in x then y, charging its flops.
+func (pl *plan) planeFFT(compute func(ns int64), slab []complex128, z int) {
+	base := z * pl.NY * pl.NX
+	for y := 0; y < pl.NY; y++ {
+		fft1(slab[base+y*pl.NX : base+(y+1)*pl.NX])
+	}
+	col := make([]complex128, pl.NY)
+	for x := 0; x < pl.NX; x++ {
+		for y := 0; y < pl.NY; y++ {
+			col[y] = slab[base+y*pl.NX+x]
+		}
+		fft1(col)
+		for y := 0; y < pl.NY; y++ {
+			slab[base+y*pl.NX+x] = col[y]
+		}
+	}
+	compute(int64(pl.NsPerFlop * (float64(pl.NY)*flops1(pl.NX) + float64(pl.NX)*flops1(pl.NY))))
+}
+
+// packBlock serializes plane z's columns destined for dest: a [y][x-lox]
+// block of lx columns, 16 bytes per element.
+func (pl *plan) packBlock(slab []complex128, z, dest int, buf []byte) {
+	base := z * pl.NY * pl.NX
+	lox := dest * pl.lx
+	i := 0
+	for y := 0; y < pl.NY; y++ {
+		for x := 0; x < pl.lx; x++ {
+			putComplex(buf[i:], slab[base+y*pl.NX+lox+x])
+			i += 16
+		}
+	}
+}
+
+// blockBytes is the wire size of one (plane, dest) block.
+func (pl *plan) blockBytes() int { return pl.NY * pl.lx * 16 }
+
+// recvOff is the receive-buffer offset of the block for global plane gz.
+func (pl *plan) recvOff(gz int) int { return gz * pl.blockBytes() }
+
+// recvBytes is the phase-2 receive buffer size: all NZ planes' blocks.
+func (pl *plan) recvBytes() int { return pl.NZ * pl.blockBytes() }
+
+// unpack transposes the receive buffer into the phase-2 layout [x][y][z]
+// (x local), ready for the z transforms.
+func (pl *plan) unpack(recv []byte) []complex128 {
+	out := make([]complex128, pl.lx*pl.NY*pl.NZ)
+	for gz := 0; gz < pl.NZ; gz++ {
+		blk := recv[pl.recvOff(gz):]
+		i := 0
+		for y := 0; y < pl.NY; y++ {
+			for x := 0; x < pl.lx; x++ {
+				out[(x*pl.NY+y)*pl.NZ+gz] = getComplex(blk[i:])
+				i += 16
+			}
+		}
+	}
+	return out
+}
+
+// zFFT runs the final transforms along z for every owned (x, y) line.
+func (pl *plan) zFFT(compute func(ns int64), cube []complex128) {
+	for l := 0; l < pl.lx*pl.NY; l++ {
+		fft1(cube[l*pl.NZ : (l+1)*pl.NZ])
+	}
+	compute(int64(pl.NsPerFlop * float64(pl.lx*pl.NY) * flops1(pl.NZ)))
+}
+
+// checksum folds a deterministic stride of the local spectrum.
+func (pl *plan) checksum(cube []complex128) complex128 {
+	var s complex128
+	for i := 0; i < len(cube); i += 17 {
+		s += cube[i]
+	}
+	return s
+}
+
+func putComplex(b []byte, v complex128) {
+	putF64(b, real(v))
+	putF64(b[8:], imag(v))
+}
+
+func getComplex(b []byte) complex128 { return complex(getF64(b), getF64(b[8:])) }
+
+func putF64(b []byte, f float64) {
+	u := math.Float64bits(f)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(u >> (8 * i))
+	}
+}
+
+func getF64(b []byte) float64 {
+	var u uint64
+	for i := 0; i < 8; i++ {
+		u |= uint64(b[i]) << (8 * i)
+	}
+	return math.Float64frombits(u)
+}
+
+// result assembles the Result from a timed run.
+func (pl *plan) result(elapsed timing.Time, cube []complex128) Result {
+	g := 0.0
+	if elapsed > 0 {
+		g = float64(pl.Iters) * pl.flops() / float64(elapsed) // flops/ns = GFlop/s
+	}
+	return Result{Elapsed: elapsed, GFlops: g, Checksum: pl.checksum(cube)}
+}
+
+// RunMPI1 is the paper's "nonblocking MPI" baseline: transform every plane,
+// then transpose with bulk nonblocking sends, then transform along z.
+func RunMPI1(c *mpi1.Comm, prm Params) Result {
+	pl := newPlan(prm.withDefaults(), c.Rank(), c.Size())
+	var cube []complex128
+	c.Barrier()
+	start := c.Now()
+	for it := 0; it < pl.Iters; it++ {
+		slab := pl.load()
+		for z := 0; z < pl.lz; z++ {
+			pl.planeFFT(c.Compute, slab, z)
+		}
+		// Bulk transpose: one message per destination carrying all planes.
+		sendBufs := make([][]byte, pl.ranks)
+		var reqs []*mpi1.Request
+		for d := 0; d < pl.ranks; d++ {
+			dest := (pl.rank + d) % pl.ranks
+			buf := make([]byte, pl.lz*pl.blockBytes())
+			for z := 0; z < pl.lz; z++ {
+				pl.packBlock(slab, z, dest, buf[z*pl.blockBytes():])
+			}
+			sendBufs[dest] = buf
+			if dest != pl.rank {
+				reqs = append(reqs, c.Isend(dest, it, buf))
+			}
+		}
+		recv := make([]byte, pl.recvBytes())
+		copy(recv[pl.recvOff(pl.rank*pl.lz):], sendBufs[pl.rank])
+		for d := 1; d < pl.ranks; d++ {
+			tmp := make([]byte, pl.lz*pl.blockBytes())
+			from, _, _ := c.Recv(mpi1.AnySource, it, tmp)
+			copy(recv[pl.recvOff(from*pl.lz):], tmp)
+		}
+		c.WaitAll(reqs)
+		cube = pl.unpack(recv)
+		pl.zFFT(c.Compute, cube)
+		c.Barrier()
+	}
+	return pl.result(c.Now()-start, cube)
+}
+
+// RunUPC is the "UPC slab" overlap variant: each plane's blocks are put
+// (deferred one-sided) the moment the plane is transformed; the fence and
+// barrier close the transpose as late as possible.
+func RunUPC(p *spmd.Proc, prm Params) Result {
+	pl := newPlan(prm.withDefaults(), p.Rank(), p.Size())
+	l := pgas.DialUPC(p, pl.recvBytes())
+	defer l.Free()
+	var cube []complex128
+	l.Barrier()
+	start := l.Now()
+	for it := 0; it < pl.Iters; it++ {
+		slab := pl.load()
+		buf := make([]byte, pl.blockBytes())
+		for z := 0; z < pl.lz; z++ {
+			pl.planeFFT(l.Compute, slab, z)
+			gz := pl.rank*pl.lz + z
+			for d := 0; d < pl.ranks; d++ {
+				pl.packBlock(slab, z, d, buf)
+				l.Put(d, pl.recvOff(gz), buf) // upc_memput, defer_sync
+			}
+		}
+		l.Barrier() // upc_fence + upc_barrier: transpose complete everywhere
+		cube = pl.unpack(l.Local())
+		pl.zFFT(l.Compute, cube)
+		l.Barrier()
+	}
+	return pl.result(l.Now()-start, cube)
+}
+
+// RunFoMPI is the foMPI slab variant: the identical overlap scheme over
+// MPI-3 RMA, with fence synchronization closing each transpose epoch.
+func RunFoMPI(p *spmd.Proc, prm Params) Result {
+	pl := newPlan(prm.withDefaults(), p.Rank(), p.Size())
+	w, mem := core.Allocate(p, pl.recvBytes(), core.Config{})
+	defer w.Free()
+	var cube []complex128
+	w.Fence()
+	start := p.Now()
+	for it := 0; it < pl.Iters; it++ {
+		slab := pl.load()
+		buf := make([]byte, pl.blockBytes())
+		for z := 0; z < pl.lz; z++ {
+			pl.planeFFT(p.Compute, slab, z)
+			gz := pl.rank*pl.lz + z
+			for d := 0; d < pl.ranks; d++ {
+				pl.packBlock(slab, z, d, buf)
+				w.Put(buf, d, pl.recvOff(gz))
+			}
+		}
+		w.Fence() // transpose epoch closed: all blocks globally visible
+		cube = pl.unpack(mem)
+		pl.zFFT(p.Compute, cube)
+		w.Fence()
+	}
+	return pl.result(p.Now()-start, cube)
+}
+
+// Reference computes the full 3-D spectrum sequentially (FFT per axis) for
+// verification; layout [x][y][z] like the parallel phase-2 cube.
+func Reference(prm Params) []complex128 {
+	prm = prm.withDefaults()
+	nx, ny, nz := prm.NX, prm.NY, prm.NZ
+	cube := make([]complex128, nx*ny*nz) // [x][y][z]
+	for x := 0; x < nx; x++ {
+		for y := 0; y < ny; y++ {
+			for z := 0; z < nz; z++ {
+				cube[(x*ny+y)*nz+z] = Input(x, y, z)
+			}
+		}
+	}
+	line := make([]complex128, nx)
+	for y := 0; y < ny; y++ {
+		for z := 0; z < nz; z++ {
+			for x := 0; x < nx; x++ {
+				line[x] = cube[(x*ny+y)*nz+z]
+			}
+			fft1(line)
+			for x := 0; x < nx; x++ {
+				cube[(x*ny+y)*nz+z] = line[x]
+			}
+		}
+	}
+	col := make([]complex128, ny)
+	for x := 0; x < nx; x++ {
+		for z := 0; z < nz; z++ {
+			for y := 0; y < ny; y++ {
+				col[y] = cube[(x*ny+y)*nz+z]
+			}
+			fft1(col)
+			for y := 0; y < ny; y++ {
+				cube[(x*ny+y)*nz+z] = col[y]
+			}
+		}
+	}
+	for x := 0; x < nx; x++ {
+		for y := 0; y < ny; y++ {
+			fft1(cube[(x*ny+y)*nz : (x*ny+y+1)*nz])
+		}
+	}
+	return cube
+}
+
+// ReferenceSlab returns the [x][y][z] cube restricted to rank's x range, for
+// comparing a parallel run's local result.
+func ReferenceSlab(prm Params, rank, ranks int) []complex128 {
+	prm = prm.withDefaults()
+	full := Reference(prm)
+	lx := prm.NX / ranks
+	out := make([]complex128, lx*prm.NY*prm.NZ)
+	copy(out, full[rank*lx*prm.NY*prm.NZ:(rank+1)*lx*prm.NY*prm.NZ])
+	return out
+}

@@ -1,0 +1,298 @@
+// Package hashtable is the paper's first application motif (§4.1): a
+// distributed hashtable standing in for data-analytics workloads with
+// random access into distributed structures. Each rank owns a local volume
+// — a fixed-size slot table plus an overflow heap with a next-free pointer —
+// and elements are 8-byte integers.
+//
+// Three implementations mirror the paper's comparison:
+//
+//   - foMPI MPI-3.0: passive-target; one lock_all epoch; CAS into the slot,
+//     fetch-and-add to acquire an overflow cell, second CAS to link it.
+//   - UPC: the identical scheme over Cray-UPC-style proprietary atomics.
+//   - MPI-1: an active-message scheme over Send/Recv; the owner performs
+//     the insert, and termination uses all-to-all notification.
+package hashtable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"fompi/internal/core"
+	"fompi/internal/mpi1"
+	"fompi/internal/pgas"
+	"fompi/internal/spmd"
+	"fompi/internal/timing"
+)
+
+// Params sizes the table and the workload.
+type Params struct {
+	TableSlots     int // hash slots per rank
+	OverflowCells  int // collision heap cells per rank
+	InsertsPerRank int
+	Seed           int64
+}
+
+func (p Params) withDefaults() Params {
+	if p.TableSlots <= 0 {
+		p.TableSlots = 1 << 12
+	}
+	if p.OverflowCells <= 0 {
+		p.OverflowCells = p.InsertsPerRank + 16
+	}
+	if p.InsertsPerRank <= 0 {
+		p.InsertsPerRank = 1 << 10
+	}
+	return p
+}
+
+// Result reports one rank's measurement.
+type Result struct {
+	Elapsed timing.Time // virtual time from first to last insert (incl. sync)
+	Inserts int
+}
+
+// Volume layout (8-byte words):
+//
+//	w0:                 next-free overflow index
+//	w1 .. w1+2T-1:      table slots  {value, next}
+//	then 2H words:      overflow     {value, next}
+//
+// next encodes 0 = nil, i+1 = overflow cell i.
+const wordsPerCell = 2
+
+func volumeBytes(p Params) int {
+	return 8 * (1 + wordsPerCell*(p.TableSlots+p.OverflowCells))
+}
+
+func slotOff(slot int) int { return 8 * (1 + wordsPerCell*slot) }
+func overflowOff(p Params, i int) int {
+	return 8 * (1 + wordsPerCell*(p.TableSlots+i))
+}
+
+// home and slot derive the owner rank and slot index of a key.
+func home(key uint64, ranks int) int  { return int(key % uint64(ranks)) }
+func slotOf(key uint64, p Params) int { return int((key / 1000003) % uint64(p.TableSlots)) }
+func keyFor(rank, i int, rng *rand.Rand) uint64 {
+	// Unique nonzero value per (rank, i) with a random home/slot.
+	return (rng.Uint64() &^ 0xffffff) | uint64(rank)<<12 | uint64(i)&0xfff | 1<<23
+}
+
+// insertRMA performs one insert through an abstract one-sided interface, so
+// the foMPI and UPC variants share the exact protocol.
+type rmaOps interface {
+	cas(rank, off int, compare, swap uint64) uint64
+	fadd(rank, off int, delta uint64) uint64
+	put8(rank, off int, v uint64)
+	load(rank, off int) uint64
+	flush()
+}
+
+func insertRMA(ops rmaOps, prm Params, ranks int, key uint64) {
+	h := home(key, ranks)
+	so := slotOff(slotOf(key, prm))
+	// Fast path: claim the empty slot.
+	if ops.cas(h, so, 0, key) == 0 {
+		return
+	}
+	// Collision: acquire an overflow cell, fill it, and push it onto the
+	// slot's chain with a second CAS.
+	idx := ops.fadd(h, 0, 1)
+	if idx >= uint64(prm.OverflowCells) {
+		panic(fmt.Sprintf("hashtable: overflow heap exhausted at rank %d", h))
+	}
+	co := overflowOff(prm, int(idx))
+	ops.put8(h, co, key)
+	for {
+		cur := ops.load(h, so+8)
+		ops.put8(h, co+8, cur)
+		ops.flush()
+		if ops.cas(h, so+8, cur, idx+1) == cur {
+			return
+		}
+	}
+}
+
+// fompiOps adapts a foMPI window (inside a lock_all epoch).
+type fompiOps struct{ w *core.Win }
+
+func (o fompiOps) cas(r, off int, c, s uint64) uint64 { return o.w.CompareAndSwap(c, s, r, off) }
+func (o fompiOps) fadd(r, off int, d uint64) uint64   { return o.w.FetchAndOp(core.AccSum, d, r, off) }
+func (o fompiOps) put8(r, off int, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	o.w.Put(b[:], r, off)
+}
+func (o fompiOps) load(r, off int) uint64 { return o.w.FetchAndOp(core.AccNoOp, 0, r, off) }
+func (o fompiOps) flush()                 { o.w.FlushAll() }
+
+// upcOps adapts the UPC layer.
+type upcOps struct{ l *pgas.Lang }
+
+func (o upcOps) cas(r, off int, c, s uint64) uint64 { return o.l.CompareSwap(r, off, c, s) }
+func (o upcOps) fadd(r, off int, d uint64) uint64   { return o.l.FetchAdd(r, off, d) }
+func (o upcOps) put8(r, off int, v uint64)          { o.l.StoreW(r, off, v) }
+func (o upcOps) load(r, off int) uint64             { return o.l.LoadW(r, off) }
+func (o upcOps) flush()                             { o.l.Fence() }
+
+// RunFoMPI inserts prm.InsertsPerRank random elements through MPI-3 RMA and
+// returns the rank's timing. The local volume bytes are returned for
+// verification.
+func RunFoMPI(p *spmd.Proc, prm Params) (Result, []byte) {
+	prm = prm.withDefaults()
+	w, mem := core.Allocate(p, volumeBytes(prm), core.Config{})
+	defer w.Free()
+	rng := rand.New(rand.NewSource(prm.Seed + int64(p.Rank())))
+	w.LockAll()
+	p.Barrier()
+	start := p.Now()
+	ops := fompiOps{w}
+	for i := 0; i < prm.InsertsPerRank; i++ {
+		insertRMA(ops, prm, p.Size(), keyFor(p.Rank(), i, rng))
+	}
+	w.FlushAll()
+	p.Barrier()
+	elapsed := p.Now() - start
+	w.UnlockAll()
+	out := append([]byte(nil), mem...)
+	p.Barrier()
+	return Result{Elapsed: elapsed, Inserts: prm.InsertsPerRank}, out
+}
+
+// RunUPC is the UPC comparator: same structure, Cray-extension atomics.
+func RunUPC(p *spmd.Proc, prm Params) (Result, []byte) {
+	prm = prm.withDefaults()
+	l := pgas.DialUPC(p, volumeBytes(prm))
+	defer l.Free()
+	rng := rand.New(rand.NewSource(prm.Seed + int64(p.Rank())))
+	l.Barrier()
+	start := l.Now()
+	ops := upcOps{l}
+	for i := 0; i < prm.InsertsPerRank; i++ {
+		insertRMA(ops, prm, p.Size(), keyFor(p.Rank(), i, rng))
+	}
+	l.Barrier()
+	elapsed := l.Now() - start
+	out := append([]byte(nil), l.Local()...)
+	l.Barrier()
+	return Result{Elapsed: elapsed, Inserts: prm.InsertsPerRank}, out
+}
+
+// RunMPI1 is the active-message comparator: each insert becomes a message
+// to the owner, who applies it locally; termination is all-to-all
+// notification (§4.1).
+func RunMPI1(p *spmd.Proc, prm Params) (Result, []byte) {
+	prm = prm.withDefaults()
+	vol := make([]byte, volumeBytes(prm))
+	c := mpi1.Dial(p)
+	rng := rand.New(rand.NewSource(prm.Seed + int64(p.Rank())))
+	const tagInsert, tagDone = 1, 2
+	c.Barrier()
+	start := c.Now()
+
+	insertLocal := func(key uint64) {
+		so := slotOff(slotOf(key, prm))
+		if binary.LittleEndian.Uint64(vol[so:]) == 0 {
+			binary.LittleEndian.PutUint64(vol[so:], key)
+			return
+		}
+		idx := binary.LittleEndian.Uint64(vol)
+		binary.LittleEndian.PutUint64(vol, idx+1)
+		if idx >= uint64(prm.OverflowCells) {
+			panic("hashtable: overflow heap exhausted")
+		}
+		co := overflowOff(prm, int(idx))
+		binary.LittleEndian.PutUint64(vol[co:], key)
+		binary.LittleEndian.PutUint64(vol[co+8:], binary.LittleEndian.Uint64(vol[so+8:]))
+		binary.LittleEndian.PutUint64(vol[so+8:], idx+1)
+	}
+
+	var buf [8]byte
+	donesSeen := 0
+	drain := func(block bool) {
+		for {
+			var from int
+			var ok bool
+			var tag int
+			if block {
+				from, tag, _ = c.Recv(mpi1.AnySource, mpi1.AnyTag, buf[:])
+				ok = true
+			} else {
+				from, tag, _, ok = c.TryRecv(mpi1.AnySource, mpi1.AnyTag, buf[:])
+			}
+			if !ok {
+				return
+			}
+			_ = from
+			if tag == tagDone {
+				donesSeen++
+			} else {
+				key := binary.LittleEndian.Uint64(buf[:])
+				// The owner invokes the insert handler (charged as compute).
+				c.Compute(120)
+				insertLocal(key)
+			}
+			if block {
+				return
+			}
+		}
+	}
+
+	for i := 0; i < prm.InsertsPerRank; i++ {
+		key := keyFor(p.Rank(), i, rng)
+		h := home(key, p.Size())
+		if h == p.Rank() {
+			insertLocal(key)
+		} else {
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], key)
+			c.Send(h, tagInsert, b[:])
+		}
+		drain(false) // service incoming inserts while producing
+	}
+	for r := 0; r < p.Size(); r++ {
+		if r != p.Rank() {
+			c.Send(r, tagDone, buf[:])
+		}
+	}
+	for donesSeen < p.Size()-1 {
+		drain(true)
+	}
+	elapsed := c.Now() - start
+	c.Barrier()
+	// The layer is left attached: releasing here would race with peers
+	// re-dialing the same fabric. Callers release after the world exits.
+	return Result{Elapsed: elapsed, Inserts: prm.InsertsPerRank}, vol
+}
+
+// Collect extracts every element stored in a volume (verification helper).
+func Collect(prm Params, vol []byte) []uint64 {
+	prm = prm.withDefaults()
+	var out []uint64
+	for s := 0; s < prm.TableSlots; s++ {
+		so := slotOff(s)
+		if v := binary.LittleEndian.Uint64(vol[so:]); v != 0 {
+			out = append(out, v)
+		}
+		next := binary.LittleEndian.Uint64(vol[so+8:])
+		for next != 0 {
+			co := overflowOff(prm, int(next-1))
+			if v := binary.LittleEndian.Uint64(vol[co:]); v != 0 {
+				out = append(out, v)
+			}
+			next = binary.LittleEndian.Uint64(vol[co+8:])
+		}
+	}
+	return out
+}
+
+// Keys regenerates the exact key sequence a rank inserts (verification).
+func Keys(prm Params, rank, ranks int) []uint64 {
+	prm = prm.withDefaults()
+	rng := rand.New(rand.NewSource(prm.Seed + int64(rank)))
+	keys := make([]uint64, prm.InsertsPerRank)
+	for i := range keys {
+		keys[i] = keyFor(rank, i, rng)
+	}
+	return keys
+}

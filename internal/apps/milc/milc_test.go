@@ -1,0 +1,162 @@
+package milc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fompi/internal/spmd"
+	"fompi/internal/timing"
+)
+
+// runAll executes all three variants in one world and returns per-rank
+// results.
+func runAll(t *testing.T, prm Params, ranks, rpn int) (m1, upc, fo []Result) {
+	t.Helper()
+	m1 = make([]Result, ranks)
+	upc = make([]Result, ranks)
+	fo = make([]Result, ranks)
+	spmd.MustRun(spmd.Config{Ranks: ranks, RanksPerNode: rpn}, func(p *spmd.Proc) {
+		m1[p.Rank()] = RunMPI1(p, prm)
+		upc[p.Rank()] = RunUPC(p, prm)
+		fo[p.Rank()] = RunFoMPI(p, prm)
+	})
+	return m1, upc, fo
+}
+
+func TestVariantsMatchReferenceResidual(t *testing.T) {
+	prm := Params{Local: [4]int{2, 2, 2, 4}, Grid: [4]int{1, 1, 2, 2}, Iters: 10}
+	const ranks = 4
+	m1, upc, fo := runAll(t, prm, ranks, 2)
+	want := Reference(prm, ranks)
+	for r := 0; r < ranks; r++ {
+		for _, res := range []Result{m1[r], upc[r], fo[r]} {
+			if math.Abs(res.Residual-want)/want > 1e-9 {
+				t.Fatalf("rank %d residual %g, reference %g", r, res.Residual, want)
+			}
+		}
+	}
+}
+
+func TestVariantsAgreeBitwise(t *testing.T) {
+	prm := Params{Local: [4]int{3, 2, 2, 3}, Grid: [4]int{2, 1, 1, 2}, Iters: 7, Seed: 5}
+	const ranks = 4
+	m1, upc, fo := runAll(t, prm, ranks, 4)
+	for r := 0; r < ranks; r++ {
+		if m1[r].Residual != upc[r].Residual || upc[r].Residual != fo[r].Residual {
+			t.Fatalf("rank %d residuals diverge: mpi1=%v upc=%v fompi=%v",
+				r, m1[r].Residual, upc[r].Residual, fo[r].Residual)
+		}
+	}
+}
+
+func TestCGConverges(t *testing.T) {
+	// CG on the positive-definite operator must shrink the residual
+	// substantially over enough iterations.
+	prm := Params{Local: [4]int{4, 4, 4, 8}, Grid: [4]int{1, 1, 1, 2}, Iters: 40}
+	const ranks = 2
+	res := make([]Result, ranks)
+	spmd.MustRun(spmd.Config{Ranks: ranks}, func(p *spmd.Proc) {
+		res[p.Rank()] = RunFoMPI(p, prm)
+	})
+	l := newLattice(prm.withDefaults(ranks), 0, ranks)
+	b := make([]float64, l.vol)
+	l.forEachSite(func(c [4]int, i int) { b[i] = rhs(prm.Seed+1, l.global(c)) }) // ~unit-scale rhs
+	if res[0].Residual > 1e-6 {
+		t.Fatalf("residual %g after %d iterations; CG is not converging", res[0].Residual, prm.Iters)
+	}
+}
+
+func TestDecompositionInvariance(t *testing.T) {
+	// The same global lattice decomposed differently must give identical
+	// residuals (communication correctness across all 8 directions).
+	base := Params{Iters: 6, Seed: 9}
+	shapes := []struct {
+		local [4]int
+		grid  [4]int
+	}{
+		{[4]int{4, 4, 2, 2}, [4]int{1, 1, 2, 2}},
+		{[4]int{2, 4, 4, 2}, [4]int{2, 1, 1, 2}},
+		{[4]int{4, 2, 2, 4}, [4]int{1, 2, 2, 1}},
+	}
+	var first float64
+	for i, sh := range shapes {
+		prm := base
+		prm.Local = sh.local
+		prm.Grid = sh.grid
+		const ranks = 4
+		res := make([]Result, ranks)
+		spmd.MustRun(spmd.Config{Ranks: ranks, RanksPerNode: 2}, func(p *spmd.Proc) {
+			res[p.Rank()] = RunFoMPI(p, prm)
+		})
+		if i == 0 {
+			first = res[0].Residual
+		} else if math.Abs(res[0].Residual-first)/first > 1e-12 {
+			t.Fatalf("shape %d residual %g differs from %g", i, res[0].Residual, first)
+		}
+	}
+}
+
+func TestFaceIndexConsistentWithFaceSites(t *testing.T) {
+	// faceIndex(c) must equal the position of c in faceSites order — the
+	// property that makes sender packing and receiver ghost lookup agree.
+	f := func(dx, dy, dz, dt uint8, d uint8, hi bool) bool {
+		dims := [4]int{int(dx%3) + 1, int(dy%3) + 1, int(dz%3) + 1, int(dt%3) + 1}
+		dim := int(d % 4)
+		l := newLattice(Params{Local: dims, Grid: [4]int{1, 1, 1, 1}, Iters: 1,
+			Mass: 0.1, NsPerFlop: 1, Seed: 1}, 0, 1)
+		dir := -1
+		if hi {
+			dir = 1
+		}
+		for j, site := range l.faceSites(dim, dir) {
+			var c [4]int
+			rest := site
+			for dd := 0; dd < 4; dd++ {
+				c[dd] = rest % l.dims[dd]
+				rest /= l.dims[dd]
+			}
+			if l.faceIndex(dim, c) != j {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFoMPIBeatsMPI1AtScale(t *testing.T) {
+	// The paper's Fig. 8 effect: with the 4³×8 local lattice, small halo
+	// faces make MPI-1's per-message matching and eager copies dominate,
+	// and the one-sided variants win.
+	prm := Params{Local: [4]int{4, 4, 4, 8}, Grid: [4]int{1, 1, 2, 4}, Iters: 10}
+	const ranks = 8
+	m1, upc, fo := runAll(t, prm, ranks, 4)
+	var tm, tu, tf timing.Time
+	for r := 0; r < ranks; r++ {
+		tm = timing.Max(tm, m1[r].Elapsed)
+		tu = timing.Max(tu, upc[r].Elapsed)
+		tf = timing.Max(tf, fo[r].Elapsed)
+	}
+	if tf >= tm {
+		t.Fatalf("foMPI (%v) not faster than MPI-1 (%v)", tf, tm)
+	}
+	// The paper reports foMPI and UPC as essentially equal with foMPI
+	// marginally ahead (its fast path has lower per-op overhead, Fig. 4);
+	// UPC's advantage over MPI-1 only materializes at scale, so here we
+	// assert only foMPI's edge over UPC.
+	if tf > tu {
+		t.Fatalf("foMPI (%v) slower than UPC (%v)", tf, tu)
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched grid")
+		}
+	}()
+	Params{Grid: [4]int{1, 1, 1, 3}}.withDefaults(4)
+}

@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fompi/internal/core"
+	"fompi/internal/simnet"
+	"fompi/internal/spmd"
+	"fompi/internal/timing"
+)
+
+// Ablations quantifies the design choices DESIGN.md calls out, each as a
+// this-design versus alternative pair measured on the same fabric:
+//
+//  1. Accumulate path: DMAPP-accelerated chained AMOs versus forcing the
+//     lock-get-modify-put fallback (§2.4's space of choices) at a small and
+//     a large element count — showing why foMPI dispatches per operation.
+//  2. PSCW post: pipelined free-list fetch-adds (one round trip for all k
+//     neighbors) versus issuing them serially.
+//  3. Symmetric-heap addressing: allocated windows (O(1) state, no lookup)
+//     versus traditional windows (Ω(p) descriptor table) on the put fast
+//     path — the storage-versus-time trade of §2.2.
+func Ablations(cfg Config) *Table {
+	t := NewTable("ablation", "Design-choice ablations", "case", "per_row",
+		"this_design_us", "alternative_us")
+	row := 0.0
+	add := func(name string, design, alt timing.Time) {
+		t.XName(row, name)
+		t.Set(row, "this_design_us", design.Micros())
+		t.Set(row, "alternative_us", alt.Micros())
+		row++
+	}
+
+	// 1. Accumulate dispatch: SUM (accelerated) vs MIN (the fallback path
+	// executes the identical protocol the accelerated path avoids).
+	spmd.MustRun(spmd.Config{Ranks: 2, RanksPerNode: 1}, func(p *spmd.Proc) {
+		w, _ := core.Allocate(p, 1<<20, core.Config{})
+		defer w.Free()
+		if p.Rank() == 0 {
+			w.LockAll()
+			measure := func(op core.AccOp, elems int) timing.Time {
+				src := make([]byte, elems*8)
+				var ts []timing.Time
+				for r := 0; r < cfg.Reps; r++ {
+					t0 := p.Now()
+					w.Accumulate(op, src, 1, 0)
+					w.Flush(1)
+					ts = append(ts, p.Now()-t0)
+				}
+				return Median(ts)
+			}
+			add("acc-1el (amo|lock)", measure(core.AccSum, 1), measure(core.AccMin, 1))
+			add("acc-8Kel (amo|lock)", measure(core.AccSum, 8192), measure(core.AccMin, 8192))
+			w.UnlockAll()
+		}
+		p.Barrier()
+	})
+
+	// 2. PSCW post: pipelined (the implementation) vs serial fetch-adds
+	// (simulated by k dependent blocking AMOs plus the stores).
+	spmd.MustRun(spmd.Config{Ranks: 8, RanksPerNode: 2}, func(p *spmd.Proc) {
+		w, _ := core.Allocate(p, 64, core.Config{})
+		defer w.Free()
+		n := p.Size()
+		group := ringGroup(p.Rank(), n)
+		var piped, serial []timing.Time
+		for r := 0; r < cfg.Reps; r++ {
+			t0 := p.Now()
+			w.Post(group)
+			piped = append(piped, p.Now()-t0)
+			w.Start(group)
+			w.Complete()
+			w.WaitEpoch()
+			p.Barrier()
+		}
+		// Serial alternative over the raw endpoint against scratch space.
+		ep := p.EP()
+		reg := ep.Register(1 << 12)
+		key := reg.Key()
+		p.Barrier()
+		for r := 0; r < cfg.Reps; r++ {
+			t0 := p.Now()
+			for i, j := range group {
+				idx := ep.FetchAdd(simnet.Addr{Rank: j, Key: key, Off: 0}, 1)
+				_ = idx
+				ep.StoreW(simnet.Addr{Rank: j, Key: key, Off: 8 + (int(idx)%400+i)*8}, uint64(p.Rank())+1)
+			}
+			ep.Gsync()
+			serial = append(serial, p.Now()-t0)
+			p.Barrier()
+		}
+		if p.Rank() == 0 {
+			add("pscw-post k=2 (piped|serial)", Median(piped), Median(serial))
+		}
+		p.Barrier()
+	})
+
+	// 3. Window addressing: allocated (symmetric) vs traditional (table).
+	spmd.MustRun(spmd.Config{Ranks: 8, RanksPerNode: 2}, func(p *spmd.Proc) {
+		wa, _ := core.Allocate(p, 4096, core.Config{})
+		wc := core.Create(p, make([]byte, 4096), core.Config{})
+		buf := make([]byte, 8)
+		measure := func(w *core.Win) timing.Time {
+			var ts []timing.Time
+			if p.Rank() == 0 {
+				w.Lock(core.LockExclusive, 1)
+				for r := 0; r < cfg.Reps; r++ {
+					t0 := p.Now()
+					w.Put(buf, 1, 0)
+					w.Flush(1)
+					ts = append(ts, p.Now()-t0)
+				}
+				w.Unlock(1)
+			}
+			p.Barrier()
+			return Median(ts)
+		}
+		da, dc := measure(wa), measure(wc)
+		if p.Rank() == 0 {
+			add("put8 (allocated|traditional)", da, dc)
+		}
+		wa.Free()
+		wc.Free()
+	})
+	return t
+}

@@ -1,0 +1,398 @@
+package bench
+
+import (
+	"fompi/internal/core"
+	"fompi/internal/mpi1"
+	"fompi/internal/pgas"
+	"fompi/internal/spmd"
+	"fompi/internal/timing"
+)
+
+// Transport-layer display names, matching the paper's legends.
+const (
+	serFoMPI = "foMPI"
+	serUPC   = "CrayUPC"
+	serCAF   = "CrayCAF"
+	serMPI22 = "CrayMPI22"
+	serMPI1  = "CrayMPI1"
+)
+
+// maxSweepBytes is the top of the Figure 4/5 size sweep.
+const maxSweepBytes = 256 << 10
+
+// latencySweep measures the median put or get latency per message size for
+// one one-sided layer: the paper's passive-target pattern (lock, op, flush).
+type onesided interface {
+	put(rank, off int, src []byte)
+	get(dst []byte, rank, off int)
+	flush()
+	now() timing.Time
+}
+
+type fompiOS struct {
+	w *core.Win
+}
+
+func (f fompiOS) put(rank, off int, src []byte) { f.w.Put(src, rank, off) }
+func (f fompiOS) get(dst []byte, rank, off int) { f.w.Get(dst, rank, off) }
+func (f fompiOS) flush()                        { f.w.Flush(1) }
+func (f fompiOS) now() timing.Time              { return f.w.Proc().Now() }
+
+type langOS struct {
+	l *pgas.Lang
+}
+
+func (o langOS) put(rank, off int, src []byte) { o.l.Put(rank, off, src) }
+func (o langOS) get(dst []byte, rank, off int) { o.l.Get(dst, rank, off) }
+func (o langOS) flush()                        { o.l.Fence() }
+func (o langOS) now() timing.Time              { return o.l.Now() }
+
+// measureOS returns the median one-sided op latency per size at rank 0.
+func measureOS(os onesided, sizes []int, reps int, isGet bool) map[int]timing.Time {
+	out := map[int]timing.Time{}
+	buf := make([]byte, maxSweepBytes)
+	for _, sz := range sizes {
+		var ts []timing.Time
+		for r := 0; r < reps; r++ {
+			t0 := os.now()
+			if isGet {
+				os.get(buf[:sz], 1, 0)
+			} else {
+				os.put(1, 0, buf[:sz])
+			}
+			os.flush()
+			ts = append(ts, os.now()-t0)
+		}
+		out[sz] = Median(ts)
+	}
+	return out
+}
+
+// latencyFigure runs Figures 4a/4b (inter-node) or 4c (intra-node).
+func latencyFigure(cfg Config, id, title string, intra bool, isGet bool) *Table {
+	t := NewTable(id, title, "bytes", "latency_us",
+		serFoMPI, serUPC, serCAF, serMPI22, serMPI1)
+	sizes := Sizes(maxSweepBytes)
+	rpn := 1
+	if intra {
+		rpn = 2
+	}
+	spmd.MustRun(spmd.Config{Ranks: 2, RanksPerNode: rpn}, func(p *spmd.Proc) {
+		// foMPI: allocated window, exclusive lock, put/get + flush (§3.1).
+		w, _ := core.Allocate(p, maxSweepBytes, core.Config{})
+		var fo map[int]timing.Time
+		if p.Rank() == 0 {
+			w.Lock(core.LockExclusive, 1)
+			fo = measureOS(fompiOS{w}, sizes, cfg.Reps, isGet)
+			w.Unlock(1)
+		}
+		p.Barrier()
+		w.Free()
+
+		// PGAS layers: memput/memget + fence over their own profiles.
+		res := map[string]map[int]timing.Time{}
+		for _, lay := range []struct {
+			name string
+			dial func(*spmd.Proc, int) *pgas.Lang
+		}{
+			{serUPC, pgas.DialUPC}, {serCAF, pgas.DialCAF}, {serMPI22, pgas.DialMPI22},
+		} {
+			l := lay.dial(p, maxSweepBytes)
+			if p.Rank() == 0 {
+				res[lay.name] = measureOS(langOS{l}, sizes, cfg.Reps, isGet)
+			}
+			l.Free()
+		}
+
+		// MPI-1: ping-pong halved (message latency incl. synchronization).
+		c := mpi1.Dial(p)
+		m1 := map[int]timing.Time{}
+		buf := make([]byte, maxSweepBytes)
+		for _, sz := range sizes {
+			var ts []timing.Time
+			for r := 0; r < cfg.Reps; r++ {
+				if p.Rank() == 0 {
+					t0 := c.Now()
+					c.Send(1, 1, buf[:sz])
+					c.Recv(1, 2, buf[:sz])
+					ts = append(ts, (c.Now()-t0)/2)
+				} else {
+					c.Recv(0, 1, buf[:sz])
+					c.Send(0, 2, buf[:sz])
+				}
+			}
+			if p.Rank() == 0 {
+				m1[sz] = Median(ts)
+			}
+		}
+		c.Barrier()
+
+		if p.Rank() == 0 {
+			for _, sz := range sizes {
+				t.Set(float64(sz), serFoMPI, fo[sz].Micros())
+				t.Set(float64(sz), serUPC, res[serUPC][sz].Micros())
+				t.Set(float64(sz), serCAF, res[serCAF][sz].Micros())
+				t.Set(float64(sz), serMPI22, res[serMPI22][sz].Micros())
+				t.Set(float64(sz), serMPI1, m1[sz].Micros())
+			}
+		}
+	})
+	return t
+}
+
+// Fig4a is the inter-node put latency comparison.
+func Fig4a(cfg Config) *Table {
+	return latencyFigure(cfg, "fig4a", "Latency inter-node Put", false, false)
+}
+
+// Fig4b is the inter-node get latency comparison.
+func Fig4b(cfg Config) *Table {
+	return latencyFigure(cfg, "fig4b", "Latency inter-node Get", false, true)
+}
+
+// Fig4c is the intra-node put latency comparison (XPMEM path).
+func Fig4c(cfg Config) *Table {
+	return latencyFigure(cfg, "fig4c", "Latency intra-node Put/Get", true, false)
+}
+
+// Fig5a measures communication/computation overlap for inter-node puts: how
+// much of the communication time disappears behind a calibrated compute
+// loop placed between the put and its completion (§3.1.1).
+func Fig5a(cfg Config) *Table {
+	t := NewTable("fig5a", "Overlap inter-node", "bytes", "overlap_pct",
+		serFoMPI, serUPC, serMPI22)
+	sizes := Sizes(2 << 20)
+	spmd.MustRun(spmd.Config{Ranks: 2, RanksPerNode: 1}, func(p *spmd.Proc) {
+		type layer struct {
+			name string
+			os   onesided
+			free func()
+		}
+		var layers []layer
+		w, _ := core.Allocate(p, 2<<20, core.Config{})
+		if p.Rank() == 0 {
+			w.Lock(core.LockExclusive, 1)
+		}
+		layers = append(layers, layer{serFoMPI, fompiOS{w}, func() {
+			if p.Rank() == 0 {
+				w.Unlock(1)
+			}
+			p.Barrier()
+			w.Free()
+		}})
+		for _, lay := range []struct {
+			name string
+			dial func(*spmd.Proc, int) *pgas.Lang
+		}{{serUPC, pgas.DialUPC}, {serMPI22, pgas.DialMPI22}} {
+			l := lay.dial(p, 2<<20)
+			layers = append(layers, layer{lay.name, langOS{l}, l.Free})
+		}
+		buf := make([]byte, 2<<20)
+		compute := func(ns timing.Time) { p.Compute(int64(ns)) }
+		for _, lay := range layers {
+			if p.Rank() == 0 {
+				for _, sz := range sizes {
+					var lats, combs []timing.Time
+					for r := 0; r < cfg.Reps; r++ {
+						t0 := lay.os.now()
+						lay.os.put(1, 0, buf[:sz])
+						lay.os.flush()
+						lats = append(lats, lay.os.now()-t0)
+					}
+					lat := Median(lats)
+					comp := lat + lat/10 // slightly more work than the latency
+					for r := 0; r < cfg.Reps; r++ {
+						t0 := lay.os.now()
+						lay.os.put(1, 0, buf[:sz])
+						compute(comp)
+						lay.os.flush()
+						combs = append(combs, lay.os.now()-t0)
+					}
+					comb := Median(combs)
+					ov := float64(lat+comp-comb) / float64(lat) * 100
+					if ov < 0 {
+						ov = 0
+					}
+					if ov > 100 {
+						ov = 100
+					}
+					t.Set(float64(sz), lay.name, ov)
+				}
+			}
+			lay.free()
+		}
+	})
+	return t
+}
+
+// messageRate runs Figures 5b/5c: the cost of starting one operation,
+// measured by injecting bursts of puts without synchronization (§3.1.2).
+func messageRate(cfg Config, id, title string, intra bool) *Table {
+	t := NewTable(id, title, "bytes", "million_msgs_per_s",
+		serFoMPI, serUPC, serCAF, serMPI22, serMPI1)
+	sizes := Sizes(maxSweepBytes)
+	const burst = 1000
+	rpn := 1
+	if intra {
+		rpn = 2
+	}
+	spmd.MustRun(spmd.Config{Ranks: 2, RanksPerNode: rpn}, func(p *spmd.Proc) {
+		buf := make([]byte, maxSweepBytes)
+		rate := func(name string, put func(sz int)) {
+			if p.Rank() != 0 {
+				return
+			}
+			for _, sz := range sizes {
+				t0 := p.Now()
+				for i := 0; i < burst; i++ {
+					put(sz)
+				}
+				el := p.Now() - t0
+				if el > 0 {
+					t.Set(float64(sz), name, 1e3*burst/float64(el))
+				}
+			}
+		}
+
+		w, _ := core.Allocate(p, maxSweepBytes, core.Config{})
+		if p.Rank() == 0 {
+			w.Lock(core.LockExclusive, 1)
+			// The burst measures injection, but rate uses p.Now() from the
+			// shared endpoint; puts are NBI so only issue overhead counts.
+			rate(serFoMPI, func(sz int) { w.Put(buf[:sz], 1, 0) })
+			w.FlushAll()
+			w.Unlock(1)
+		}
+		p.Barrier()
+		w.Free()
+
+		for _, lay := range []struct {
+			name string
+			dial func(*spmd.Proc, int) *pgas.Lang
+		}{
+			{serUPC, pgas.DialUPC}, {serCAF, pgas.DialCAF}, {serMPI22, pgas.DialMPI22},
+		} {
+			l := lay.dial(p, maxSweepBytes)
+			if p.Rank() == 0 {
+				for _, sz := range sizes {
+					t0 := l.Now()
+					for i := 0; i < burst; i++ {
+						l.Put(1, 0, buf[:sz])
+					}
+					el := l.Now() - t0
+					if el > 0 {
+						t.Set(float64(sz), lay.name, 1e3*burst/float64(el))
+					}
+				}
+				l.Fence()
+			}
+			l.Free()
+		}
+
+		// MPI-1: bursts of nonblocking sends; the receiver drains afterward.
+		c := mpi1.Dial(p)
+		for _, sz := range sizes {
+			if p.Rank() == 0 {
+				t0 := c.Now()
+				reqs := make([]*mpi1.Request, burst)
+				for i := 0; i < burst; i++ {
+					reqs[i] = c.Isend(1, 3, buf[:sz])
+				}
+				el := c.Now() - t0
+				if el > 0 {
+					t.Set(float64(sz), serMPI1, 1e3*burst/float64(el))
+				}
+				c.WaitAll(reqs)
+			} else {
+				for i := 0; i < burst; i++ {
+					c.Recv(0, 3, buf[:sz])
+				}
+			}
+			c.Barrier()
+		}
+	})
+	return t
+}
+
+// Fig5b is the inter-node message-rate comparison.
+func Fig5b(cfg Config) *Table {
+	return messageRate(cfg, "fig5b", "Message Rate inter-node", false)
+}
+
+// Fig5c is the intra-node message-rate comparison.
+func Fig5c(cfg Config) *Table {
+	return messageRate(cfg, "fig5c", "Message Rate intra-node", true)
+}
+
+// Fig6a measures atomic accumulate latency versus element count: the
+// DMAPP-accelerated MPI_SUM, the lock-fallback MPI_MIN, single-element CAS,
+// and the Cray UPC aadd/CAS extensions (§3.1.3).
+func Fig6a(cfg Config) *Table {
+	t := NewTable("fig6a", "Atomic Operation Performance", "elements", "latency_us",
+		"foMPI-SUM", "foMPI-MIN", "foMPI-CAS", "UPC-aadd", "UPC-CAS")
+	var elems []int
+	for e := 1; e <= 1<<15; e *= 4 {
+		elems = append(elems, e)
+	}
+	spmd.MustRun(spmd.Config{Ranks: 2, RanksPerNode: 1}, func(p *spmd.Proc) {
+		maxB := (1 << 15) * 8
+		w, _ := core.Allocate(p, maxB, core.Config{})
+		if p.Rank() == 0 {
+			w.LockAll()
+			src := make([]byte, maxB)
+			for i := range src {
+				src[i] = byte(i)
+			}
+			measure := func(name string, op func(n int)) {
+				for _, e := range elems {
+					var ts []timing.Time
+					for r := 0; r < cfg.Reps; r++ {
+						t0 := p.Now()
+						op(e)
+						w.Flush(1)
+						ts = append(ts, p.Now()-t0)
+					}
+					t.Set(float64(e), name, Median(ts).Micros())
+				}
+			}
+			measure("foMPI-SUM", func(n int) { w.Accumulate(core.AccSum, src[:n*8], 1, 0) })
+			measure("foMPI-MIN", func(n int) { w.Accumulate(core.AccMin, src[:n*8], 1, 0) })
+			// CAS operates on one element; the paper plots it flat.
+			var ts []timing.Time
+			for r := 0; r < cfg.Reps; r++ {
+				t0 := p.Now()
+				w.CompareAndSwap(uint64(r), uint64(r+1), 1, 0)
+				ts = append(ts, p.Now()-t0)
+			}
+			t.Set(1, "foMPI-CAS", Median(ts).Micros())
+			w.UnlockAll()
+		}
+		p.Barrier()
+		w.Free()
+
+		l := pgas.DialUPC(p, maxB)
+		if p.Rank() == 0 {
+			for _, e := range elems {
+				var ts []timing.Time
+				for r := 0; r < cfg.Reps; r++ {
+					t0 := l.Now()
+					for i := 0; i < e; i++ {
+						l.Add(1, i*8, 1)
+					}
+					l.Fence()
+					ts = append(ts, l.Now()-t0)
+				}
+				t.Set(float64(e), "UPC-aadd", Median(ts).Micros())
+			}
+			var ts []timing.Time
+			for r := 0; r < cfg.Reps; r++ {
+				t0 := l.Now()
+				l.CompareSwap(1, 0, uint64(r), uint64(r+1))
+				ts = append(ts, l.Now()-t0)
+			}
+			t.Set(1, "UPC-CAS", Median(ts).Micros())
+		}
+		l.Free()
+	})
+	return t
+}

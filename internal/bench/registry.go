@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is one regenerable paper artifact.
+type Experiment struct {
+	ID    string
+	Paper string // the table or figure it reproduces
+	Run   func(Config) *Table
+}
+
+// Registry lists every experiment, keyed by id.
+var Registry = map[string]Experiment{
+	"fig4a":    {"fig4a", "Figure 4a: latency inter-node Put", Fig4a},
+	"fig4b":    {"fig4b", "Figure 4b: latency inter-node Get", Fig4b},
+	"fig4c":    {"fig4c", "Figure 4c: latency intra-node Put/Get", Fig4c},
+	"fig5a":    {"fig5a", "Figure 5a: communication/computation overlap", Fig5a},
+	"fig5b":    {"fig5b", "Figure 5b: message rate inter-node", Fig5b},
+	"fig5c":    {"fig5c", "Figure 5c: message rate intra-node", Fig5c},
+	"fig6a":    {"fig6a", "Figure 6a: atomic operation performance", Fig6a},
+	"fig6b":    {"fig6b", "Figure 6b: global synchronization latency", Fig6b},
+	"fig6c":    {"fig6c", "Figure 6c: PSCW ring latency", Fig6c},
+	"fig7a":    {"fig7a", "Figure 7a: hashtable inserts/s", Fig7a},
+	"fig7b":    {"fig7b", "Figure 7b: dynamic sparse data exchange", Fig7b},
+	"fig7c":    {"fig7c", "Figure 7c: 3D FFT performance", Fig7c},
+	"fig8":     {"fig8", "Figure 8: MILC completion time", Fig8},
+	"models":   {"models", "§3.1/§3.2: closed-form model constants", Models},
+	"instr":    {"instr", "§2.3/§2.4: fast-path instruction counts", Instr},
+	"memory":   {"memory", "§2.2: per-rank window memory", Memory},
+	"ablation": {"ablation", "design-choice ablations (DESIGN.md §4)", Ablations},
+}
+
+// IDs returns the experiment ids in a stable order.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, cfg Config) (*Table, error) {
+	e, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", id, IDs())
+	}
+	return e.Run(cfg), nil
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"fompi/internal/simnet"
+)
+
+// Communication functions (§2.4). The contiguous fast path maps MPI_Put and
+// MPI_Get directly onto one fabric operation (adding stepsPutGet software
+// steps); accumulates use the DMAPP-accelerated chained atomics for the
+// common 8-byte integer operations and fall back to the paper's
+// lock-get-accumulate-put protocol for everything else, so true passive
+// mode never involves the target CPU.
+
+// AccOp selects an accumulate operator.
+type AccOp int
+
+// Accumulate operators. SUM/BAND/BOR/BXOR/REPLACE on 8-byte integers ride
+// the hardware atomic unit; MIN, MAX and FSUM (float64 sum) take the
+// lock-based fallback, as on Gemini (§2.4, §3.1.3).
+const (
+	AccSum AccOp = iota
+	AccBand
+	AccBor
+	AccBxor
+	AccReplace
+	AccMin
+	AccMax
+	AccFSum
+	AccNoOp // fetch-only (MPI_NO_OP)
+)
+
+// accelerated reports whether the fabric's atomic unit implements op.
+func (op AccOp) accelerated() bool {
+	switch op {
+	case AccSum, AccBand, AccBor, AccBxor, AccReplace:
+		return true
+	}
+	return false
+}
+
+func (op AccOp) amo() simnet.AmoOp {
+	switch op {
+	case AccSum:
+		return simnet.AmoSum
+	case AccBand:
+		return simnet.AmoBand
+	case AccBor:
+		return simnet.AmoBor
+	case AccBxor:
+		return simnet.AmoBxor
+	case AccReplace:
+		return simnet.AmoReplace
+	}
+	panic("core: operator not accelerated")
+}
+
+// apply computes op(target, operand) for the fallback path.
+func (op AccOp) apply(target, operand uint64) uint64 {
+	switch op {
+	case AccSum:
+		return target + operand
+	case AccBand:
+		return target & operand
+	case AccBor:
+		return target | operand
+	case AccBxor:
+		return target ^ operand
+	case AccReplace:
+		return operand
+	case AccMin:
+		if operand < target {
+			return operand
+		}
+		return target
+	case AccMax:
+		if operand > target {
+			return operand
+		}
+		return target
+	case AccFSum:
+		return math.Float64bits(math.Float64frombits(target) + math.Float64frombits(operand))
+	case AccNoOp:
+		return target
+	default:
+		panic("core: unknown accumulate op")
+	}
+}
+
+// checkEpochAccess faults on communication outside any epoch: bufferless
+// protocols have nowhere to queue such operations.
+func (w *Win) checkEpochAccess() {
+	if w.epoch == epochNone {
+		panic("core: RMA communication outside an access epoch (fence, start, or lock first)")
+	}
+}
+
+// Put transfers src into target's window at displacement disp
+// (MPI_Put: nonblocking, completed by the epoch's synchronization).
+func (w *Win) Put(src []byte, target, disp int) {
+	w.checkEpochAccess()
+	w.ep.Steps(stepsPutGet)
+	w.ep.PutNBI(w.addrOf(target, disp, len(src)), src)
+}
+
+// Get transfers target's window contents at disp into dst (MPI_Get).
+func (w *Win) Get(dst []byte, target, disp int) {
+	w.checkEpochAccess()
+	w.ep.Steps(stepsPutGet)
+	w.ep.GetNBI(dst, w.addrOf(target, disp, len(dst)))
+}
+
+// RPut is the request-based MPI_Rput: the returned handle completes the
+// single operation without a bulk flush.
+func (w *Win) RPut(src []byte, target, disp int) simnet.Handle {
+	w.checkEpochAccess()
+	w.ep.Steps(stepsPutGet)
+	return w.ep.PutNB(w.addrOf(target, disp, len(src)), src)
+}
+
+// RGet is the request-based MPI_Rget.
+func (w *Win) RGet(dst []byte, target, disp int) simnet.Handle {
+	w.checkEpochAccess()
+	w.ep.Steps(stepsPutGet)
+	return w.ep.GetNB(dst, w.addrOf(target, disp, len(dst)))
+}
+
+// WaitRequest completes one request-based operation.
+func (w *Win) WaitRequest(h simnet.Handle) { w.ep.Wait(h) }
+
+// PutDyn and GetDyn address dynamic windows by (attach slot, offset); the
+// origin-side cache protocol of §2.2 resolves them with at most one extra
+// remote read per call.
+
+// PutDyn puts src into the attached region slot at target.
+func (w *Win) PutDyn(src []byte, target, slot, off int) {
+	w.checkEpochAccess()
+	w.ep.Steps(stepsPutGet)
+	w.ep.PutNBI(w.dynResolve(target, slot, off, len(src)), src)
+}
+
+// GetDyn gets from the attached region slot at target.
+func (w *Win) GetDyn(dst []byte, target, slot, off int) {
+	w.checkEpochAccess()
+	w.ep.Steps(stepsPutGet)
+	w.ep.GetNBI(dst, w.dynResolve(target, slot, off, len(dst)))
+}
+
+// accLockAcquire takes the window-internal accumulate lock of target: the
+// serialization point of the fallback protocol. It never involves the
+// target CPU (remote CAS spin with back-off).
+func (w *Win) accLockAcquire(target int) {
+	a := w.ctlAddr(target, ctlAccLock)
+	for w.ep.CompareSwap(a, 0, 1) != 0 {
+		w.ep.PollRemoteWord(a, func(v uint64) bool { return v == 0 })
+	}
+}
+
+func (w *Win) accLockRelease(target int) {
+	w.ep.AddNBI(w.ctlAddr(target, ctlAccLock), neg(1))
+}
+
+// Accumulate applies op element-wise between the 8-byte words of src and
+// the target window at disp (MPI_Accumulate with MPI_UINT64_T-sized
+// elements, the paper's benchmark configuration). Accelerated operators
+// ride the chained atomic unit; others lock, get, accumulate locally, and
+// put back (§2.4).
+func (w *Win) Accumulate(op AccOp, src []byte, target, disp int) {
+	w.checkEpochAccess()
+	if len(src)%8 != 0 {
+		panic("core: Accumulate needs a multiple of 8 bytes")
+	}
+	a := w.addrOf(target, disp, len(src))
+	if op.accelerated() {
+		w.ep.AmoBulkNBI(a, op.amo(), src)
+		return
+	}
+	w.accLockAcquire(target)
+	cur := make([]byte, len(src))
+	w.ep.GetNBI(cur, a)
+	w.ep.Gsync()
+	for i := 0; i < len(src); i += 8 {
+		t := binary.LittleEndian.Uint64(cur[i:])
+		o := binary.LittleEndian.Uint64(src[i:])
+		binary.LittleEndian.PutUint64(cur[i:], op.apply(t, o))
+	}
+	w.ep.Compute(accApplyNs * int64(len(src)/8))
+	w.ep.PutNBI(a, cur)
+	w.ep.Gsync()
+	w.accLockRelease(target)
+}
+
+// accApplyNs is the local per-element cost of the fallback's accumulate
+// loop; with the wire terms it yields the paper's P_acc,min slope of
+// ~0.8 ns per byte.
+const accApplyNs = 4
+
+// GetAccumulate fetches the previous target contents into result while
+// applying op(src) to the target (MPI_Get_accumulate).
+func (w *Win) GetAccumulate(op AccOp, src, result []byte, target, disp int) {
+	w.checkEpochAccess()
+	if len(src) != len(result) || len(src)%8 != 0 {
+		panic("core: GetAccumulate needs equal, 8-byte-multiple buffers")
+	}
+	a := w.addrOf(target, disp, len(src))
+	if op == AccSum && len(src) == 8 {
+		// Single-element fetching AMO: the hardware fast path.
+		old := w.ep.FetchAdd(a, binary.LittleEndian.Uint64(src))
+		binary.LittleEndian.PutUint64(result, old)
+		return
+	}
+	w.accLockAcquire(target)
+	w.ep.GetNBI(result, a)
+	w.ep.Gsync()
+	if op != AccNoOp {
+		out := make([]byte, len(src))
+		for i := 0; i < len(src); i += 8 {
+			t := binary.LittleEndian.Uint64(result[i:])
+			o := binary.LittleEndian.Uint64(src[i:])
+			binary.LittleEndian.PutUint64(out[i:], op.apply(t, o))
+		}
+		w.ep.Compute(accApplyNs * int64(len(src)/8))
+		w.ep.PutNBI(a, out)
+		w.ep.Gsync()
+	}
+	w.accLockRelease(target)
+}
+
+// FetchAndOp is the single-element MPI_Fetch_and_op: op(target, src) with
+// the previous value returned. SUM maps to one hardware fetch-add; REPLACE
+// to swap; NO_OP to an atomic read; the rest take the fallback.
+func (w *Win) FetchAndOp(op AccOp, src uint64, target, disp int) uint64 {
+	w.checkEpochAccess()
+	a := w.addrOf(target, disp, 8)
+	switch op {
+	case AccSum:
+		return w.ep.FetchAdd(a, src)
+	case AccReplace:
+		return w.ep.Swap(a, src)
+	case AccNoOp:
+		return w.ep.LoadW(a)
+	default:
+		var sb, rb [8]byte
+		binary.LittleEndian.PutUint64(sb[:], src)
+		w.GetAccumulate(op, sb[:], rb[:], target, disp)
+		return binary.LittleEndian.Uint64(rb[:])
+	}
+}
+
+// CompareAndSwap is MPI_Compare_and_swap on one 8-byte element.
+func (w *Win) CompareAndSwap(compare, swap uint64, target, disp int) uint64 {
+	w.checkEpochAccess()
+	return w.ep.CompareSwap(w.addrOf(target, disp, 8), compare, swap)
+}
+
+// boundsErr formats a window access error (used by tests).
+func boundsErr(off, n, size, rank int) string {
+	return fmt.Sprintf("core: access [%d,%d) exceeds window of %d bytes at rank %d", off, off+n, size, rank)
+}

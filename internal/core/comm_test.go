@@ -1,0 +1,357 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fompi/internal/datatype"
+	"fompi/internal/spmd"
+)
+
+func putU64(b []byte, vs ...uint64) {
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(b[i*8:], v)
+	}
+}
+
+func TestAcceleratedAccumulateSum(t *testing.T) {
+	run(t, 3, 1, func(p *spmd.Proc) {
+		w, mem := Allocate(p, 64, Config{})
+		defer w.Free()
+		w.Fence()
+		src := make([]byte, 32)
+		putU64(src, 1, 2, 3, 4)
+		w.Accumulate(AccSum, src, 0, 0) // every rank adds {1,2,3,4}
+		w.Fence()
+		if p.Rank() == 0 {
+			for i := 0; i < 4; i++ {
+				if got := binary.LittleEndian.Uint64(mem[i*8:]); got != uint64(i+1)*3 {
+					t.Errorf("word %d = %d, want %d", i, got, (i+1)*3)
+				}
+			}
+		}
+	})
+}
+
+func TestAccumulateFallbackMin(t *testing.T) {
+	run(t, 4, 2, func(p *spmd.Proc) {
+		w, mem := Allocate(p, 16, Config{})
+		defer w.Free()
+		putU64(mem, math.MaxUint64, math.MaxUint64)
+		w.Fence()
+		src := make([]byte, 16)
+		putU64(src, uint64(p.Rank()+10), uint64(100-p.Rank()))
+		w.Accumulate(AccMin, src, 0, 0)
+		w.Fence()
+		if p.Rank() == 0 {
+			if a := binary.LittleEndian.Uint64(mem); a != 10 {
+				t.Errorf("min word0 = %d, want 10", a)
+			}
+			if b := binary.LittleEndian.Uint64(mem[8:]); b != 97 {
+				t.Errorf("min word1 = %d, want 97", b)
+			}
+		}
+	})
+}
+
+func TestAccumulateFallbackAtomicUnderContention(t *testing.T) {
+	// The lock-based fallback must not lose updates even when all ranks
+	// accumulate into the same word concurrently (FSum is not accelerated).
+	const n, iters = 6, 20
+	run(t, n, 3, func(p *spmd.Proc) {
+		w, mem := Allocate(p, 8, Config{})
+		defer w.Free()
+		w.Fence()
+		src := make([]byte, 8)
+		putU64(src, math.Float64bits(1.0))
+		for i := 0; i < iters; i++ {
+			w.Accumulate(AccFSum, src, 0, 0)
+		}
+		w.Fence()
+		if p.Rank() == 0 {
+			got := math.Float64frombits(binary.LittleEndian.Uint64(mem))
+			if got != float64(n*iters) {
+				t.Errorf("fallback lost updates: %g, want %d", got, n*iters)
+			}
+		}
+	})
+}
+
+func TestGetAccumulateFetchesOldValue(t *testing.T) {
+	run(t, 2, 1, func(p *spmd.Proc) {
+		w, mem := Allocate(p, 8, Config{})
+		defer w.Free()
+		if p.Rank() == 0 {
+			putU64(mem, 100)
+		}
+		w.Fence()
+		if p.Rank() == 1 {
+			src, res := make([]byte, 8), make([]byte, 8)
+			putU64(src, 5)
+			w.GetAccumulate(AccSum, src, res, 0, 0)
+			w.Flush(0)
+			if old := binary.LittleEndian.Uint64(res); old != 100 {
+				t.Errorf("old value = %d, want 100", old)
+			}
+		}
+		w.Fence()
+		if p.Rank() == 0 {
+			if got := binary.LittleEndian.Uint64(mem); got != 105 {
+				t.Errorf("value = %d, want 105", got)
+			}
+		}
+	})
+}
+
+func TestGetAccumulateNoOpReads(t *testing.T) {
+	run(t, 2, 1, func(p *spmd.Proc) {
+		w, mem := Allocate(p, 16, Config{})
+		defer w.Free()
+		if p.Rank() == 0 {
+			putU64(mem, 11, 22)
+		}
+		w.Fence()
+		if p.Rank() == 1 {
+			src, res := make([]byte, 16), make([]byte, 16)
+			w.GetAccumulate(AccNoOp, src, res, 0, 0)
+			w.Flush(0)
+			if binary.LittleEndian.Uint64(res) != 11 || binary.LittleEndian.Uint64(res[8:]) != 22 {
+				t.Errorf("no-op read got %x", res)
+			}
+		}
+		w.Fence()
+		if p.Rank() == 0 && binary.LittleEndian.Uint64(mem) != 11 {
+			t.Error("no-op must not modify the target")
+		}
+	})
+}
+
+func TestFetchAndOpVariants(t *testing.T) {
+	run(t, 2, 1, func(p *spmd.Proc) {
+		w, mem := Allocate(p, 8, Config{})
+		defer w.Free()
+		w.Fence()
+		if p.Rank() == 1 {
+			w.LockAll()
+			if old := w.FetchAndOp(AccSum, 10, 0, 0); old != 0 {
+				t.Errorf("sum old = %d", old)
+			}
+			if old := w.FetchAndOp(AccReplace, 77, 0, 0); old != 10 {
+				t.Errorf("replace old = %d", old)
+			}
+			if old := w.FetchAndOp(AccNoOp, 0, 0, 0); old != 77 {
+				t.Errorf("noop read = %d", old)
+			}
+			if old := w.FetchAndOp(AccMax, 200, 0, 0); old != 77 {
+				t.Errorf("max old = %d", old)
+			}
+			w.UnlockAll()
+		}
+		w.Fence()
+		if p.Rank() == 0 {
+			if got := binary.LittleEndian.Uint64(mem); got != 200 {
+				t.Errorf("final = %d, want 200", got)
+			}
+		}
+	})
+}
+
+func TestCompareAndSwapRace(t *testing.T) {
+	// Exactly one rank must win a CAS on the same word.
+	const n = 8
+	run(t, n, 4, func(p *spmd.Proc) {
+		w, mem := Allocate(p, 8, Config{})
+		defer w.Free()
+		w.Fence()
+		w.LockAll()
+		won := w.CompareAndSwap(0, uint64(p.Rank())+1, 0, 0) == 0
+		w.UnlockAll()
+		w.Fence()
+		if p.Rank() == 0 {
+			winner := binary.LittleEndian.Uint64(mem)
+			if winner == 0 || winner > n {
+				t.Errorf("no valid winner: %d", winner)
+			}
+		}
+		_ = won
+	})
+}
+
+func TestRequestBasedOps(t *testing.T) {
+	run(t, 2, 1, func(p *spmd.Proc) {
+		w, mem := Allocate(p, 1<<16, Config{})
+		defer w.Free()
+		w.Fence()
+		if p.Rank() == 0 {
+			data := make([]byte, 32<<10)
+			for i := range data {
+				data[i] = byte(i)
+			}
+			h := w.RPut(data, 1, 0)
+			w.WaitRequest(h)
+		}
+		w.Fence()
+		if p.Rank() == 1 {
+			for i := 0; i < 32<<10; i += 4096 {
+				if mem[i] != byte(i) {
+					t.Errorf("byte %d = %d", i, mem[i])
+				}
+			}
+		}
+	})
+}
+
+func TestPutDVectorToContig(t *testing.T) {
+	run(t, 2, 1, func(p *spmd.Proc) {
+		w, mem := Allocate(p, 256, Config{})
+		defer w.Free()
+		w.Fence()
+		if p.Rank() == 0 {
+			// Origin: every other double of a 16-double array.
+			src := make([]byte, 128)
+			for i := 0; i < 16; i++ {
+				binary.LittleEndian.PutUint64(src[i*8:], uint64(i))
+			}
+			vec := datatype.Vector(8, 1, 2, datatype.Double)
+			w.PutD(src, vec, 1, 1, 0, datatype.Contiguous(8, datatype.Double), 1)
+		}
+		w.Fence()
+		if p.Rank() == 1 {
+			for i := 0; i < 8; i++ {
+				if got := binary.LittleEndian.Uint64(mem[i*8:]); got != uint64(2*i) {
+					t.Errorf("elem %d = %d, want %d", i, got, 2*i)
+				}
+			}
+		}
+	})
+}
+
+func TestGetDContigToIndexed(t *testing.T) {
+	run(t, 2, 1, func(p *spmd.Proc) {
+		w, mem := Allocate(p, 256, Config{})
+		defer w.Free()
+		if p.Rank() == 1 {
+			for i := 0; i < 8; i++ {
+				binary.LittleEndian.PutUint64(mem[i*8:], uint64(100+i))
+			}
+		}
+		w.Fence()
+		if p.Rank() == 0 {
+			dst := make([]byte, 256)
+			idx := datatype.Indexed([]int{2, 2}, []int{0, 6}, datatype.Double)
+			w.GetD(dst, idx, 2, 1, 0, datatype.Contiguous(8, datatype.Double), 1)
+			w.FlushAll()
+			wantAt := map[int]uint64{0: 100, 1: 101, 6: 102, 7: 103, 8: 104, 9: 105, 14: 106, 15: 107}
+			for slot, want := range wantAt {
+				if got := binary.LittleEndian.Uint64(dst[slot*8:]); got != want {
+					t.Errorf("slot %d = %d, want %d", slot, got, want)
+				}
+			}
+		}
+		w.Fence()
+	})
+}
+
+func TestPutDSizeMismatchFaults(t *testing.T) {
+	err := spmd.Run(spmd.Config{Ranks: 2}, func(p *spmd.Proc) {
+		w, _ := Allocate(p, 64, Config{})
+		w.Fence()
+		w.PutD(make([]byte, 16), datatype.Double, 2, (p.Rank()+1)%2, 0, datatype.Double, 3)
+	})
+	if err == nil {
+		t.Fatal("mismatched type signatures must fault")
+	}
+}
+
+func TestInstructionCountFastPath(t *testing.T) {
+	// §6: "the MPI interface adds merely between 150 and 200 instructions
+	// in the fast path"; flush adds 78.
+	run(t, 2, 1, func(p *spmd.Proc) {
+		w, _ := Allocate(p, 64, Config{})
+		defer w.Free()
+		w.LockAll()
+		if p.Rank() == 0 {
+			base := p.EP().Counters()
+			w.Put(make([]byte, 8), 1, 0)
+			if d := p.EP().Counters().Sub(base); d.SoftSteps != stepsPutGet || d.Puts != 1 {
+				t.Errorf("put fast path: steps=%d puts=%d", d.SoftSteps, d.Puts)
+			}
+			base = p.EP().Counters()
+			w.Flush(1)
+			if d := p.EP().Counters().Sub(base); d.SoftSteps != stepsFlush || d.Gsyncs != 1 {
+				t.Errorf("flush path: steps=%d gsyncs=%d", d.SoftSteps, d.Gsyncs)
+			}
+		}
+		w.UnlockAll()
+	})
+}
+
+func TestPropertyAccumulateSumMatchesSequential(t *testing.T) {
+	err := quick.Check(func(deltas []uint16) bool {
+		if len(deltas) == 0 || len(deltas) > 24 {
+			return true
+		}
+		ok := true
+		spmd.MustRun(spmd.Config{Ranks: 2}, func(p *spmd.Proc) {
+			w, mem := Allocate(p, 8, Config{})
+			w.Fence()
+			if p.Rank() == 1 {
+				for _, d := range deltas {
+					var src [8]byte
+					putU64(src[:], uint64(d))
+					w.Accumulate(AccSum, src[:], 0, 0)
+				}
+			}
+			w.Fence()
+			if p.Rank() == 0 {
+				var want uint64
+				for _, d := range deltas {
+					want += uint64(d)
+				}
+				if binary.LittleEndian.Uint64(mem) != want {
+					ok = false
+				}
+			}
+			w.Free()
+		})
+		return ok
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPutGetArbitraryRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	err := quick.Check(func(sz uint8, off uint8) bool {
+		n := int(sz)%96 + 1
+		o := int(off) % 128
+		ok := true
+		spmd.MustRun(spmd.Config{Ranks: 2}, func(p *spmd.Proc) {
+			w, _ := Allocate(p, 256, Config{})
+			w.Fence()
+			if p.Rank() == 0 {
+				data := make([]byte, n)
+				rng.Read(data)
+				w.Put(data, 1, o)
+				w.FlushAll()
+				back := make([]byte, n)
+				w.Get(back, 1, o)
+				w.FlushAll()
+				if !bytes.Equal(data, back) {
+					ok = false
+				}
+			}
+			w.Fence()
+			w.Free()
+		})
+		return ok
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

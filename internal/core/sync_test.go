@@ -1,0 +1,320 @@
+package core
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"fompi/internal/spmd"
+)
+
+func TestPSCWRing(t *testing.T) {
+	// The Fig. 6c pattern: a ring where every rank exposes to and accesses
+	// its two neighbors (k=2).
+	for _, n := range []int{2, 3, 4, 8, 16} {
+		run(t, n, 4, func(p *spmd.Proc) {
+			w, mem := Allocate(p, 64, Config{})
+			defer w.Free()
+			left := (p.Rank() - 1 + n) % n
+			right := (p.Rank() + 1) % n
+			group := []int{left, right}
+			if n == 2 {
+				group = []int{left} // left == right
+			}
+			for iter := 0; iter < 5; iter++ {
+				w.Post(group)
+				w.Start(group)
+				var v [8]byte
+				binary.LittleEndian.PutUint64(v[:], uint64(p.Rank()*1000+iter))
+				w.Put(v[:], left, 0)
+				w.Put(v[:], right, 8)
+				w.Complete()
+				w.WaitEpoch()
+				gotR := binary.LittleEndian.Uint64(mem[0:])
+				gotL := binary.LittleEndian.Uint64(mem[8:])
+				if gotR != uint64(right*1000+iter) {
+					t.Errorf("n=%d iter %d rank %d: from right %d", n, iter, p.Rank(), gotR)
+				}
+				if gotL != uint64(left*1000+iter) {
+					t.Errorf("n=%d iter %d rank %d: from left %d", n, iter, p.Rank(), gotL)
+				}
+			}
+		})
+	}
+}
+
+func TestPSCWStartBlocksUntilPost(t *testing.T) {
+	run(t, 2, 1, func(p *spmd.Proc) {
+		w, mem := Allocate(p, 64, Config{})
+		defer w.Free()
+		if p.Rank() == 1 {
+			p.Compute(800_000) // post arrives at t≈800µs
+			w.Post([]int{0})
+			w.WaitEpoch()
+			if binary.LittleEndian.Uint64(mem) != 42 {
+				t.Error("data missing after wait")
+			}
+			return
+		}
+		var v [8]byte
+		binary.LittleEndian.PutUint64(v[:], 42)
+		w.Start([]int{1})
+		if p.Now().Micros() < 800 {
+			t.Errorf("start returned at %.1fµs, before the matching post", p.Now().Micros())
+		}
+		w.Put(v[:], 1, 0)
+		w.Complete()
+	})
+}
+
+func TestPSCWWaitBlocksUntilComplete(t *testing.T) {
+	run(t, 2, 1, func(p *spmd.Proc) {
+		w, _ := Allocate(p, 64, Config{})
+		defer w.Free()
+		if p.Rank() == 0 {
+			w.Post([]int{1})
+			w.WaitEpoch()
+			if p.Now().Micros() < 500 {
+				t.Errorf("wait returned at %.1fµs before complete", p.Now().Micros())
+			}
+			return
+		}
+		w.Start([]int{0})
+		p.Compute(500_000)
+		w.Complete()
+	})
+}
+
+func TestPSCWTwoDistinctMatches(t *testing.T) {
+	// The paper's Fig. 2a program: process 0 matches {1,2} then {3}.
+	run(t, 4, 2, func(p *spmd.Proc) {
+		w, mem := Allocate(p, 64, Config{})
+		defer w.Free()
+		switch p.Rank() {
+		case 0:
+			w.Start([]int{1, 2})
+			w.Put([]byte{1, 0, 0, 0, 0, 0, 0, 1}, 1, 0)
+			w.Put([]byte{2, 0, 0, 0, 0, 0, 0, 2}, 2, 0)
+			w.Complete()
+			w.Start([]int{3})
+			w.Put([]byte{3, 0, 0, 0, 0, 0, 0, 3}, 3, 0)
+			w.Complete()
+		case 1, 2:
+			w.Post([]int{0})
+			w.WaitEpoch()
+			if mem[0] != byte(p.Rank()) {
+				t.Errorf("rank %d got %d", p.Rank(), mem[0])
+			}
+		case 3:
+			w.Post([]int{0})
+			w.WaitEpoch()
+			if mem[0] != 3 {
+				t.Errorf("rank 3 got %d", mem[0])
+			}
+		}
+	})
+}
+
+func TestPSCWTestEpoch(t *testing.T) {
+	run(t, 2, 1, func(p *spmd.Proc) {
+		w, _ := Allocate(p, 64, Config{})
+		defer w.Free()
+		if p.Rank() == 0 {
+			w.Post([]int{1})
+			for !w.TestEpoch() {
+			}
+			return
+		}
+		w.Start([]int{0})
+		w.Complete()
+	})
+}
+
+func TestFenceOrdersEpochs(t *testing.T) {
+	run(t, 4, 1, func(p *spmd.Proc) {
+		w, mem := Allocate(p, 8, Config{})
+		defer w.Free()
+		w.Fence()
+		for iter := 0; iter < 10; iter++ {
+			var v [8]byte
+			binary.LittleEndian.PutUint64(v[:], uint64(iter)<<8|uint64(p.Rank()))
+			w.Put(v[:], (p.Rank()+1)%4, 0)
+			w.Fence()
+			got := binary.LittleEndian.Uint64(mem)
+			if int(got>>8) != iter || int(got&0xff) != (p.Rank()+3)%4 {
+				t.Errorf("iter %d rank %d: got %#x", iter, p.Rank(), got)
+			}
+			w.Fence()
+		}
+	})
+}
+
+func TestLockSharedExclusiveExclusion(t *testing.T) {
+	// Property: no reader may observe the counter mid-update by a writer.
+	const n, iters = 8, 50
+	run(t, n, 4, func(p *spmd.Proc) {
+		w, mem := Allocate(p, 16, Config{})
+		defer w.Free()
+		w.Fence()
+		rng := rand.New(rand.NewSource(int64(p.Rank())))
+		for i := 0; i < iters; i++ {
+			if rng.Intn(2) == 0 { // writer: keep the two words equal
+				w.Lock(LockExclusive, 0)
+				var a, b [8]byte
+				w.Get(a[:], 0, 0)
+				w.Flush(0)
+				v := binary.LittleEndian.Uint64(a[:]) + 1
+				binary.LittleEndian.PutUint64(b[:], v)
+				w.Put(b[:], 0, 0)
+				w.Flush(0)
+				w.Put(b[:], 0, 8)
+				w.Unlock(0)
+			} else { // reader: both words must agree under the shared lock
+				w.Lock(LockShared, 0)
+				var a, b [8]byte
+				w.Get(a[:], 0, 0)
+				w.Get(b[:], 0, 8)
+				w.Flush(0)
+				x := binary.LittleEndian.Uint64(a[:])
+				y := binary.LittleEndian.Uint64(b[:])
+				if x != y {
+					t.Errorf("reader saw torn state %d != %d", x, y)
+				}
+				w.Unlock(0)
+			}
+		}
+		p.Barrier()
+		_ = mem
+	})
+}
+
+func TestLockAllExcludesExclusive(t *testing.T) {
+	// While any rank holds lock_all, exclusive locks must wait — and vice
+	// versa (the two halves of the global word).
+	const n = 6
+	var inLockAll, inExcl int64
+	run(t, n, 2, func(p *spmd.Proc) {
+		w, _ := Allocate(p, 8, Config{})
+		defer w.Free()
+		for i := 0; i < 30; i++ {
+			if p.Rank()%2 == 0 {
+				w.LockAll()
+				atomic.AddInt64(&inLockAll, 1)
+				if atomic.LoadInt64(&inExcl) != 0 {
+					t.Error("lock_all and exclusive lock held concurrently")
+				}
+				atomic.AddInt64(&inLockAll, -1)
+				w.UnlockAll()
+			} else {
+				w.Lock(LockExclusive, 3)
+				atomic.AddInt64(&inExcl, 1)
+				if atomic.LoadInt64(&inLockAll) != 0 {
+					t.Error("exclusive lock and lock_all held concurrently")
+				}
+				atomic.AddInt64(&inExcl, -1)
+				w.Unlock(3)
+			}
+		}
+	})
+}
+
+func TestExclusiveLockMutualExclusion(t *testing.T) {
+	const n = 8
+	var holders int64
+	run(t, n, 4, func(p *spmd.Proc) {
+		w, _ := Allocate(p, 8, Config{})
+		defer w.Free()
+		for i := 0; i < 40; i++ {
+			w.Lock(LockExclusive, 2)
+			if atomic.AddInt64(&holders, 1) != 1 {
+				t.Error("two exclusive holders")
+			}
+			atomic.AddInt64(&holders, -1)
+			w.Unlock(2)
+		}
+	})
+}
+
+func TestSharedLocksAdmitManyReaders(t *testing.T) {
+	run(t, 4, 2, func(p *spmd.Proc) {
+		w, _ := Allocate(p, 8, Config{})
+		defer w.Free()
+		w.Lock(LockShared, 0) // all four ranks hold it concurrently
+		p.Barrier()           // would deadlock if shared locks excluded each other
+		w.Unlock(0)
+	})
+}
+
+func TestSecondExclusiveLockSkipsGlobal(t *testing.T) {
+	run(t, 3, 1, func(p *spmd.Proc) {
+		w, _ := Allocate(p, 8, Config{})
+		defer w.Free()
+		if p.Rank() == 0 {
+			base := p.EP().Counters()
+			w.Lock(LockExclusive, 1)
+			first := p.EP().Counters().Sub(base).Amos
+			base = p.EP().Counters()
+			w.Lock(LockExclusive, 2)
+			second := p.EP().Counters().Sub(base).Amos
+			if first < 2 {
+				t.Errorf("first exclusive lock used %d AMOs, want ≥2 (global+local)", first)
+			}
+			if second != 1 {
+				t.Errorf("second exclusive lock used %d AMOs, want 1 (local CAS only)", second)
+			}
+			w.Unlock(2)
+			w.Unlock(1)
+		}
+		p.Barrier()
+	})
+}
+
+func TestLockStateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		body func(w *Win)
+	}{
+		{"unlock-without-lock", func(w *Win) { w.Unlock(0) }},
+		{"double-lock-same-target", func(w *Win) { w.Lock(LockShared, 0); w.Lock(LockShared, 0) }},
+		{"nested-lockall", func(w *Win) { w.LockAll(); w.LockAll() }},
+		{"unlockall-without", func(w *Win) { w.UnlockAll() }},
+		{"lock-inside-lockall", func(w *Win) { w.LockAll(); w.Lock(LockShared, 0) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := spmd.Run(spmd.Config{Ranks: 1}, func(p *spmd.Proc) {
+				w, _ := Allocate(p, 8, Config{})
+				tc.body(w)
+			})
+			if err == nil {
+				t.Fatalf("%s must fault", tc.name)
+			}
+		})
+	}
+}
+
+func TestFlushMakesDataVisible(t *testing.T) {
+	run(t, 2, 1, func(p *spmd.Proc) {
+		w, mem := Allocate(p, 16, Config{})
+		defer w.Free()
+		if p.Rank() == 0 {
+			w.LockAll()
+			var v [8]byte
+			binary.LittleEndian.PutUint64(v[:], 7777)
+			w.Put(v[:], 1, 0)
+			w.Flush(1)
+			// Notify via an atomic after the flush: the MILC pattern.
+			w.FetchAndOp(AccSum, 1, 1, 8)
+			w.UnlockAll()
+			return
+		}
+		w.LockAll()
+		for w.FetchAndOp(AccNoOp, 0, 1, 8) == 0 {
+		}
+		if got := binary.LittleEndian.Uint64(mem); got != 7777 {
+			t.Errorf("flag visible before flushed data: %d", got)
+		}
+		w.UnlockAll()
+	})
+}

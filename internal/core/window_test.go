@@ -1,0 +1,249 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"fompi/internal/spmd"
+)
+
+// run is the package test harness: n ranks, rpn ranks per node.
+func run(t *testing.T, n, rpn int, body func(p *spmd.Proc)) {
+	t.Helper()
+	if err := spmd.Run(spmd.Config{Ranks: n, RanksPerNode: rpn}, body); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocateFencePutGet(t *testing.T) {
+	run(t, 4, 2, func(p *spmd.Proc) {
+		w, mem := Allocate(p, 1024, Config{})
+		defer w.Free()
+		for i := range mem {
+			mem[i] = byte(p.Rank())
+		}
+		w.Fence()
+		right := (p.Rank() + 1) % p.Size()
+		msg := make([]byte, 64)
+		for i := range msg {
+			msg[i] = byte(p.Rank() + 100)
+		}
+		w.Put(msg, right, 128)
+		w.Fence()
+		left := (p.Rank() - 1 + p.Size()) % p.Size()
+		for i := 0; i < 64; i++ {
+			if mem[128+i] != byte(left+100) {
+				t.Errorf("rank %d byte %d: got %d want %d", p.Rank(), i, mem[128+i], left+100)
+				break
+			}
+		}
+		got := make([]byte, 64)
+		w.Get(got, left, 128)
+		w.Fence()
+		prev := (left - 1 + p.Size()) % p.Size()
+		for i := range got {
+			if got[i] != byte(prev+100) {
+				t.Errorf("get: rank %d byte %d: got %d want %d", p.Rank(), i, got[i], prev+100)
+				break
+			}
+		}
+	})
+}
+
+func TestCreateTraditionalWindow(t *testing.T) {
+	run(t, 3, 1, func(p *spmd.Proc) {
+		// Different sizes per rank: the reason Create needs Ω(p) state.
+		buf := make([]byte, 256*(p.Rank()+1))
+		w := Create(p, buf, Config{})
+		defer w.Free()
+		w.Fence()
+		if p.Rank() == 0 {
+			w.Put([]byte("to-rank-2"), 2, 512) // only fits in rank 2's window
+		}
+		w.Fence()
+		if p.Rank() == 2 && !bytes.Equal(buf[512:521], []byte("to-rank-2")) {
+			t.Errorf("traditional window put missing: %q", buf[512:521])
+		}
+	})
+}
+
+func TestCreateWindowBoundsPerRank(t *testing.T) {
+	err := spmd.Run(spmd.Config{Ranks: 2}, func(p *spmd.Proc) {
+		w := Create(p, make([]byte, 128*(p.Rank()+1)), Config{})
+		w.Fence()
+		if p.Rank() == 1 {
+			w.Put(make([]byte, 8), 0, 200) // rank 0 has only 128 bytes
+		}
+		w.Fence()
+	})
+	if err == nil {
+		t.Fatal("out-of-bounds access to a smaller peer window must fault")
+	}
+}
+
+func TestMemoryFootprintScaling(t *testing.T) {
+	// Allocated windows: O(1) per-rank state. Traditional: Ω(p).
+	foot := func(n int, traditional bool) int {
+		var got int
+		run(t, n, 4, func(p *spmd.Proc) {
+			var w *Win
+			if traditional {
+				w = Create(p, make([]byte, 64), Config{MaxPosts: 64})
+			} else {
+				w, _ = Allocate(p, 64, Config{MaxPosts: 64})
+			}
+			if p.Rank() == 0 {
+				got = w.MemoryFootprint()
+			}
+			w.Free()
+		})
+		return got
+	}
+	if a, b := foot(4, false), foot(32, false); a != b {
+		t.Errorf("allocated window footprint grew with p: %d -> %d", a, b)
+	}
+	if a, b := foot(4, true), foot(32, true); b <= a {
+		t.Errorf("traditional window footprint did not grow with p: %d -> %d", a, b)
+	}
+}
+
+func TestSharedWindowDirectAccess(t *testing.T) {
+	run(t, 4, 4, func(p *spmd.Proc) {
+		w, mem := AllocateShared(p, 64, Config{})
+		defer w.Free()
+		binary.LittleEndian.PutUint64(mem, uint64(p.Rank()+1)*11)
+		w.Fence()
+		peer := (p.Rank() + 1) % 4
+		s := w.SharedSlice(peer)
+		if got := binary.LittleEndian.Uint64(s); got != uint64(peer+1)*11 {
+			t.Errorf("shared slice of rank %d = %d", peer, got)
+		}
+	})
+}
+
+func TestSharedWindowRequiresOneNode(t *testing.T) {
+	err := spmd.Run(spmd.Config{Ranks: 4, RanksPerNode: 2}, func(p *spmd.Proc) {
+		AllocateShared(p, 64, Config{})
+	})
+	if err == nil {
+		t.Fatal("AllocateShared across nodes must fail")
+	}
+}
+
+func TestDynamicWindowAttachAccess(t *testing.T) {
+	run(t, 2, 1, func(p *spmd.Proc) {
+		w := CreateDynamic(p, Config{})
+		var slot int
+		buf := make([]byte, 256)
+		if p.Rank() == 1 {
+			slot = w.Attach(buf)
+		}
+		p.Barrier()
+		if p.Rank() == 0 {
+			w.Lock(LockShared, 1)
+			w.PutDyn([]byte("dynamic!"), 1, 0, 16)
+			w.Unlock(1)
+		}
+		p.Barrier()
+		if p.Rank() == 1 {
+			if !bytes.Equal(buf[16:24], []byte("dynamic!")) {
+				t.Errorf("dynamic put missing: %q", buf[16:24])
+			}
+			w.Detach(slot)
+		}
+		p.Barrier()
+	})
+}
+
+func TestDynamicWindowCacheInvalidation(t *testing.T) {
+	run(t, 2, 1, func(p *spmd.Proc) {
+		w := CreateDynamic(p, Config{})
+		bufA := make([]byte, 64)
+		bufB := make([]byte, 64)
+		if p.Rank() == 1 {
+			s := w.Attach(bufA)
+			p.Barrier()
+			p.Barrier() // rank 0 reads via slot 0 (caches table)
+			w.Detach(s)
+			w.Attach(bufB) // reuses slot 0 with a new region
+			p.Barrier()
+			p.Barrier()
+			if !bytes.Equal(bufB[:5], []byte("fresh")) {
+				t.Errorf("second attach missed write: %q", bufB[:5])
+			}
+			if bytes.Contains(bufA, []byte("fresh")) {
+				t.Error("write went to the detached region")
+			}
+			return
+		}
+		p.Barrier()
+		w.Lock(LockShared, 1)
+		w.PutDyn([]byte("first"), 1, 0, 0)
+		w.Unlock(1)
+		p.Barrier()
+		p.Barrier() // target swapped regions; id counter must invalidate cache
+		w.Lock(LockShared, 1)
+		w.PutDyn([]byte("fresh"), 1, 0, 0)
+		w.Unlock(1)
+		p.Barrier()
+	})
+}
+
+func TestDynamicDetachedAccessFaults(t *testing.T) {
+	err := spmd.Run(spmd.Config{Ranks: 2}, func(p *spmd.Proc) {
+		w := CreateDynamic(p, Config{})
+		if p.Rank() == 1 {
+			w.Attach(make([]byte, 64))
+			p.Barrier()
+			p.Barrier()
+			return
+		}
+		p.Barrier()
+		w.Lock(LockShared, 1)
+		w.PutDyn(make([]byte, 8), 1, 3, 0) // slot 3 never attached
+		w.Unlock(1)
+		p.Barrier()
+	})
+	if err == nil {
+		t.Fatal("access to unattached slot must fault")
+	}
+}
+
+func TestCommunicationOutsideEpochFaults(t *testing.T) {
+	err := spmd.Run(spmd.Config{Ranks: 2}, func(p *spmd.Proc) {
+		w, _ := Allocate(p, 64, Config{})
+		w.Put(make([]byte, 8), (p.Rank()+1)%2, 0) // no epoch open
+	})
+	if err == nil {
+		t.Fatal("communication outside an epoch must fault")
+	}
+}
+
+func TestWindowFreeIsCollective(t *testing.T) {
+	run(t, 4, 2, func(p *spmd.Proc) {
+		w, _ := Allocate(p, 64, Config{})
+		w.Fence()
+		w.Fence()
+		w.Free()
+	})
+}
+
+func TestMultipleWindowsCoexist(t *testing.T) {
+	run(t, 2, 1, func(p *spmd.Proc) {
+		w1, m1 := Allocate(p, 64, Config{})
+		w2, m2 := Allocate(p, 64, Config{})
+		w1.Fence()
+		w2.Fence()
+		peer := (p.Rank() + 1) % 2
+		w1.Put([]byte{1, 1, 1, 1, 1, 1, 1, 1}, peer, 0)
+		w2.Put([]byte{2, 2, 2, 2, 2, 2, 2, 2}, peer, 0)
+		w1.Fence()
+		w2.Fence()
+		if m1[0] != 1 || m2[0] != 2 {
+			t.Errorf("window isolation violated: %d %d", m1[0], m2[0])
+		}
+		w1.Free()
+		w2.Free()
+	})
+}

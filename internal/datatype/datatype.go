@@ -1,0 +1,227 @@
+// Package datatype is the MPI derived-datatype engine: the stand-in for the
+// MPITypes library [32] foMPI uses. A datatype describes a (possibly
+// non-contiguous) memory layout; communication flattens origin and target
+// layouts into the smallest number of contiguous blocks and issues one
+// fabric operation per block pair, exactly as §2.4 of the paper describes.
+package datatype
+
+import "fmt"
+
+// Block is one contiguous piece of a flattened datatype: Off bytes from the
+// layout's base address, Len bytes long.
+type Block struct {
+	Off, Len int
+}
+
+// Datatype describes a memory layout. Datatypes are immutable once built.
+type Datatype struct {
+	name   string
+	size   int     // bytes actually transferred
+	extent int     // span between consecutive elements in arrays of this type
+	blocks []Block // normalized layout of ONE element, base-relative
+}
+
+// Name returns a diagnostic name.
+func (d *Datatype) Name() string { return d.name }
+
+// Size returns the number of payload bytes in one element.
+func (d *Datatype) Size() int { return d.size }
+
+// Extent returns the span one element occupies (stride in arrays).
+func (d *Datatype) Extent() int { return d.extent }
+
+// Contig reports whether one element is a single contiguous block starting
+// at offset 0 covering the full extent — the fast-path test in MPI_Put.
+func (d *Datatype) Contig() bool {
+	return len(d.blocks) == 1 && d.blocks[0].Off == 0 && d.blocks[0].Len == d.extent
+}
+
+// normalize sorts nothing (layouts are built in order) but merges adjacent
+// blocks so the flattening is minimal.
+func normalize(bs []Block) []Block {
+	out := bs[:0:0]
+	for _, b := range bs {
+		if b.Len == 0 {
+			continue
+		}
+		if n := len(out); n > 0 && out[n-1].Off+out[n-1].Len == b.Off {
+			out[n-1].Len += b.Len
+			continue
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// base constructs a named predefined type of n bytes.
+func base(name string, n int) *Datatype {
+	return &Datatype{name: name, size: n, extent: n, blocks: []Block{{0, n}}}
+}
+
+// Predefined types (sizes follow the usual C ABI the paper's codes assume).
+var (
+	Byte    = base("MPI_BYTE", 1)
+	Int32   = base("MPI_INT", 4)
+	Int64   = base("MPI_LONG_LONG", 8)
+	Uint64  = base("MPI_UINT64_T", 8)
+	Float32 = base("MPI_FLOAT", 4)
+	Double  = base("MPI_DOUBLE", 8)
+)
+
+// Contiguous builds count repetitions of elem with no padding.
+func Contiguous(count int, elem *Datatype) *Datatype {
+	if count < 0 {
+		panic("datatype: negative count")
+	}
+	bs := make([]Block, 0, count*len(elem.blocks))
+	for i := 0; i < count; i++ {
+		for _, b := range elem.blocks {
+			bs = append(bs, Block{b.Off + i*elem.extent, b.Len})
+		}
+	}
+	return &Datatype{
+		name:   fmt.Sprintf("contig(%d,%s)", count, elem.name),
+		size:   count * elem.size,
+		extent: count * elem.extent,
+		blocks: normalize(bs),
+	}
+}
+
+// Vector builds count blocks of blocklen elements separated by stride
+// elements (stride measured in elements, as MPI_Type_vector does).
+func Vector(count, blocklen, stride int, elem *Datatype) *Datatype {
+	if blocklen > stride && count > 1 {
+		panic("datatype: vector blocks overlap")
+	}
+	bs := make([]Block, 0, count*blocklen*len(elem.blocks))
+	for i := 0; i < count; i++ {
+		start := i * stride * elem.extent
+		for j := 0; j < blocklen; j++ {
+			for _, b := range elem.blocks {
+				bs = append(bs, Block{start + j*elem.extent + b.Off, b.Len})
+			}
+		}
+	}
+	extent := 0
+	if count > 0 {
+		extent = ((count-1)*stride + blocklen) * elem.extent
+	}
+	return &Datatype{
+		name:   fmt.Sprintf("vector(%d,%d,%d,%s)", count, blocklen, stride, elem.name),
+		size:   count * blocklen * elem.size,
+		extent: extent,
+		blocks: normalize(bs),
+	}
+}
+
+// Indexed builds blocks of blocklens[i] elements at element displacements
+// displs[i] (MPI_Type_indexed). Displacements must be non-decreasing.
+func Indexed(blocklens, displs []int, elem *Datatype) *Datatype {
+	if len(blocklens) != len(displs) {
+		panic("datatype: indexed length mismatch")
+	}
+	bs := make([]Block, 0, len(blocklens))
+	size, extent := 0, 0
+	prevEnd := -1
+	for i := range blocklens {
+		if displs[i]*elem.extent < prevEnd {
+			panic("datatype: indexed displacements must be non-decreasing and non-overlapping")
+		}
+		start := displs[i] * elem.extent
+		for j := 0; j < blocklens[i]; j++ {
+			for _, b := range elem.blocks {
+				bs = append(bs, Block{start + j*elem.extent + b.Off, b.Len})
+			}
+		}
+		size += blocklens[i] * elem.size
+		if end := start + blocklens[i]*elem.extent; end > extent {
+			extent = end
+		}
+		prevEnd = start + blocklens[i]*elem.extent
+	}
+	return &Datatype{
+		name:   fmt.Sprintf("indexed(%d,%s)", len(blocklens), elem.name),
+		size:   size,
+		extent: extent,
+		blocks: normalize(bs),
+	}
+}
+
+// Struct builds a heterogeneous layout: blocklens[i] elements of types[i] at
+// byte displacement displs[i] (MPI_Type_create_struct). Displacements must
+// be non-decreasing and non-overlapping.
+func Struct(blocklens []int, displs []int, types []*Datatype) *Datatype {
+	if len(blocklens) != len(displs) || len(displs) != len(types) {
+		panic("datatype: struct length mismatch")
+	}
+	var bs []Block
+	size, extent := 0, 0
+	prevEnd := -1
+	for i := range types {
+		if displs[i] < prevEnd {
+			panic("datatype: struct displacements must be non-decreasing and non-overlapping")
+		}
+		for j := 0; j < blocklens[i]; j++ {
+			start := displs[i] + j*types[i].extent
+			for _, b := range types[i].blocks {
+				bs = append(bs, Block{start + b.Off, b.Len})
+			}
+		}
+		size += blocklens[i] * types[i].size
+		end := displs[i] + blocklens[i]*types[i].extent
+		if end > extent {
+			extent = end
+		}
+		prevEnd = end
+	}
+	return &Datatype{
+		name:   fmt.Sprintf("struct(%d)", len(types)),
+		size:   size,
+		extent: extent,
+		blocks: normalize(bs),
+	}
+}
+
+// Resized overrides the extent (MPI_Type_create_resized). Shrinking the
+// extent below the layout span is the standard MPI idiom for interleaved
+// layouts — e.g. a matrix-column type whose consecutive array elements are
+// the next columns, not the next column-heights apart.
+func Resized(d *Datatype, extent int) *Datatype {
+	if extent <= 0 {
+		panic("datatype: resized extent must be positive")
+	}
+	return &Datatype{name: d.name + "+resized", size: d.size, extent: extent, blocks: d.blocks}
+}
+
+// Flatten returns the minimal contiguous block list of count consecutive
+// elements starting at byte offset off.
+func Flatten(d *Datatype, count, off int) []Block {
+	bs := make([]Block, 0, count*len(d.blocks))
+	for i := 0; i < count; i++ {
+		basei := off + i*d.extent
+		for _, b := range d.blocks {
+			bs = append(bs, Block{basei + b.Off, b.Len})
+		}
+	}
+	return normalize(bs)
+}
+
+// Pack gathers count elements laid out by d in src into the dense dst
+// buffer and returns the bytes written.
+func Pack(dst, src []byte, d *Datatype, count int) int {
+	n := 0
+	for _, b := range Flatten(d, count, 0) {
+		n += copy(dst[n:n+b.Len], src[b.Off:b.Off+b.Len])
+	}
+	return n
+}
+
+// Unpack scatters the dense src buffer into count elements laid out by d in
+// dst and returns the bytes consumed.
+func Unpack(dst, src []byte, d *Datatype, count int) int {
+	n := 0
+	for _, b := range Flatten(d, count, 0) {
+		n += copy(dst[b.Off:b.Off+b.Len], src[n:n+b.Len])
+	}
+	return n
+}

@@ -1,0 +1,235 @@
+package datatype
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBaseTypes(t *testing.T) {
+	cases := []struct {
+		dt   *Datatype
+		size int
+	}{{Byte, 1}, {Int32, 4}, {Int64, 8}, {Double, 8}, {Float32, 4}, {Uint64, 8}}
+	for _, c := range cases {
+		if c.dt.Size() != c.size || c.dt.Extent() != c.size || !c.dt.Contig() {
+			t.Errorf("%s: size=%d extent=%d contig=%v", c.dt.Name(), c.dt.Size(), c.dt.Extent(), c.dt.Contig())
+		}
+	}
+}
+
+func TestContiguousMergesToOneBlock(t *testing.T) {
+	d := Contiguous(16, Double)
+	if !d.Contig() || d.Size() != 128 || d.Extent() != 128 {
+		t.Fatalf("contig(16,double): %+v", d)
+	}
+	if bs := Flatten(d, 2, 0); len(bs) != 1 || bs[0] != (Block{0, 256}) {
+		t.Fatalf("flatten: %v", bs)
+	}
+}
+
+func TestVectorLayout(t *testing.T) {
+	// 3 blocks of 2 doubles every 4 doubles: |XX..|XX..|XX|
+	d := Vector(3, 2, 4, Double)
+	if d.Size() != 48 {
+		t.Fatalf("size=%d", d.Size())
+	}
+	if d.Extent() != (2*4+2)*8 {
+		t.Fatalf("extent=%d", d.Extent())
+	}
+	want := []Block{{0, 16}, {32, 16}, {64, 16}}
+	got := Flatten(d, 1, 0)
+	if len(got) != 3 {
+		t.Fatalf("blocks: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("block %d: %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestVectorDenseCollapses(t *testing.T) {
+	d := Vector(5, 3, 3, Int32) // blocklen == stride → contiguous
+	if !d.Contig() {
+		t.Fatalf("dense vector should collapse to one block: %v", Flatten(d, 1, 0))
+	}
+}
+
+func TestIndexed(t *testing.T) {
+	d := Indexed([]int{2, 1, 3}, []int{0, 4, 8}, Int32)
+	if d.Size() != 6*4 {
+		t.Fatalf("size=%d", d.Size())
+	}
+	got := Flatten(d, 1, 0)
+	want := []Block{{0, 8}, {16, 4}, {32, 12}}
+	if len(got) != len(want) {
+		t.Fatalf("blocks %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("block %d: %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStruct(t *testing.T) {
+	// struct { int32 a; double b; } with C padding: displs 0 and 8.
+	d := Struct([]int{1, 1}, []int{0, 8}, []*Datatype{Int32, Double})
+	if d.Size() != 12 || d.Extent() != 16 {
+		t.Fatalf("size=%d extent=%d", d.Size(), d.Extent())
+	}
+	got := Flatten(d, 2, 0)
+	// Element 1 starts at the 16-byte extent, so its int32 {16,4} merges
+	// with element 0's trailing double {8,8}: minimal flattening is 3 blocks.
+	want := []Block{{0, 4}, {8, 12}, {24, 8}}
+	if len(got) != len(want) {
+		t.Fatalf("blocks %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("block %d: %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestResized(t *testing.T) {
+	col := Resized(Vector(3, 1, 4, Double), 8) // one matrix column, unit stride
+	bs := Flatten(col, 2, 0)
+	want := []Block{{0, 8}, {8, 8}, {32, 8}, {40, 8}, {64, 8}, {72, 8}}
+	// Columns 0 and 1 of a 3x4 row-major double matrix.
+	got := map[Block]bool{}
+	for _, b := range bs {
+		got[b] = true
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Fatalf("missing block %v in %v", w, bs)
+		}
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	d := Vector(4, 3, 5, Int32)
+	src := make([]byte, d.Extent()+64)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	packed := make([]byte, d.Size())
+	if n := Pack(packed, src, d, 1); n != d.Size() {
+		t.Fatalf("pack n=%d", n)
+	}
+	dst := make([]byte, len(src))
+	if n := Unpack(dst, packed, d, 1); n != d.Size() {
+		t.Fatalf("unpack n=%d", n)
+	}
+	for _, b := range Flatten(d, 1, 0) {
+		if !bytes.Equal(dst[b.Off:b.Off+b.Len], src[b.Off:b.Off+b.Len]) {
+			t.Fatalf("block %v differs", b)
+		}
+	}
+}
+
+func TestFlattenOffsets(t *testing.T) {
+	d := Vector(2, 1, 2, Double)
+	bs := Flatten(d, 1, 100)
+	if bs[0].Off != 100 || bs[1].Off != 116 {
+		t.Fatalf("offset flatten: %v", bs)
+	}
+}
+
+func TestOverlapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlapping vector must panic")
+		}
+	}()
+	Vector(2, 3, 2, Double)
+}
+
+// naiveExtract mirrors Flatten with a per-byte bitmap — the reference model
+// for the property test.
+func naiveExtract(d *Datatype, count int) []bool {
+	covered := make([]bool, count*d.Extent()+1)
+	for _, b := range Flatten(d, count, 0) {
+		for i := b.Off; i < b.Off+b.Len; i++ {
+			covered[i] = true
+		}
+	}
+	return covered
+}
+
+func TestPropertyFlattenCoversSizeBytes(t *testing.T) {
+	err := quick.Check(func(count8, blocklen8, stride8, n8 uint8) bool {
+		count := int(count8)%6 + 1
+		blocklen := int(blocklen8)%4 + 1
+		stride := blocklen + int(stride8)%4
+		n := int(n8)%3 + 1
+		d := Vector(count, blocklen, stride, Int32)
+		covered := naiveExtract(d, n)
+		total := 0
+		for _, c := range covered {
+			if c {
+				total++
+			}
+		}
+		return total == n*d.Size()
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPackUnpackIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	err := quick.Check(func(lens []uint8) bool {
+		if len(lens) == 0 || len(lens) > 8 {
+			return true
+		}
+		blocklens := make([]int, len(lens))
+		displs := make([]int, len(lens))
+		at := 0
+		for i, l := range lens {
+			blocklens[i] = int(l)%3 + 1
+			displs[i] = at + rng.Intn(3)
+			at = displs[i] + blocklens[i]
+		}
+		d := Indexed(blocklens, displs, Int64)
+		src := make([]byte, d.Extent())
+		rng.Read(src)
+		packed := make([]byte, d.Size())
+		Pack(packed, src, d, 1)
+		dst := make([]byte, d.Extent())
+		Unpack(dst, packed, d, 1)
+		for _, b := range Flatten(d, 1, 0) {
+			if !bytes.Equal(dst[b.Off:b.Off+b.Len], src[b.Off:b.Off+b.Len]) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyBlocksDisjointSorted(t *testing.T) {
+	err := quick.Check(func(c, bl, st uint8) bool {
+		count := int(c)%5 + 1
+		blocklen := int(bl)%4 + 1
+		stride := blocklen + int(st)%5
+		d := Vector(count, blocklen, stride, Double)
+		prevEnd := -1
+		for _, b := range Flatten(d, 2, 0) {
+			if b.Off <= prevEnd || b.Len <= 0 { // strictly after previous (merged otherwise)
+				return false
+			}
+			prevEnd = b.Off + b.Len
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+// Package hostatomic implements host-CPU atomic operations on 8-byte-aligned
+// words inside byte slices. It is the software stand-in for the CPU atomics
+// (x86 lock prefix) that foMPI uses over XPMEM mappings and for the NIC-side
+// atomic units that DMAPP exposes; the simulated fabric funnels every AMO
+// through this package so all ranks observe a single linearization per word.
+//
+// Alignment: Go guarantees that the backing array of a slice allocated with
+// make is 64-bit aligned, so any offset that is a multiple of 8 within such
+// a slice is safely addressable with 8-byte atomics.
+package hostatomic
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+func word(b []byte, off int) *uint64 {
+	if off&7 != 0 {
+		panic("hostatomic: misaligned 8-byte atomic access")
+	}
+	// Bounds-check the full word before taking the address.
+	_ = b[off+7]
+	return (*uint64)(unsafe.Pointer(&b[off]))
+}
+
+// Load atomically reads the 8-byte word at off.
+func Load(b []byte, off int) uint64 { return atomic.LoadUint64(word(b, off)) }
+
+// Store atomically writes the 8-byte word at off.
+func Store(b []byte, off int, v uint64) { atomic.StoreUint64(word(b, off), v) }
+
+// Add atomically adds delta to the word at off and returns the old value.
+func Add(b []byte, off int, delta uint64) (old uint64) {
+	return atomic.AddUint64(word(b, off), delta) - delta
+}
+
+// Cas performs a compare-and-swap on the word at off and returns the value
+// held before the operation (equal to compare iff the swap happened).
+func Cas(b []byte, off int, compare, swap uint64) (old uint64) {
+	w := word(b, off)
+	for {
+		cur := atomic.LoadUint64(w)
+		if cur != compare {
+			return cur
+		}
+		if atomic.CompareAndSwapUint64(w, compare, swap) {
+			return compare
+		}
+	}
+}
+
+// Swap atomically replaces the word at off and returns the old value.
+func Swap(b []byte, off int, v uint64) (old uint64) {
+	return atomic.SwapUint64(word(b, off), v)
+}
+
+// rmw applies f atomically via a CAS loop and returns the old value.
+func rmw(b []byte, off int, f func(uint64) uint64) (old uint64) {
+	w := word(b, off)
+	for {
+		cur := atomic.LoadUint64(w)
+		if atomic.CompareAndSwapUint64(w, cur, f(cur)) {
+			return cur
+		}
+	}
+}
+
+// And atomically ANDs v into the word at off, returning the old value.
+func And(b []byte, off int, v uint64) uint64 {
+	return rmw(b, off, func(c uint64) uint64 { return c & v })
+}
+
+// Or atomically ORs v into the word at off, returning the old value.
+func Or(b []byte, off int, v uint64) uint64 {
+	return rmw(b, off, func(c uint64) uint64 { return c | v })
+}
+
+// Xor atomically XORs v into the word at off, returning the old value.
+func Xor(b []byte, off int, v uint64) uint64 {
+	return rmw(b, off, func(c uint64) uint64 { return c ^ v })
+}
+
+// MaxI64 atomically raises the int64 at p to at least v.
+func MaxI64(p *int64, v int64) {
+	for {
+		cur := atomic.LoadInt64(p)
+		if v <= cur || atomic.CompareAndSwapInt64(p, cur, v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package pgas
+
+import (
+	"bytes"
+	"testing"
+
+	"fompi/internal/spmd"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	for _, dial := range []func(*spmd.Proc, int) *Lang{DialUPC, DialCAF, DialMPI22} {
+		spmd.MustRun(spmd.Config{Ranks: 4, RanksPerNode: 2}, func(p *spmd.Proc) {
+			l := dial(p, 1024)
+			defer l.Free()
+			right := (p.Rank() + 1) % p.Size()
+			msg := []byte{byte(p.Rank()), 0xAB, 0xCD}
+			l.Put(right, 16, msg)
+			l.Barrier()
+			want := []byte{byte((p.Rank() + 3) % 4), 0xAB, 0xCD}
+			if got := l.Local()[16:19]; !bytes.Equal(got, want) {
+				t.Errorf("%s rank %d: local %v want %v", l.Name(), p.Rank(), got, want)
+			}
+			buf := make([]byte, 3)
+			l.Get(buf, right, 16)
+			if !bytes.Equal(buf, []byte{byte(p.Rank()), 0xAB, 0xCD}) {
+				t.Errorf("%s rank %d: get %v", l.Name(), p.Rank(), buf)
+			}
+		})
+	}
+}
+
+func TestAtomicsAndAllreduce(t *testing.T) {
+	spmd.MustRun(spmd.Config{Ranks: 8, RanksPerNode: 4}, func(p *spmd.Proc) {
+		l := DialUPC(p, 64)
+		defer l.Free()
+		l.FetchAdd(0, 0, 1) // everyone increments word 0 at rank 0
+		l.Barrier()
+		if p.Rank() == 0 {
+			if got := l.LocalWord(0); got != 8 {
+				t.Errorf("counter = %d, want 8", got)
+			}
+		}
+		if got := l.Allreduce8(spmd.OpSum, 2); got != 16 {
+			t.Errorf("allreduce = %d, want 16", got)
+		}
+		// CAS: exactly one rank wins an empty slot.
+		won := l.CompareSwap(0, 8, 0, uint64(p.Rank())+100) == 0
+		l.Barrier()
+		winners := l.Allreduce8(spmd.OpSum, map[bool]uint64{true: 1, false: 0}[won])
+		if winners != 1 {
+			t.Errorf("%d CAS winners, want 1", winners)
+		}
+	})
+}
+
+func TestGetNBOverlap(t *testing.T) {
+	spmd.MustRun(spmd.Config{Ranks: 2, RanksPerNode: 1}, func(p *spmd.Proc) {
+		l := DialUPC(p, 4096)
+		defer l.Free()
+		for i := range l.Local()[:256] {
+			l.Local()[i] = byte(p.Rank() + 1)
+		}
+		l.Barrier()
+		buf := make([]byte, 256)
+		h := l.GetNB(buf, (p.Rank()+1)%2, 0)
+		t0 := l.Now()
+		l.Compute(100000) // overlap window
+		l.WaitNB(h)
+		// The get should complete within the compute window: waiting must
+		// not add (much) beyond the 100 µs of compute.
+		if l.Now()-t0 > 101000 {
+			t.Errorf("nonblocking get did not overlap: %v", l.Now()-t0)
+		}
+		if buf[0] != byte((p.Rank()+1)%2+1) {
+			t.Errorf("got %d", buf[0])
+		}
+	})
+}
+
+func TestLayerCostOrdering(t *testing.T) {
+	// The calibrated profiles must preserve the paper's ordering for a
+	// small put+fence: foMPI-profile layers are cheapest, Cray MPI-2.2 is
+	// by far the most expensive (Fig. 4a).
+	spmd.MustRun(spmd.Config{Ranks: 2, RanksPerNode: 1}, func(p *spmd.Proc) {
+		cost := map[string]int64{}
+		for _, dial := range []func(*spmd.Proc, int) *Lang{DialUPC, DialCAF, DialMPI22} {
+			l := dial(p, 64)
+			if p.Rank() == 0 {
+				t0 := l.Now()
+				l.Put(1, 0, make([]byte, 8))
+				l.Fence()
+				cost[l.Name()] = int64(l.Now() - t0)
+			}
+			l.Free()
+		}
+		if p.Rank() == 0 {
+			if !(cost["UPC"] < cost["CAF"] && cost["CAF"] < cost["CrayMPI22"]) {
+				t.Errorf("cost ordering violated: %v", cost)
+			}
+		}
+	})
+}

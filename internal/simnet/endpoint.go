@@ -1,0 +1,380 @@
+package simnet
+
+import (
+	"fompi/internal/hostatomic"
+	"fompi/internal/timing"
+)
+
+// Endpoint is one rank's port into the fabric for one transport layer.
+// Several layers (foMPI, UPC, MPI-1...) may hold endpoints for the same rank;
+// they share the rank's registered regions and NIC but carry their own cost
+// model and virtual clock. An Endpoint is owned by its rank's goroutine and
+// must not be shared across goroutines.
+type Endpoint struct {
+	fab  *Fabric
+	rank int
+	cm   *CostModel
+
+	clock       timing.Time
+	implicitMax timing.Time
+	nicFree     timing.Time // source-side NIC availability (outcast bandwidth)
+
+	ctr Counters
+}
+
+// Handle identifies an explicit-nonblocking operation; it completes at a
+// known virtual time.
+type Handle struct{ comp timing.Time }
+
+// Endpoint creates an endpoint for rank with the layer cost model cm.
+func (f *Fabric) Endpoint(rank int, cm *CostModel) *Endpoint {
+	if rank < 0 || rank >= f.n {
+		panic("simnet: endpoint rank out of range")
+	}
+	return &Endpoint{fab: f, rank: rank, cm: cm}
+}
+
+// Rank returns the owning rank.
+func (ep *Endpoint) Rank() int { return ep.rank }
+
+// Fabric returns the underlying fabric.
+func (ep *Endpoint) Fabric() *Fabric { return ep.fab }
+
+// Model returns the endpoint's cost model.
+func (ep *Endpoint) Model() *CostModel { return ep.cm }
+
+// Now returns the rank's virtual clock.
+func (ep *Endpoint) Now() timing.Time { return ep.clock }
+
+// AdvanceTo raises the clock to at least t.
+func (ep *Endpoint) AdvanceTo(t timing.Time) {
+	if t > ep.clock {
+		ep.clock = t
+	}
+}
+
+// Compute advances the clock by ns nanoseconds of local computation and
+// publishes the new clock for pacing.
+func (ep *Endpoint) Compute(ns int64) {
+	ep.clock += timing.Time(ns)
+	ep.fab.publishClock(ep.rank, ep.clock)
+}
+
+// Steps charges n software steps (≈CPU instructions) to the layer's
+// critical-path accounting without advancing time; the instruction-count
+// experiment reads them back through Counters.
+func (ep *Endpoint) Steps(n int64) { ep.ctr.SoftSteps += n }
+
+// Counters returns a snapshot of the endpoint's operation counters.
+func (ep *Endpoint) Counters() Counters { return ep.ctr }
+
+// ResetCounters zeroes the operation counters.
+func (ep *Endpoint) ResetCounters() { ep.ctr = Counters{} }
+
+// Register allocates and registers size bytes of fresh memory.
+func (ep *Endpoint) Register(size int) *Region {
+	return ep.RegisterBuf(make([]byte, size))
+}
+
+// RegisterBuf registers caller-provided memory (traditional windows expose
+// existing user buffers). The slice must come from make (8-byte aligned).
+func (ep *Endpoint) RegisterBuf(buf []byte) *Region {
+	reg := &Region{owner: ep.rank, buf: buf, stamps: timing.NewStamps(len(buf))}
+	ep.fab.register(ep.rank, reg)
+	return reg
+}
+
+// Unregister removes a registration; later remote accesses fault.
+func (ep *Endpoint) Unregister(reg *Region) { ep.fab.unregister(ep.rank, reg.key) }
+
+// profileFor picks the intra/inter profile for a peer rank.
+func (ep *Endpoint) profileFor(peer int) *Profile {
+	return ep.cm.For(ep.fab.SameNode(ep.rank, peer))
+}
+
+// schedXfer models one payload crossing the wire as a pipeline: the source
+// NIC serializes departures, the first byte arrives lat after departure,
+// and the target NIC is occupied for the xfer serialization time starting
+// at first-byte arrival (incast). The payload is fully delivered when the
+// target NIC finishes — one bandwidth term end to end, not one per NIC.
+func (ep *Endpoint) schedXfer(dst int, depart timing.Time, lat, xfer int64) timing.Time {
+	if ep.fab.SameNode(ep.rank, dst) {
+		// Intra-node (XPMEM): the issuing CPU performs the copy itself.
+		return depart + timing.Time(lat)
+	}
+	if ep.nicFree > depart {
+		depart = ep.nicFree
+	}
+	ep.nicFree = depart + timing.Time(xfer)
+	return ep.fab.reserveNIC(dst, depart+timing.Time(lat), xfer)
+}
+
+// putCommon moves the bytes now and returns the virtual completion time.
+func (ep *Endpoint) putCommon(dst Addr, src []byte) timing.Time {
+	ep.fab.pace(ep.rank, ep.clock)
+	pr := ep.profileFor(dst.Rank)
+	reg := ep.fab.region(dst)
+	reg.check(dst.Off, len(src))
+	ep.clock += timing.Time(pr.InjectNs)
+	if ep.fab.SameNode(ep.rank, dst.Rank) {
+		// XPMEM copy occupies the issuing CPU.
+		ep.clock += timing.Time(pr.xferNs(len(src)))
+	}
+	copy(reg.buf[dst.Off:dst.Off+len(src)], src)
+	comp := ep.schedXfer(dst.Rank, ep.clock, pr.PutLatNs+pr.knee(len(src)), pr.xferNs(len(src)))
+	reg.stamps.SetRange(dst.Off, len(src), comp)
+	ep.ctr.Puts++
+	ep.ctr.BytesPut += int64(len(src))
+	ep.fab.nodes[dst.Rank].notify()
+	return comp
+}
+
+// PutNBI issues an implicit-nonblocking put, completed by Gsync.
+func (ep *Endpoint) PutNBI(dst Addr, src []byte) {
+	comp := ep.putCommon(dst, src)
+	ep.implicitMax = timing.Max(ep.implicitMax, comp)
+}
+
+// PutNB issues an explicit-nonblocking put and returns its handle.
+func (ep *Endpoint) PutNB(dst Addr, src []byte) Handle {
+	return Handle{comp: ep.putCommon(dst, src)}
+}
+
+// Put performs a blocking put (remote completion before return).
+func (ep *Endpoint) Put(dst Addr, src []byte) {
+	ep.AdvanceTo(ep.putCommon(dst, src))
+}
+
+// getCommon copies the bytes now and returns the virtual completion time,
+// merged with the stamps of the words read (causality).
+func (ep *Endpoint) getCommon(dst []byte, src Addr) timing.Time {
+	ep.fab.pace(ep.rank, ep.clock)
+	pr := ep.profileFor(src.Rank)
+	reg := ep.fab.region(src)
+	reg.check(src.Off, len(dst))
+	ep.clock += timing.Time(pr.InjectNs)
+	copy(dst, reg.buf[src.Off:src.Off+len(dst)])
+	base := timing.Max(ep.clock, reg.stamps.MaxRange(src.Off, len(dst)))
+	if ep.fab.SameNode(ep.rank, src.Rank) {
+		// XPMEM read: CPU copies the data itself.
+		comp := base + timing.Time(pr.GetLatNs+pr.xferNs(len(dst)))
+		ep.clock = comp
+		ep.ctr.Gets++
+		ep.ctr.BytesGot += int64(len(dst))
+		return comp
+	}
+	xfer := pr.xferNs(len(dst))
+	arrive := base + timing.Time(pr.GetLatNs+pr.knee(len(dst)))
+	comp := ep.fab.reserveNIC(src.Rank, arrive, xfer) // data leaves the target NIC
+	ep.ctr.Gets++
+	ep.ctr.BytesGot += int64(len(dst))
+	return comp
+}
+
+// GetNBI issues an implicit-nonblocking get, completed by Gsync.
+func (ep *Endpoint) GetNBI(dst []byte, src Addr) {
+	comp := ep.getCommon(dst, src)
+	ep.implicitMax = timing.Max(ep.implicitMax, comp)
+}
+
+// GetNB issues an explicit-nonblocking get and returns its handle.
+func (ep *Endpoint) GetNB(dst []byte, src Addr) Handle {
+	return Handle{comp: ep.getCommon(dst, src)}
+}
+
+// Get performs a blocking get.
+func (ep *Endpoint) Get(dst []byte, src Addr) {
+	ep.AdvanceTo(ep.getCommon(dst, src))
+}
+
+// amoCommon performs fn on the addressed word atomically right now. The
+// update becomes visible at the target after a one-way latency (that is the
+// word's stamp); the origin-side completion of a fetching operation takes
+// the full AMO round trip (AmoNs — the paper's P_acc constant).
+func (ep *Endpoint) amoCommon(a Addr, fn func(reg *Region) uint64) (old uint64, comp timing.Time) {
+	ep.fab.pace(ep.rank, ep.clock)
+	pr := ep.profileFor(a.Rank)
+	reg := ep.fab.region(a)
+	reg.check(a.Off, 8)
+	ep.clock += timing.Time(pr.InjectNs)
+	prev := reg.stamps.Get(a.Off)
+	old = fn(reg)
+	base := timing.Max(ep.clock, prev)
+	land := ep.schedXfer(a.Rank, base, pr.PutLatNs, pr.xferNs(8))
+	reg.stamps.Set(a.Off, land)
+	comp = timing.Max(land, base+timing.Time(pr.AmoNs))
+	ep.ctr.Amos++
+	ep.fab.nodes[a.Rank].notify()
+	return old, comp
+}
+
+// FetchAdd atomically adds delta to the remote word and returns the old
+// value (blocking: fetching AMOs return data).
+func (ep *Endpoint) FetchAdd(a Addr, delta uint64) uint64 {
+	old, comp := ep.amoCommon(a, func(r *Region) uint64 {
+		return hostatomic.Add(r.buf, a.Off, delta)
+	})
+	ep.AdvanceTo(comp)
+	return old
+}
+
+// FetchAddNB issues a fetching atomic add without blocking: the previous
+// value is returned immediately (the simulation resolves it at issue), and
+// the handle completes when the reply would physically arrive. Protocols
+// pipeline independent fetching AMOs with it (e.g. PSCW post acquires all k
+// matching-list slots in one round trip).
+func (ep *Endpoint) FetchAddNB(a Addr, delta uint64) (uint64, Handle) {
+	old, comp := ep.amoCommon(a, func(r *Region) uint64 {
+		return hostatomic.Add(r.buf, a.Off, delta)
+	})
+	return old, Handle{comp: comp}
+}
+
+// CompareSwap atomically compares-and-swaps the remote word, returning the
+// value held before the operation.
+func (ep *Endpoint) CompareSwap(a Addr, compare, swap uint64) uint64 {
+	old, comp := ep.amoCommon(a, func(r *Region) uint64 {
+		return hostatomic.Cas(r.buf, a.Off, compare, swap)
+	})
+	ep.AdvanceTo(comp)
+	return old
+}
+
+// Swap atomically replaces the remote word, returning the old value.
+func (ep *Endpoint) Swap(a Addr, v uint64) uint64 {
+	old, comp := ep.amoCommon(a, func(r *Region) uint64 {
+		return hostatomic.Swap(r.buf, a.Off, v)
+	})
+	ep.AdvanceTo(comp)
+	return old
+}
+
+// AddNBI issues a non-fetching atomic add with implicit completion.
+func (ep *Endpoint) AddNBI(a Addr, delta uint64) {
+	_, comp := ep.amoCommon(a, func(r *Region) uint64 {
+		return hostatomic.Add(r.buf, a.Off, delta)
+	})
+	ep.implicitMax = timing.Max(ep.implicitMax, comp)
+}
+
+// StoreW atomically stores an 8-byte word remotely (an NBI put of one word;
+// the flag-update primitive of all synchronization protocols).
+func (ep *Endpoint) StoreW(a Addr, v uint64) {
+	ep.fab.pace(ep.rank, ep.clock)
+	pr := ep.profileFor(a.Rank)
+	reg := ep.fab.region(a)
+	reg.check(a.Off, 8)
+	ep.clock += timing.Time(pr.InjectNs)
+	comp := ep.schedXfer(a.Rank, ep.clock, pr.PutLatNs, pr.xferNs(8))
+	hostatomic.Store(reg.buf, a.Off, v)
+	reg.stamps.Set(a.Off, comp)
+	ep.implicitMax = timing.Max(ep.implicitMax, comp)
+	ep.ctr.Puts++
+	ep.ctr.BytesPut += 8
+	ep.fab.nodes[a.Rank].notify()
+}
+
+// LoadW atomically reads a remote 8-byte word (blocking get of one word).
+func (ep *Endpoint) LoadW(a Addr) uint64 {
+	pr := ep.profileFor(a.Rank)
+	reg := ep.fab.region(a)
+	v := reg.atomicLoad(a.Off)
+	ep.clock = timing.Max(ep.clock+timing.Time(pr.InjectNs), reg.stamps.Get(a.Off)) +
+		timing.Time(pr.GetLatNs+pr.xferNs(8))
+	ep.ctr.Gets++
+	ep.ctr.BytesGot += 8
+	return v
+}
+
+// Gsync completes all implicit-nonblocking operations (DMAPP bulk
+// completion): the foMPI flush primitive.
+func (ep *Endpoint) Gsync() {
+	ep.ctr.Gsyncs++
+	ep.clock = timing.Max(ep.clock+timing.Time(ep.cm.Inter.GsyncNs), ep.implicitMax)
+}
+
+// GsyncLocal completes implicit operations locally only (source buffers
+// reusable; remote completion not guaranteed). In the simulation source
+// data is captured at issue time, so this charges only the call overhead.
+func (ep *Endpoint) GsyncLocal() {
+	ep.ctr.Gsyncs++
+	ep.clock += timing.Time(ep.cm.Inter.GsyncNs)
+}
+
+// MemSync models a processor memory fence (MPI_Win_sync).
+func (ep *Endpoint) MemSync() {
+	ep.ctr.Syncs++
+	ep.clock += timing.Time(ep.cm.Intra.SyncNs)
+}
+
+// Wait blocks until the explicit-nonblocking operation completes.
+func (ep *Endpoint) Wait(h Handle) { ep.AdvanceTo(h.comp) }
+
+// Test reports whether h has completed by the rank's current virtual time.
+func (ep *Endpoint) Test(h Handle) bool { return h.comp <= ep.clock }
+
+// WaitLocal blocks the goroutine until pred holds. Writers to this rank's
+// regions ring its doorbell, so no busy spinning occurs. The caller is
+// responsible for merging the stamps of the words that satisfied pred
+// (MergeStamp) — polls charge PollNs once on success.
+func (ep *Endpoint) WaitLocal(pred func() bool) {
+	gen := ep.fab.doorGenOf(ep.rank)
+	for !pred() {
+		gen = ep.fab.waitDoor(ep.rank, gen)
+		ep.ctr.Polls++
+	}
+	ep.clock += timing.Time(ep.cm.Intra.PollNs)
+}
+
+// MergeStamp raises the clock to the latest stamp in [off, off+n) of reg.
+func (ep *Endpoint) MergeStamp(reg *Region, off, n int) {
+	ep.AdvanceTo(reg.StampMax(off, n))
+}
+
+// PollRemoteWord blocks until pred holds for the remote word, re-reading it
+// with ideal exponential back-off (one round trip charged on success, as the
+// paper's protocols assume congestion-free retries).
+func (ep *Endpoint) PollRemoteWord(a Addr, pred func(uint64) bool) uint64 {
+	pr := ep.profileFor(a.Rank)
+	reg := ep.fab.region(a)
+	reg.check(a.Off, 8)
+	gen := ep.fab.doorGenOf(a.Rank)
+	for {
+		v := reg.atomicLoad(a.Off)
+		if pred(v) {
+			ep.clock = timing.Max(ep.clock, reg.stamps.Get(a.Off)) +
+				timing.Time(pr.GetLatNs+pr.xferNs(8))
+			ep.ctr.Gets++
+			ep.ctr.BytesGot += 8
+			return v
+		}
+		ep.ctr.Polls++
+		gen = ep.fab.waitDoor(a.Rank, gen)
+	}
+}
+
+// Counters tallies fabric operations issued by an endpoint. The instruction
+// count experiment (DESIGN.md xtra-instr) reports these per critical path.
+type Counters struct {
+	Puts, Gets, Amos   int64
+	Gsyncs, Syncs      int64
+	Polls              int64
+	BytesPut, BytesGot int64
+	SoftSteps          int64
+}
+
+// Sub returns c - o field-wise (for windowed measurements).
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		Puts: c.Puts - o.Puts, Gets: c.Gets - o.Gets, Amos: c.Amos - o.Amos,
+		Gsyncs: c.Gsyncs - o.Gsyncs, Syncs: c.Syncs - o.Syncs, Polls: c.Polls - o.Polls,
+		BytesPut: c.BytesPut - o.BytesPut, BytesGot: c.BytesGot - o.BytesGot,
+		SoftSteps: c.SoftSteps - o.SoftSteps,
+	}
+}
+
+// RemoteOps returns the number of remote operations issued.
+func (c Counters) RemoteOps() int64 { return c.Puts + c.Gets + c.Amos }
+
+// CompTime returns the operation's virtual completion time (instrumentation).
+func (h Handle) CompTime() timing.Time { return h.comp }

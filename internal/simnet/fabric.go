@@ -1,0 +1,305 @@
+// Package simnet is a software RDMA fabric: the stand-in for Cray DMAPP
+// (inter-node) and XPMEM (intra-node) that the foMPI protocols in
+// internal/core are layered on. Ranks are goroutines in a single address
+// space; each rank registers memory regions that other ranks address by
+// (rank, key, offset) and accesses with put, get, and 8-byte atomic memory
+// operations, each available with blocking, explicit-nonblocking (handle),
+// and implicit-nonblocking (bulk gsync) completion — exactly DMAPP's
+// contract. There is no remote software agent: the target CPU is never
+// involved in any operation.
+//
+// Besides moving real bytes, every operation advances the issuing rank's
+// virtual clock according to a calibrated cost model, and stamps the written
+// words with the operation's virtual completion time so that polling ranks
+// merge time causally (see DESIGN.md §6).
+package simnet
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fompi/internal/timing"
+)
+
+// Key identifies a registered memory region within its owner rank.
+type Key uint32
+
+// Addr names one byte of remote memory.
+type Addr struct {
+	Rank int
+	Key  Key
+	Off  int
+}
+
+// Add returns a copy of a displaced by n bytes.
+func (a Addr) Add(n int) Addr { a.Off += n; return a }
+
+// node is the per-rank fabric state: the registered-region table, the NIC
+// occupancy used for bandwidth/incast modelling, and the waiter doorbell.
+type node struct {
+	mu      sync.RWMutex
+	regions map[Key]*Region
+	nextKey Key
+
+	// NIC busy interval [nicStart, nicBusy) in virtual time (see reserveNIC).
+	nicMu    sync.Mutex
+	nicStart int64
+	nicBusy  int64
+
+	doorMu  sync.Mutex
+	doorGen uint64
+	door    *sync.Cond
+}
+
+func (nd *node) notify() {
+	nd.doorMu.Lock()
+	nd.doorGen++
+	nd.door.Broadcast()
+	nd.doorMu.Unlock()
+}
+
+// Fabric connects n ranks arranged as nodes of ranksPerNode consecutive
+// ranks. It is shared by all transport layers (foMPI, PGAS baselines, MPI-1)
+// so that comparisons run over identical hardware.
+type Fabric struct {
+	n            int
+	ranksPerNode int
+	nodes        []*node
+	aborted      atomic.Bool
+	abortOnce    sync.Once
+	done         chan struct{}
+
+	hookMu     sync.Mutex
+	abortHooks []func()
+
+	// Conservative pacing (SetPacing): per-rank published clocks and a
+	// progress generation counter.
+	paceWindow int64
+	paceClocks []int64
+	paceGen    atomic.Uint64
+}
+
+// ErrAborted is the panic value delivered to goroutines blocked in fabric
+// waits when Abort tears the fabric down (e.g. after a peer rank panicked).
+var ErrAborted = fmt.Errorf("simnet: fabric aborted")
+
+// Abort marks the fabric dead and wakes every blocked waiter; they unwind by
+// panicking with ErrAborted. Used to avoid deadlock when one rank fails.
+func (f *Fabric) Abort() {
+	f.aborted.Store(true)
+	f.abortOnce.Do(func() { close(f.done) })
+	f.hookMu.Lock()
+	hooks := append([]func(){}, f.abortHooks...)
+	f.hookMu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+	for _, nd := range f.nodes {
+		nd.notify()
+	}
+}
+
+// SetPacing bounds the virtual-clock divergence between ranks to window
+// nanoseconds: before issuing a fabric operation, a rank whose clock runs
+// more than window ahead of the slowest published clock yields until the
+// laggards catch up. Execution otherwise follows real goroutine scheduling,
+// so a rank that races far ahead in real time stamps shared words with
+// far-future virtual times, and contended-word workloads (hashtable CAS
+// chains, DSDE counters) inherit host-scheduler noise as virtual-time
+// jumps. Pacing makes the interleaving approximate virtual-time order.
+// window 0 disables pacing (the default: uncontended microbenchmarks do
+// not need it). A stall detector keeps pacing deadlock-free: if nothing in
+// the world makes progress while a rank is pace-blocked, it proceeds.
+func (f *Fabric) SetPacing(window int64) { f.paceWindow = window }
+
+// PaceWindow returns the configured pacing window.
+func (f *Fabric) PaceWindow() int64 { return f.paceWindow }
+
+// publishClock records a rank's virtual clock for pacing and signals
+// progress.
+func (f *Fabric) publishClock(rank int, t timing.Time) {
+	if f.paceWindow == 0 {
+		return
+	}
+	atomic.StoreInt64(&f.paceClocks[rank], int64(t))
+	f.paceGen.Add(1)
+}
+
+// pace blocks rank (by yielding) while its clock is more than the pacing
+// window ahead of the slowest published clock.
+func (f *Fabric) pace(rank int, t timing.Time) {
+	if f.paceWindow == 0 {
+		return
+	}
+	f.publishClock(rank, t)
+	me := int64(t)
+	var lastGen uint64
+	stall := 0
+	for {
+		min := int64(1) << 62
+		for i := range f.paceClocks {
+			if c := atomic.LoadInt64(&f.paceClocks[i]); c < min {
+				min = c
+			}
+		}
+		if me <= min+f.paceWindow || f.aborted.Load() {
+			return
+		}
+		if g := f.paceGen.Load(); g == lastGen {
+			if stall++; stall > 2000 {
+				return // nothing else is progressing: do not deadlock
+			}
+		} else {
+			lastGen, stall = g, 0
+		}
+		runtime.Gosched()
+	}
+}
+
+// Aborted reports whether the fabric has been torn down.
+func (f *Fabric) Aborted() bool { return f.aborted.Load() }
+
+// Done returns a channel closed when the fabric aborts; layers blocked on
+// their own channels select on it to unwind instead of deadlocking.
+func (f *Fabric) Done() <-chan struct{} { return f.done }
+
+// OnAbort registers fn to run when the fabric aborts (layers with private
+// condition variables use it to wake their waiters). If the fabric already
+// aborted, fn runs immediately.
+func (f *Fabric) OnAbort(fn func()) {
+	f.hookMu.Lock()
+	f.abortHooks = append(f.abortHooks, fn)
+	f.hookMu.Unlock()
+	if f.aborted.Load() {
+		fn()
+	}
+}
+
+// NewFabric creates a fabric for n ranks with the given node width.
+func NewFabric(n, ranksPerNode int) *Fabric {
+	if n <= 0 {
+		panic("simnet: fabric needs at least one rank")
+	}
+	if ranksPerNode <= 0 {
+		ranksPerNode = 1
+	}
+	f := &Fabric{
+		n: n, ranksPerNode: ranksPerNode, nodes: make([]*node, n),
+		done: make(chan struct{}), paceClocks: make([]int64, n),
+	}
+	for i := range f.nodes {
+		nd := &node{regions: make(map[Key]*Region)}
+		nd.door = sync.NewCond(&nd.doorMu)
+		f.nodes[i] = nd
+	}
+	return f
+}
+
+// Size returns the number of ranks.
+func (f *Fabric) Size() int { return f.n }
+
+// RanksPerNode returns the node width.
+func (f *Fabric) RanksPerNode() int { return f.ranksPerNode }
+
+// NodeOf returns the node index hosting rank r.
+func (f *Fabric) NodeOf(r int) int { return r / f.ranksPerNode }
+
+// SameNode reports whether ranks a and b share a node (XPMEM reachable).
+func (f *Fabric) SameNode(a, b int) bool { return f.NodeOf(a) == f.NodeOf(b) }
+
+// register installs a region owned by rank and returns its key.
+func (f *Fabric) register(rank int, reg *Region) Key {
+	nd := f.nodes[rank]
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	k := nd.nextKey
+	nd.nextKey++
+	reg.key = k
+	nd.regions[k] = reg
+	return k
+}
+
+// unregister removes a region; subsequent accesses panic, modelling a DMAPP
+// memory-registration fault.
+func (f *Fabric) unregister(rank int, k Key) {
+	nd := f.nodes[rank]
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	delete(nd.regions, k)
+}
+
+// region resolves an address to its registered region.
+func (f *Fabric) region(a Addr) *Region {
+	if a.Rank < 0 || a.Rank >= f.n {
+		panic(fmt.Sprintf("simnet: address names rank %d outside fabric of %d", a.Rank, f.n))
+	}
+	nd := f.nodes[a.Rank]
+	nd.mu.RLock()
+	reg := nd.regions[a.Key]
+	nd.mu.RUnlock()
+	if reg == nil {
+		panic(fmt.Sprintf("simnet: access to unregistered region (rank %d key %d)", a.Rank, a.Key))
+	}
+	return reg
+}
+
+// reserveNIC reserves the target rank's NIC for xfer virtual nanoseconds
+// starting no earlier than arrival, and returns the transfer's completion
+// time. This serializes concurrent senders into one target (incast).
+//
+// Reservations are made in real execution order, which need not match
+// virtual arrival order: a goroutine that runs ahead in real time may book
+// late-virtual-time transfers before a slower goroutine books a
+// virtually-earlier one. The NIC therefore tracks its current busy interval
+// [nicStart, nicBusy): an arrival that overlaps the interval queues behind
+// it (true incast — colliding senders serialize), while a transfer that
+// ends before the interval even starts is served in the idle time its tardy
+// booking left behind. Without the hole-serving rule, scheduler noise would
+// queue microsecond-scale flag updates behind unrelated future bulk traffic
+// and distort every synchronization latency.
+func (f *Fabric) reserveNIC(rank int, arrival timing.Time, xfer int64) timing.Time {
+	nd := f.nodes[rank]
+	a := int64(arrival)
+	nd.nicMu.Lock()
+	defer nd.nicMu.Unlock()
+	switch {
+	case a >= nd.nicBusy:
+		// NIC idle at arrival: start a fresh busy interval.
+		nd.nicStart, nd.nicBusy = a, a+xfer
+	case a+xfer <= nd.nicStart:
+		// Entirely before the booked interval: the NIC was idle then.
+		return timing.Time(a + xfer)
+	default:
+		// Overlaps the busy interval: queue behind it.
+		nd.nicBusy += xfer
+	}
+	return timing.Time(nd.nicBusy)
+}
+
+// waitDoor blocks until rank's doorbell generation exceeds gen, i.e. until
+// some fabric operation has modified that rank's memory. It returns the new
+// generation.
+func (f *Fabric) waitDoor(rank int, gen uint64) uint64 {
+	nd := f.nodes[rank]
+	nd.doorMu.Lock()
+	for nd.doorGen == gen && !f.aborted.Load() {
+		nd.door.Wait()
+	}
+	g := nd.doorGen
+	nd.doorMu.Unlock()
+	if f.aborted.Load() && g == gen {
+		panic(ErrAborted)
+	}
+	return g
+}
+
+// doorGen samples rank's doorbell generation.
+func (f *Fabric) doorGenOf(rank int) uint64 {
+	nd := f.nodes[rank]
+	nd.doorMu.Lock()
+	g := nd.doorGen
+	nd.doorMu.Unlock()
+	return g
+}

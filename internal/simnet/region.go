@@ -1,0 +1,67 @@
+package simnet
+
+import (
+	"fmt"
+
+	"fompi/internal/hostatomic"
+	"fompi/internal/timing"
+)
+
+// Region is a registered memory segment: the DMAPP/XPMEM equivalent of a
+// memory registration. Remote ranks address it by (owner, key, offset);
+// the owner may also access Bytes directly (its own virtual address space).
+type Region struct {
+	owner  int
+	key    Key
+	buf    []byte
+	stamps *timing.Stamps
+}
+
+// Owner returns the owning rank.
+func (r *Region) Owner() int { return r.owner }
+
+// Key returns the fabric key other ranks use to address this region.
+func (r *Region) Key() Key { return r.key }
+
+// Size returns the registered length in bytes.
+func (r *Region) Size() int { return len(r.buf) }
+
+// Bytes exposes the backing memory to its owner (local load/store access).
+// Remote ranks must go through Endpoint operations.
+func (r *Region) Bytes() []byte { return r.buf }
+
+// Base returns the address of the first byte of the region.
+func (r *Region) Base() Addr { return Addr{Rank: r.owner, Key: r.key} }
+
+// check panics when [off, off+n) exceeds the registration, modelling a
+// remote-memory protection fault.
+func (r *Region) check(off, n int) {
+	if off < 0 || n < 0 || off+n > len(r.buf) {
+		panic(fmt.Sprintf("simnet: access [%d,%d) outside region of %d bytes (rank %d key %d)",
+			off, off+n, len(r.buf), r.owner, r.key))
+	}
+}
+
+// atomicLoad reads the 8-byte word at off with a single linearization point.
+func (r *Region) atomicLoad(off int) uint64 {
+	r.check(off, 8)
+	return hostatomic.Load(r.buf, off)
+}
+
+// StampMax returns the latest virtual completion stamp in [off, off+n).
+// The owner uses it to merge time after a successful local poll.
+func (r *Region) StampMax(off, n int) timing.Time { return r.stamps.MaxRange(off, n) }
+
+// LocalWord reads the 8-byte word at off atomically without advancing any
+// clock; owners use it inside poll predicates.
+func (r *Region) LocalWord(off int) uint64 { return r.atomicLoad(off) }
+
+// LocalWordStore writes the 8-byte word at off atomically, stamping it with
+// the owner's time t. It models a local store to exposed memory (free on the
+// wire, but it must be stamped so remote pollers merge time correctly).
+// Remote ranks must not call this.
+func (r *Region) LocalWordStore(off int, v uint64, t timing.Time) {
+	r.check(off, 8)
+	hostatomic.Store(r.buf, off, v)
+	r.stamps.Set(off, t)
+}

@@ -1,0 +1,293 @@
+package spmd
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"fompi/internal/timing"
+)
+
+func TestRunSpawnsAllRanks(t *testing.T) {
+	var count int64
+	err := Run(Config{Ranks: 17}, func(p *Proc) {
+		atomic.AddInt64(&count, 1)
+		if p.Size() != 17 {
+			t.Errorf("Size = %d", p.Size())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 17 {
+		t.Fatalf("ran %d ranks, want 17", count)
+	}
+}
+
+func TestRunPropagatesPanic(t *testing.T) {
+	err := Run(Config{Ranks: 8}, func(p *Proc) {
+		if p.Rank() == 3 {
+			panic("boom")
+		}
+		p.Barrier() // the others block; abort must free them
+	})
+	if err == nil || !errors.Is(err, err) || err.Error() != "rank 3 panicked: boom" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNodePlacement(t *testing.T) {
+	err := Run(Config{Ranks: 8, RanksPerNode: 4}, func(p *Proc) {
+		if want := p.Rank() / 4; p.Node() != want {
+			t.Errorf("rank %d on node %d, want %d", p.Rank(), p.Node(), want)
+		}
+		if p.SameNode((p.Rank() + 4) % 8) {
+			t.Errorf("rank %d should not share a node with rank %d", p.Rank(), (p.Rank()+4)%8)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 8, 16, 33} {
+		var phase int64
+		err := Run(Config{Ranks: n, RanksPerNode: 4}, func(p *Proc) {
+			atomic.AddInt64(&phase, 1)
+			p.Barrier()
+			if got := atomic.LoadInt64(&phase); got != int64(n) {
+				t.Errorf("n=%d rank %d: saw phase %d after barrier", n, p.Rank(), got)
+			}
+			p.Barrier()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBarrierVirtualTimeGrowsLogP(t *testing.T) {
+	lat := func(n int) timing.Time {
+		var worst int64
+		MustRun(Config{Ranks: n, RanksPerNode: 1}, func(p *Proc) {
+			p.Barrier() // warm up, align clocks
+			start := p.Now()
+			p.Barrier()
+			hostatomicMax(&worst, int64(p.Now()-start))
+		})
+		return timing.Time(worst)
+	}
+	t4, t64 := lat(4), lat(64)
+	if t64 <= t4 {
+		t.Fatalf("barrier time must grow with p: %v (p=4) vs %v (p=64)", t4, t64)
+	}
+	// log2(64)/log2(4) = 3; allow generous slack but reject linear growth (16x).
+	if float64(t64)/float64(t4) > 8 {
+		t.Fatalf("barrier growth looks super-logarithmic: %v -> %v", t4, t64)
+	}
+}
+
+func hostatomicMax(p *int64, v int64) {
+	for {
+		c := atomic.LoadInt64(p)
+		if v <= c || atomic.CompareAndSwapInt64(p, c, v) {
+			return
+		}
+	}
+}
+
+func TestBcast8AllRoots(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 8, 13, 32} {
+		err := Run(Config{Ranks: n, RanksPerNode: 4}, func(p *Proc) {
+			for root := 0; root < n; root++ {
+				var v uint64
+				if p.Rank() == root {
+					v = uint64(root)*1000 + 7
+				}
+				got := p.Bcast8(root, v)
+				if got != uint64(root)*1000+7 {
+					t.Errorf("n=%d root=%d rank=%d: got %d", n, root, p.Rank(), got)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAllreduce8Ops(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 6, 8, 16, 31} {
+		err := Run(Config{Ranks: n, RanksPerNode: 4}, func(p *Proc) {
+			r := uint64(p.Rank())
+			if got, want := p.Allreduce8(OpSum, r+1), uint64(n*(n+1)/2); got != want {
+				t.Errorf("n=%d sum: got %d want %d", n, got, want)
+			}
+			if got := p.Allreduce8(OpMin, r+5); got != 5 {
+				t.Errorf("n=%d min: got %d", n, got)
+			}
+			if got, want := p.Allreduce8(OpMax, r), uint64(n-1); got != want {
+				t.Errorf("n=%d max: got %d want %d", n, got, want)
+			}
+			if got := p.Allreduce8(OpBor, uint64(1)<<(p.Rank()%60)); got == 0 {
+				t.Errorf("n=%d bor: got 0", n)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAllreduceFloatSum(t *testing.T) {
+	const n = 9
+	err := Run(Config{Ranks: n}, func(p *Proc) {
+		v := math.Float64bits(0.5 * float64(p.Rank()+1))
+		got := math.Float64frombits(p.Allreduce8(OpFSum, v))
+		want := 0.5 * float64(n*(n+1)/2)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("fsum: got %g want %g", got, want)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 17} {
+		err := Run(Config{Ranks: n, RanksPerNode: 4}, func(p *Proc) {
+			mine := []byte(fmt.Sprintf("rank-%03d", p.Rank()))
+			all := p.Allgather(mine)
+			for r := 0; r < n; r++ {
+				want := fmt.Sprintf("rank-%03d", r)
+				if got := string(all[r*8 : r*8+8]); got != want {
+					t.Errorf("n=%d rank %d block %d: %q != %q", n, p.Rank(), r, got, want)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 9, 16} {
+		err := Run(Config{Ranks: n, RanksPerNode: 4}, func(p *Proc) {
+			send := make([]byte, n*8)
+			for j := 0; j < n; j++ {
+				binary.LittleEndian.PutUint64(send[j*8:], uint64(p.Rank()*1000+j))
+			}
+			got := p.Alltoall(send, 8)
+			for i := 0; i < n; i++ {
+				want := uint64(i*1000 + p.Rank())
+				if v := binary.LittleEndian.Uint64(got[i*8:]); v != want {
+					t.Errorf("n=%d rank %d from %d: got %d want %d", n, p.Rank(), i, v, want)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestReduceScatterSum(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 6, 12} { // pow2 and fallback paths
+		err := Run(Config{Ranks: n, RanksPerNode: 4}, func(p *Proc) {
+			vec := make([]uint64, n)
+			for i := range vec {
+				vec[i] = uint64(p.Rank()*i + 1)
+			}
+			got := p.ReduceScatterSum(vec)
+			var want uint64
+			for r := 0; r < n; r++ {
+				want += uint64(r*p.Rank() + 1)
+			}
+			if got != want {
+				t.Errorf("n=%d rank %d: got %d want %d", n, p.Rank(), got, want)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCollectivesComposeRepeatedly(t *testing.T) {
+	// Interleaving different collectives many times must not corrupt the
+	// shared scratch region (seq-number isolation).
+	const n = 8
+	err := Run(Config{Ranks: n, RanksPerNode: 2}, func(p *Proc) {
+		rng := rand.New(rand.NewSource(99)) // same stream on all ranks
+		for i := 0; i < 50; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				p.Barrier()
+			case 1:
+				root := rng.Intn(n)
+				want := uint64(i*31 + root)
+				v := uint64(0)
+				if p.Rank() == root {
+					v = want
+				}
+				if got := p.Bcast8(root, v); got != want {
+					t.Errorf("iter %d bcast: got %d want %d", i, got, want)
+				}
+			case 2:
+				if got, want := p.Allreduce8(OpSum, 1), uint64(n); got != want {
+					t.Errorf("iter %d allreduce: got %d want %d", i, got, want)
+				}
+			case 3:
+				all := p.Allgather([]byte{byte(p.Rank())})
+				for r := 0; r < n; r++ {
+					if all[r] != byte(r) {
+						t.Errorf("iter %d allgather: block %d = %d", i, r, all[r])
+					}
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyAllreduceMatchesSequential(t *testing.T) {
+	err := quick.Check(func(vals []uint16, opSel uint8) bool {
+		if len(vals) == 0 || len(vals) > 12 {
+			return true
+		}
+		op := []Op{OpSum, OpMin, OpMax, OpBand, OpBor}[int(opSel)%5]
+		want := uint64(vals[0])
+		for _, v := range vals[1:] {
+			want = op.Apply(want, uint64(v))
+		}
+		ok := true
+		MustRun(Config{Ranks: len(vals), RanksPerNode: 3}, func(p *Proc) {
+			if got := p.Allreduce8(op, uint64(vals[p.Rank()])); got != want {
+				ok = false
+			}
+		})
+		return ok
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScratchOverflowPanics(t *testing.T) {
+	err := Run(Config{Ranks: 4, ScratchBytes: 1024}, func(p *Proc) {
+		p.Allgather(make([]byte, 4096))
+	})
+	if err == nil {
+		t.Fatal("oversized allgather must fail")
+	}
+}

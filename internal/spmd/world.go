@@ -1,0 +1,146 @@
+// Package spmd runs single-program-multiple-data rank programs over the
+// simulated fabric: the stand-in for the job launcher plus the process
+// runtime that foMPI inherits from Cray MPI. Each rank is a goroutine with a
+// fabric endpoint, a scratch region for the built-in collectives, and its
+// own virtual clock. Collectives (dissemination barrier, binomial broadcast,
+// recursive-doubling allreduce, ring allgather, ...) are implemented with
+// one-sided fabric operations so their virtual cost is whatever the executed
+// communication pattern costs — O(log p) rounds, not a formula.
+package spmd
+
+import (
+	"fmt"
+	"sync"
+
+	"fompi/internal/simnet"
+	"fompi/internal/timing"
+)
+
+// Config describes a world: the rank count, node width, the cost model of
+// the transport layer under test, and the scratch bytes reserved per rank
+// for collective payloads.
+type Config struct {
+	Ranks        int
+	RanksPerNode int
+	Model        *simnet.CostModel
+	ScratchBytes int
+	// PaceWindowNs bounds virtual-clock divergence between ranks (see
+	// simnet.Fabric.SetPacing); 0 disables pacing.
+	PaceWindowNs int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Ranks <= 0 {
+		c.Ranks = 1
+	}
+	if c.RanksPerNode <= 0 {
+		c.RanksPerNode = 1
+	}
+	if c.Model == nil {
+		c.Model = simnet.FoMPI()
+	}
+	if c.ScratchBytes <= 0 {
+		c.ScratchBytes = 1 << 20
+	}
+	return c
+}
+
+// World is the shared state of one SPMD run.
+type World struct {
+	cfg     Config
+	fab     *simnet.Fabric
+	scratch []*simnet.Region // per-rank collective scratch, fabric key 0
+}
+
+// Proc is one rank's handle: its endpoint, scratch region, and collective
+// sequence state. A Proc is confined to its rank's goroutine.
+type Proc struct {
+	world *World
+	rank  int
+	ep    *simnet.Endpoint
+	seq   uint64 // collective invocation number; identical across ranks
+}
+
+// Run launches cfg.Ranks rank goroutines executing body and waits for all of
+// them. If any rank panics, the fabric is aborted (unblocking the others)
+// and the first panic is returned as an error.
+func Run(cfg Config, body func(*Proc)) error {
+	w, procs := NewWorld(cfg)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for r := 0; r < w.cfg.Ranks; r++ {
+		wg.Add(1)
+		go func(p *Proc) {
+			defer wg.Done()
+			defer func() {
+				if e := recover(); e != nil {
+					mu.Lock()
+					if firstErr == nil && e != simnet.ErrAborted {
+						firstErr = fmt.Errorf("rank %d panicked: %v", p.rank, e)
+					}
+					mu.Unlock()
+					w.fab.Abort()
+				}
+			}()
+			body(p)
+		}(procs[r])
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// MustRun is Run but panics on error; benchmarks and examples use it.
+func MustRun(cfg Config, body func(*Proc)) {
+	if err := Run(cfg, body); err != nil {
+		panic(err)
+	}
+}
+
+// NewWorld builds the fabric and per-rank procs without spawning goroutines;
+// tests that need direct control use it.
+func NewWorld(cfg Config) (*World, []*Proc) {
+	cfg = cfg.withDefaults()
+	w := &World{cfg: cfg, fab: simnet.NewFabric(cfg.Ranks, cfg.RanksPerNode)}
+	w.fab.SetPacing(cfg.PaceWindowNs)
+	w.scratch = make([]*simnet.Region, cfg.Ranks)
+	procs := make([]*Proc, cfg.Ranks)
+	for r := 0; r < cfg.Ranks; r++ {
+		p := &Proc{world: w, rank: r, ep: w.fab.Endpoint(r, cfg.Model)}
+		w.scratch[r] = p.ep.Register(hdrBytes + cfg.ScratchBytes)
+		procs[r] = p
+	}
+	return w, procs
+}
+
+// Rank returns this proc's rank in [0, Size).
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the number of ranks in the world.
+func (p *Proc) Size() int { return p.world.cfg.Ranks }
+
+// Node returns the node index hosting this rank.
+func (p *Proc) Node() int { return p.world.fab.NodeOf(p.rank) }
+
+// SameNode reports whether peer shares this rank's node.
+func (p *Proc) SameNode(peer int) bool { return p.world.fab.SameNode(p.rank, peer) }
+
+// EP exposes the rank's fabric endpoint to protocol layers.
+func (p *Proc) EP() *simnet.Endpoint { return p.ep }
+
+// Fabric returns the shared fabric (for layers that open extra endpoints,
+// e.g. baselines measured over the same hardware).
+func (p *Proc) Fabric() *simnet.Fabric { return p.world.fab }
+
+// Now returns the rank's virtual clock.
+func (p *Proc) Now() timing.Time { return p.ep.Now() }
+
+// Compute charges ns nanoseconds of local computation.
+func (p *Proc) Compute(ns int64) { p.ep.Compute(ns) }
+
+// scratchOf returns the collective scratch region of rank r.
+func (p *Proc) scratchOf(r int) *simnet.Region { return p.world.scratch[r] }
+
+// ScratchRegion exposes the rank's collective scratch region
+// (instrumentation and tests).
+func (p *Proc) ScratchRegion() *simnet.Region { return p.world.scratch[p.rank] }

@@ -1,0 +1,81 @@
+// Package timing provides the virtual-time primitives used by the simulated
+// RDMA fabric. Every rank carries a logical clock (nanoseconds); remote
+// memory words carry shadow timestamps so that causality (poll-until-flag,
+// lock hand-off, counters) merges clocks deterministically regardless of the
+// host's real scheduling. See DESIGN.md §6.
+package timing
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Time is a virtual-time instant in nanoseconds since program start.
+type Time int64
+
+// FromDuration converts a wall-clock duration into a virtual duration.
+func FromDuration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Duration converts a virtual instant/interval back to a time.Duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Micros reports t in microseconds as a float, the unit used by the paper's
+// latency figures.
+func (t Time) Micros() float64 { return float64(t) / 1e3 }
+
+// Max returns the later of a and b.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Stamps tracks one shadow timestamp per 8-byte-aligned word of a registered
+// memory region. All accesses are atomic: stamps are written by remote ranks
+// concurrently with owner reads.
+type Stamps struct {
+	w []int64
+}
+
+// NewStamps creates shadow timestamps covering size bytes.
+func NewStamps(size int) *Stamps {
+	return &Stamps{w: make([]int64, (size+7)/8)}
+}
+
+// Set records that the word containing byte offset off was written by an
+// operation completing at t.
+func (s *Stamps) Set(off int, t Time) {
+	atomic.StoreInt64(&s.w[off/8], int64(t))
+}
+
+// SetRange stamps every word overlapping [off, off+n) with completion time t.
+func (s *Stamps) SetRange(off, n int, t Time) {
+	if n <= 0 {
+		return
+	}
+	first, last := off/8, (off+n-1)/8
+	for i := first; i <= last; i++ {
+		atomic.StoreInt64(&s.w[i], int64(t))
+	}
+}
+
+// Get returns the stamp of the word containing byte offset off.
+func (s *Stamps) Get(off int) Time {
+	return Time(atomic.LoadInt64(&s.w[off/8]))
+}
+
+// MaxRange returns the latest stamp of any word overlapping [off, off+n).
+func (s *Stamps) MaxRange(off, n int) Time {
+	if n <= 0 {
+		return 0
+	}
+	var m int64
+	first, last := off/8, (off+n-1)/8
+	for i := first; i <= last; i++ {
+		if v := atomic.LoadInt64(&s.w[i]); v > m {
+			m = v
+		}
+	}
+	return Time(m)
+}

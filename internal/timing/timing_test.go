@@ -1,0 +1,75 @@
+package timing
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestConversions(t *testing.T) {
+	if FromDuration(3*time.Microsecond) != 3000 {
+		t.Fatal("FromDuration")
+	}
+	if Time(1500).Duration() != 1500*time.Nanosecond {
+		t.Fatal("Duration")
+	}
+	if Time(2500).Micros() != 2.5 {
+		t.Fatal("Micros")
+	}
+}
+
+func TestMax(t *testing.T) {
+	if Max(3, 7) != 7 || Max(7, 3) != 7 || Max(5, 5) != 5 {
+		t.Fatal("Max")
+	}
+}
+
+func TestStampsSetGet(t *testing.T) {
+	s := NewStamps(64)
+	s.Set(8, 100)
+	s.Set(16, 50)
+	if s.Get(8) != 100 || s.Get(16) != 50 || s.Get(24) != 0 {
+		t.Fatal("point stamps")
+	}
+	if s.MaxRange(0, 64) != 100 {
+		t.Fatal("max over range")
+	}
+}
+
+func TestStampsSetRangeCoversPartialWords(t *testing.T) {
+	s := NewStamps(64)
+	s.SetRange(4, 8, 77) // straddles words 0 and 1
+	if s.MaxRange(0, 8) != 77 || s.MaxRange(8, 8) != 77 {
+		t.Fatal("straddling range must stamp both words")
+	}
+	if s.MaxRange(16, 8) != 0 {
+		t.Fatal("untouched word stamped")
+	}
+}
+
+func TestStampsMonotoneUnderOverlappingWrites(t *testing.T) {
+	// Property: MaxRange never decreases as later (higher) stamps land.
+	f := func(offs []uint8, stamps []uint16) bool {
+		s := NewStamps(256)
+		var hi Time
+		n := len(offs)
+		if len(stamps) < n {
+			n = len(stamps)
+		}
+		for i := 0; i < n; i++ {
+			off := int(offs[i]) % 31 * 8
+			st := Time(stamps[i])
+			if st > hi {
+				hi = st
+			}
+			s.Set(off, st)
+			if s.MaxRange(0, 256) > hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,138 @@
+package wordcoll
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"fompi/internal/simnet"
+)
+
+// world builds n rank goroutines with wordcoll groups over a fresh fabric
+// and runs body on each.
+func world(n int, body func(g Group)) {
+	fab := simnet.NewFabric(n, 4)
+	regs := make([]*simnet.Region, n)
+	eps := make([]*simnet.Endpoint, n)
+	for r := 0; r < n; r++ {
+		eps[r] = fab.Endpoint(r, simnet.FoMPI())
+		regs[r] = eps[r].Register(HdrBytes)
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			seq := uint64(0)
+			body(Group{EP: eps[r], Reg: regs[r], Key: regs[r].Key(), Base: 0,
+				Rank: r, Size: n, Seq: &seq})
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestBarrierAllSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 16, 33} {
+		var entered int64
+		var mu sync.Mutex
+		world(n, func(g Group) {
+			mu.Lock()
+			entered++
+			mu.Unlock()
+			g.Barrier()
+			mu.Lock()
+			if entered != int64(n) {
+				t.Errorf("n=%d: rank %d passed barrier with %d entries", n, g.Rank, entered)
+			}
+			mu.Unlock()
+			g.Barrier()
+		})
+	}
+}
+
+func TestAllreduceAllOps(t *testing.T) {
+	for _, n := range []int{2, 3, 7, 8, 16} {
+		world(n, func(g Group) {
+			if got, want := g.Allreduce8(OpSum, uint64(g.Rank)+1), uint64(n*(n+1)/2); got != want {
+				t.Errorf("n=%d sum: got %d want %d", n, got, want)
+			}
+			if got := g.Allreduce8(OpMin, uint64(g.Rank)+3); got != 3 {
+				t.Errorf("n=%d min: got %d", n, got)
+			}
+			if got, want := g.Allreduce8(OpMax, uint64(g.Rank)), uint64(n-1); got != want {
+				t.Errorf("n=%d max: got %d want %d", n, got, want)
+			}
+			if got := g.FAllreduce(0.5); math.Abs(got-0.5*float64(n)) > 1e-9 {
+				t.Errorf("n=%d fsum: got %g", n, got)
+			}
+		})
+	}
+}
+
+func TestBcastRotatingRoots(t *testing.T) {
+	const n = 9
+	world(n, func(g Group) {
+		for root := 0; root < n; root++ {
+			v := uint64(0)
+			if g.Rank == root {
+				v = uint64(root*100 + 7)
+			}
+			if got := g.Bcast8(root, v); got != uint64(root*100+7) {
+				t.Errorf("root %d rank %d: got %d", root, g.Rank, got)
+			}
+		}
+	})
+}
+
+func TestInterleavedCollectivesStress(t *testing.T) {
+	// Many back-to-back collectives exercise the parity double-buffering:
+	// without it, a rank racing one invocation ahead corrupts values.
+	const n = 8
+	world(n, func(g Group) {
+		for i := 0; i < 200; i++ {
+			if got, want := g.Allreduce8(OpSum, 1), uint64(n); got != want {
+				t.Errorf("iter %d: got %d want %d", i, got, want)
+				return
+			}
+		}
+	})
+}
+
+func TestOpApplyProperties(t *testing.T) {
+	// All operators are commutative and associative — the property that
+	// makes recursive doubling correct regardless of combine order.
+	f := func(a, b, c uint64, sel uint8) bool {
+		op := []Op{OpSum, OpMin, OpMax, OpBand, OpBor}[int(sel)%5]
+		if op.Apply(a, b) != op.Apply(b, a) {
+			return false
+		}
+		return op.Apply(op.Apply(a, b), c) == op.Apply(a, op.Apply(b, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceMatchesSequentialProperty(t *testing.T) {
+	f := func(vals []uint32, sel uint8) bool {
+		if len(vals) < 2 || len(vals) > 10 {
+			return true
+		}
+		op := []Op{OpSum, OpMin, OpMax, OpBand, OpBor}[int(sel)%5]
+		want := uint64(vals[0])
+		for _, v := range vals[1:] {
+			want = op.Apply(want, uint64(v))
+		}
+		ok := true
+		world(len(vals), func(g Group) {
+			if got := g.Allreduce8(op, uint64(vals[g.Rank])); got != want {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
