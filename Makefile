@@ -1,0 +1,20 @@
+.PHONY: verify build test race bench
+
+# verify is the tier-1 gate: vet + build + full tests + short-mode race pass
+# over the concurrency-heavy packages (see scripts/verify.sh).
+verify:
+	sh scripts/verify.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race -short ./internal/simnet/ ./internal/core/ ./internal/spmd/
+
+# bench regenerates every experiment quickly; see EXPERIMENTS.md for the
+# full sweeps.
+bench:
+	go run ./cmd/fompi-bench -exp all

@@ -22,6 +22,17 @@
 //		_ = mem
 //	})
 //
+// Beyond the SC'13 protocols, the library implements notified access (the
+// foMPI-NA extension of Belli & Hoefler, IPDPS'15): Win.PutNotify and
+// Win.GetNotify move data like Put/Get but additionally deposit a tagged
+// notification in the target's bounded per-window ring once the data has
+// landed, and the target consumes it with Win.WaitNotify / Win.TestNotify —
+// a single-word local poll, with no fence, PSCW, or lock epoch on the
+// consumer's critical path. Win.Notify sends a bare tag (credit/doorbell for
+// pipelined protocols). Tags are 31-bit; WinConfig.MaxNotify bounds the ring
+// and the unmatched list, and overflow faults loudly, consistent with the
+// paper's bounded-buffer discipline.
+//
 // Every operation advances a per-rank virtual clock calibrated to the
 // paper's Cray XE6 (Gemini) measurements; p.Now() reads it, so latency
 // studies are reproducible on any host. See DESIGN.md and EXPERIMENTS.md.

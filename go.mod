@@ -1,0 +1,3 @@
+module fompi
+
+go 1.24

@@ -1,0 +1,284 @@
+// Package stencil is the workload the notified-access extension exists for:
+// a 2-D Jacobi heat stencil with a 1-D row decomposition whose halo exchange
+// is implemented two ways over identical arithmetic —
+//
+//   - Fence: the MPI-3 active-target baseline. Every iteration closes two
+//     full MPI_Win_fence epochs (one to complete the halo puts, one to keep
+//     neighbors from overwriting a halo that is still being read), paying
+//     2×O(log p) collective synchronization per sweep.
+//   - Notified: the foMPI-NA pipeline. Halos travel as PutNotify into
+//     double-buffered landing rows inside one lock_all epoch; the receiver
+//     consumes each halo with a tag-matched WaitNotify (a single-word local
+//     poll) and returns a credit Notify that frees the landing buffer two
+//     iterations later. No collective synchronization appears anywhere on
+//     the iteration's critical path.
+//
+// Both variants run the same sweeps over the same data, so their checksums
+// agree bit-for-bit; the virtual-time difference is pure synchronization.
+package stencil
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"fompi/internal/core"
+	"fompi/internal/spmd"
+	"fompi/internal/timing"
+)
+
+// Params configures one stencil solve.
+type Params struct {
+	// NX is the row width in cells (the exchanged halo is one row of NX
+	// float64s). Default 64.
+	NX int
+	// NY is the per-rank interior row count (weak scaling). Default 64.
+	NY int
+	// Iters is the number of Jacobi sweeps. Default 16.
+	Iters int
+	// NsPerCell calibrates the virtual compute cost of updating one cell.
+	// Default 2 ns (a handful of flops at node rate).
+	NsPerCell float64
+	// Seed varies the deterministic initial condition. Default 1.
+	Seed int64
+}
+
+func (p Params) withDefaults() Params {
+	if p.NX <= 0 {
+		p.NX = 64
+	}
+	if p.NY <= 0 {
+		p.NY = 64
+	}
+	if p.Iters <= 0 {
+		p.Iters = 16
+	}
+	if p.NsPerCell <= 0 {
+		p.NsPerCell = 2
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// Result is one rank's outcome.
+type Result struct {
+	Elapsed  timing.Time // virtual time of the full solve
+	Checksum float64     // global interior sum after the last sweep
+	Cells    int         // local interior cells
+}
+
+// initCell is the deterministic initial value at global coordinates (x, gy).
+func initCell(seed int64, x, gy int) float64 {
+	h := uint64(seed)*0x9e3779b97f4a7c15 + uint64(x)*0xbf58476d1ce4e5b9 + uint64(gy)*0x94d049bb133111eb
+	h ^= h >> 31
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return float64(int64(h>>11)) / float64(1<<52)
+}
+
+// grid is one rank's field storage: NY interior rows plus one ghost row on
+// each side, each row NX cells. Two copies for the Jacobi ping-pong.
+type grid struct {
+	Params
+	rank, ranks int
+	cur, next   []float64 // (NY+2)×NX
+}
+
+func newGrid(prm Params, rank, ranks int) *grid {
+	g := &grid{Params: prm, rank: rank, ranks: ranks,
+		cur:  make([]float64, (prm.NY+2)*prm.NX),
+		next: make([]float64, (prm.NY+2)*prm.NX)}
+	for y := 0; y < prm.NY+2; y++ {
+		gy := rank*prm.NY + y - 1 // ghost rows take the neighbor's coordinates
+		for x := 0; x < prm.NX; x++ {
+			g.cur[y*prm.NX+x] = initCell(prm.Seed, x, gy)
+		}
+	}
+	copy(g.next, g.cur)
+	return g
+}
+
+func (g *grid) row(buf []float64, y int) []float64 { return buf[y*g.NX : (y+1)*g.NX] }
+
+// sweep runs one Jacobi update of the interior (ghost rows and the first and
+// last columns are Dirichlet boundaries) and charges the virtual compute
+// cost. Global edge rows of the domain stay fixed too.
+func (g *grid) sweep(p *spmd.Proc) {
+	for y := 1; y <= g.NY; y++ {
+		gy := g.rank*g.NY + y - 1
+		if gy == 0 || gy == g.ranks*g.NY-1 {
+			copy(g.row(g.next, y), g.row(g.cur, y))
+			continue
+		}
+		for x := 1; x < g.NX-1; x++ {
+			i := y*g.NX + x
+			g.next[i] = 0.25 * (g.cur[i-g.NX] + g.cur[i+g.NX] + g.cur[i-1] + g.cur[i+1])
+		}
+	}
+	g.cur, g.next = g.next, g.cur
+	p.Compute(int64(g.NsPerCell * float64(g.NY*g.NX)))
+}
+
+// checksum folds the interior into one float64, reduced across ranks so all
+// variants can be compared bit-for-bit.
+func (g *grid) checksum(p *spmd.Proc) float64 {
+	var s float64
+	for y := 1; y <= g.NY; y++ {
+		for x := 0; x < g.NX; x++ {
+			s += g.cur[y*g.NX+x]
+		}
+	}
+	return math.Float64frombits(p.Allreduce8(spmd.OpFSum, math.Float64bits(s)))
+}
+
+// rowBytes converts a float64 row to its wire form inside the window.
+func putRow(dst []byte, src []float64) {
+	for i, v := range src {
+		binary.LittleEndian.PutUint64(dst[i*8:], math.Float64bits(v))
+	}
+}
+
+func getRow(dst []float64, src []byte) {
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[i*8:]))
+	}
+}
+
+// Window layout: four landing rows of NX cells each —
+// slot (parity*2 + side), side 0 = halo arriving from above, 1 = from below.
+// The fence variant uses parity 0 only.
+func slotOff(nx, parity, side int) int { return (parity*2 + side) * nx * 8 }
+
+// Notification tags: halo arrivals and buffer credits, keyed by the side the
+// *receiver* sees and the iteration parity.
+func tagHalo(side, parity int) uint32   { return uint32(side*2 + parity) }
+func tagCredit(side, parity int) uint32 { return uint32(4 + side*2 + parity) }
+
+// RunFence executes the solve with the double-fence halo exchange.
+func RunFence(p *spmd.Proc, prm Params) Result {
+	prm = prm.withDefaults()
+	g := newGrid(prm, p.Rank(), p.Size())
+	w, mem := core.Allocate(p, 4*prm.NX*8, core.Config{})
+	defer w.Free()
+	up, down := p.Rank()-1, p.Rank()+1
+	rowBuf := make([]byte, prm.NX*8)
+	p.Barrier()
+	t0 := p.Now()
+	w.Fence()
+	for it := 0; it < prm.Iters; it++ {
+		if up >= 0 { // my top interior row becomes up's from-below halo
+			putRow(rowBuf, g.row(g.cur, 1))
+			w.Put(rowBuf, up, slotOff(prm.NX, 0, 1))
+		}
+		if down < p.Size() {
+			putRow(rowBuf, g.row(g.cur, g.NY))
+			w.Put(rowBuf, down, slotOff(prm.NX, 0, 0))
+		}
+		w.Fence() // halos complete everywhere
+		if up >= 0 {
+			getRow(g.row(g.cur, 0), mem[slotOff(prm.NX, 0, 0):])
+		}
+		if down < p.Size() {
+			getRow(g.row(g.cur, g.NY+1), mem[slotOff(prm.NX, 0, 1):])
+		}
+		g.sweep(p)
+		w.Fence() // keep neighbors from clobbering rows still being read
+	}
+	el := p.Now() - t0
+	return Result{Elapsed: el, Checksum: g.checksum(p), Cells: prm.NX * prm.NY}
+}
+
+// RunNotify executes the solve with the notified-access pipeline: PutNotify
+// halos into parity-alternating landing rows, tag-matched WaitNotify on the
+// receive side, and credit Notify messages for flow control. One lock_all
+// epoch spans the whole solve.
+func RunNotify(p *spmd.Proc, prm Params) Result {
+	prm = prm.withDefaults()
+	g := newGrid(prm, p.Rank(), p.Size())
+	w, mem := core.Allocate(p, 4*prm.NX*8, core.Config{})
+	defer w.Free()
+	up, down := p.Rank()-1, p.Rank()+1
+	rowBuf := make([]byte, prm.NX*8)
+	p.Barrier()
+	t0 := p.Now()
+	w.LockAll()
+	for it := 0; it < prm.Iters; it++ {
+		q := it & 1
+		// A landing row of parity q is free again once its owner credited
+		// the consumption of iteration it-2 (same parity).
+		if up >= 0 {
+			if it >= 2 {
+				w.WaitNotify(tagCredit(1, q)) // up consumed its side-1 row
+			}
+			putRow(rowBuf, g.row(g.cur, 1))
+			w.PutNotify(rowBuf, up, slotOff(prm.NX, q, 1), tagHalo(1, q))
+		}
+		if down < p.Size() {
+			if it >= 2 {
+				w.WaitNotify(tagCredit(0, q))
+			}
+			putRow(rowBuf, g.row(g.cur, g.NY))
+			w.PutNotify(rowBuf, down, slotOff(prm.NX, q, 0), tagHalo(0, q))
+		}
+		if up >= 0 {
+			w.WaitNotify(tagHalo(0, q))
+			getRow(g.row(g.cur, 0), mem[slotOff(prm.NX, q, 0):])
+			w.Notify(up, tagCredit(0, q))
+		}
+		if down < p.Size() {
+			w.WaitNotify(tagHalo(1, q))
+			getRow(g.row(g.cur, g.NY+1), mem[slotOff(prm.NX, q, 1):])
+			w.Notify(down, tagCredit(1, q))
+		}
+		g.sweep(p)
+	}
+	w.UnlockAll()
+	el := p.Now() - t0
+	return Result{Elapsed: el, Checksum: g.checksum(p), Cells: prm.NX * prm.NY}
+}
+
+// RunReference computes the checksum with a rank-0 sequential solve over the
+// global domain: the ground truth the transports must match.
+func RunReference(p *spmd.Proc, prm Params) float64 {
+	prm = prm.withDefaults()
+	var sum float64
+	if p.Rank() == 0 {
+		nyg := p.Size() * prm.NY
+		cur := make([]float64, nyg*prm.NX)
+		next := make([]float64, nyg*prm.NX)
+		for y := 0; y < nyg; y++ {
+			for x := 0; x < prm.NX; x++ {
+				cur[y*prm.NX+x] = initCell(prm.Seed, x, y)
+			}
+		}
+		copy(next, cur)
+		for it := 0; it < prm.Iters; it++ {
+			for y := 1; y < nyg-1; y++ {
+				for x := 1; x < prm.NX-1; x++ {
+					i := y*prm.NX + x
+					next[i] = 0.25 * (cur[i-prm.NX] + cur[i+prm.NX] + cur[i-1] + cur[i+1])
+				}
+			}
+			cur, next = next, cur
+		}
+		for y := 0; y < nyg; y++ {
+			for x := 0; x < prm.NX; x++ {
+				sum += cur[y*prm.NX+x]
+			}
+		}
+	}
+	return math.Float64frombits(p.Bcast8(0, math.Float64bits(sum)))
+}
+
+// Verify panics unless the two variants' checksums match the reference; it
+// exists so examples and benches fail loudly on protocol bugs.
+func Verify(fence, notify Result, ref float64) {
+	if fence.Checksum != notify.Checksum {
+		panic(fmt.Sprintf("stencil: fence checksum %v != notified %v", fence.Checksum, notify.Checksum))
+	}
+	if math.Abs(fence.Checksum-ref) > 1e-9*math.Max(1, math.Abs(ref)) {
+		panic(fmt.Sprintf("stencil: checksum %v diverges from reference %v", fence.Checksum, ref))
+	}
+}

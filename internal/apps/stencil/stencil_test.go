@@ -1,0 +1,51 @@
+package stencil
+
+import (
+	"testing"
+
+	"fompi/internal/spmd"
+)
+
+func run(t *testing.T, n, rpn int, body func(p *spmd.Proc)) {
+	t.Helper()
+	if err := spmd.Run(spmd.Config{Ranks: n, RanksPerNode: rpn}, body); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVariantsMatchReference(t *testing.T) {
+	prm := Params{NX: 32, NY: 16, Iters: 8, Seed: 3}
+	for _, n := range []int{1, 2, 4, 8} {
+		run(t, n, 4, func(p *spmd.Proc) {
+			fence := RunFence(p, prm)
+			notif := RunNotify(p, prm)
+			ref := RunReference(p, prm)
+			if fence.Checksum != notif.Checksum {
+				t.Errorf("p=%d: fence checksum %v != notified %v", n, fence.Checksum, notif.Checksum)
+			}
+			Verify(fence, notif, ref)
+		})
+	}
+}
+
+func TestNotifiedBeatsFence(t *testing.T) {
+	prm := Params{NX: 32, NY: 16, Iters: 8, Seed: 3}
+	run(t, 8, 4, func(p *spmd.Proc) {
+		fence := RunFence(p, prm)
+		wf := p.Allreduce8(spmd.OpMax, uint64(fence.Elapsed))
+		notif := RunNotify(p, prm)
+		wn := p.Allreduce8(spmd.OpMax, uint64(notif.Elapsed))
+		if p.Rank() == 0 && wn >= wf {
+			t.Errorf("notified halo exchange (%d ns) should beat double fence (%d ns)", wn, wf)
+		}
+	})
+}
+
+func TestSingleRankNeedsNoExchange(t *testing.T) {
+	prm := Params{NX: 16, NY: 8, Iters: 4}
+	run(t, 1, 1, func(p *spmd.Proc) {
+		fence := RunFence(p, prm)
+		notif := RunNotify(p, prm)
+		Verify(fence, notif, RunReference(p, prm))
+	})
+}

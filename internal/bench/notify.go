@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fompi/internal/apps/stencil"
+	"fompi/internal/core"
+	"fompi/internal/spmd"
+	"fompi/internal/timing"
+)
+
+// Notified-access experiments (foMPI-NA, DESIGN.md §7). Neither reproduces a
+// figure of the SC'13 paper: they quantify the follow-on IPDPS'15 claim that
+// a put-with-notification replaces the consumer's synchronization epoch with
+// a single-word poll. Both run the fence-based baseline and the notified
+// pipeline over the same fabric and transfer pattern, so the virtual-time
+// gap is pure synchronization.
+
+// pipeDepth is the notified pipeline's landing-slot count (and credit
+// window): enough to cover the wire latency at every sweep size.
+const pipeDepth = 4
+
+// Pipeline streams messages from a producer rank to a consumer rank and
+// reports virtual microseconds per message versus message size:
+//
+//   - fence: each message is published by a full MPI_Win_fence epoch and the
+//     consumer's read is protected by a second fence — the only way the
+//     SC'13 API can express the pattern without polling user data.
+//   - notified: PutNotify into pipeDepth round-robin landing slots, tag-
+//     matched WaitNotify at the consumer, credit Notify back to the
+//     producer. No collective synchronization at all.
+func Pipeline(cfg Config) *Table {
+	t := NewTable("pipeline", "Producer/consumer streaming: fence vs notified",
+		"bytes", "us_per_msg", "fence", "notified")
+	sizes := Sizes(64 << 10)
+	msgs := cfg.Reps
+	if msgs < 2*pipeDepth {
+		msgs = 2 * pipeDepth
+	}
+	for _, sz := range sizes {
+		worst := map[string]timing.Time{}
+		spmd.MustRun(spmd.Config{Ranks: 2, RanksPerNode: 1}, func(p *spmd.Proc) {
+			src := make([]byte, sz)
+			for i := range src {
+				src[i] = byte(i)
+			}
+
+			// Fence-based baseline: one landing slot, two fences per message.
+			w, _ := core.Allocate(p, sz, core.Config{})
+			w.Fence()
+			p.Barrier()
+			t0 := p.Now()
+			for m := 0; m < msgs; m++ {
+				if p.Rank() == 0 {
+					w.Put(src, 1, 0)
+				}
+				w.Fence() // message visible at the consumer
+				w.Fence() // consumer done reading; slot reusable
+			}
+			el := timing.Time(p.Allreduce8(spmd.OpMax, uint64(p.Now()-t0)))
+			if p.Rank() == 0 {
+				worst["fence"] = el
+			}
+			p.Barrier()
+			w.Free()
+
+			// Notified pipeline: pipeDepth slots, tags cycle with the slot.
+			wn, _ := core.Allocate(p, pipeDepth*sz, core.Config{})
+			p.Barrier()
+			t0 = p.Now()
+			if p.Rank() == 0 {
+				wn.LockAll()
+				for m := 0; m < msgs; m++ {
+					slot := m % pipeDepth
+					if m >= pipeDepth {
+						wn.WaitNotify(credTag(slot)) // slot recycled by the consumer
+					}
+					wn.PutNotify(src, 1, slot*sz, msgTag(slot))
+				}
+				wn.UnlockAll()
+			} else {
+				for m := 0; m < msgs; m++ {
+					slot := m % pipeDepth
+					wn.WaitNotify(msgTag(slot))
+					wn.Notify(0, credTag(slot))
+				}
+			}
+			el = timing.Time(p.Allreduce8(spmd.OpMax, uint64(p.Now()-t0)))
+			if p.Rank() == 0 {
+				worst["notified"] = el
+			}
+			p.Barrier()
+			wn.Free()
+		})
+		for name, el := range worst {
+			t.Set(float64(sz), name, el.Micros()/float64(msgs))
+		}
+	}
+	return t
+}
+
+func msgTag(slot int) uint32  { return uint32(slot) }
+func credTag(slot int) uint32 { return uint32(100 + slot) }
+
+// StencilNA runs the pipelined halo-exchange stencil at increasing rank
+// counts and reports virtual microseconds per Jacobi sweep for the
+// double-fence baseline versus the notified pipeline. The checksums of both
+// variants are verified against a sequential reference solve every run.
+func StencilNA(cfg Config) *Table {
+	t := NewTable("stencil", "Pipelined halo exchange: fence vs notified",
+		"ranks", "us_per_iter", "fence", "notified")
+	prm := stencil.Params{NX: 64, NY: 32, Iters: 10, Seed: cfg.Seed}
+	for _, n := range PSweep(cfg.MaxP) {
+		res := map[string]timing.Time{}
+		spmd.MustRun(spmd.Config{Ranks: n, RanksPerNode: 4}, func(p *spmd.Proc) {
+			fence := stencil.RunFence(p, prm)
+			wf := timing.Time(p.Allreduce8(spmd.OpMax, uint64(fence.Elapsed)))
+			notif := stencil.RunNotify(p, prm)
+			wn := timing.Time(p.Allreduce8(spmd.OpMax, uint64(notif.Elapsed)))
+			stencil.Verify(fence, notif, stencil.RunReference(p, prm))
+			p.Barrier()
+			if p.Rank() == 0 {
+				res["fence"] = wf
+				res["notified"] = wn
+			}
+		})
+		for name, el := range res {
+			t.Set(float64(n), name, el.Micros()/float64(prm.Iters))
+		}
+	}
+	return t
+}

@@ -1,0 +1,74 @@
+package bench
+
+import "testing"
+
+// TestRegistrySmoke exercises every registered experiment at tiny scale so
+// the full catalogue — including the notified-access additions — is covered
+// by `go test`, not only by the CLI.
+func TestRegistrySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("registry sweep is a few seconds; skipped in -short")
+	}
+	cfg := Config{Reps: 3, MaxP: 8, Inserts: 32, Seed: 7}
+	for _, id := range IDs() {
+		t.Run(id, func(t *testing.T) {
+			tb, err := Run(id, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tb.ID != id {
+				t.Errorf("experiment %q returned table %q", id, tb.ID)
+			}
+			if len(tb.Xs()) == 0 {
+				t.Errorf("experiment %q produced no rows", id)
+			}
+			for _, s := range tb.Series {
+				found := false
+				for _, x := range tb.Xs() {
+					if _, ok := tb.Get(x, s); ok {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("experiment %q series %q has no points", id, s)
+				}
+			}
+		})
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run("no-such-figure", tiny()); err == nil {
+		t.Fatal("unknown experiment id must error")
+	}
+}
+
+func TestPipelineNotifiedBeatsFence(t *testing.T) {
+	tb := Pipeline(Config{Reps: 11, MaxP: 4, Inserts: 32, Seed: 7})
+	// The fence baseline pays two O(log p) collective epochs per message;
+	// the notified pipeline pays a single-word poll. The gap must hold from
+	// flag-sized to bandwidth-sized transfers.
+	for _, sz := range []float64{8, 4096, 65536} {
+		fence := get(t, tb, sz, "fence")
+		notified := get(t, tb, sz, "notified")
+		if notified >= fence {
+			t.Errorf("%gB: notified %g µs/msg should beat fence %g", sz, notified, fence)
+		}
+	}
+	// At flag size the win should be large (sync dominates the message).
+	if fence, notified := get(t, tb, 8, "fence"), get(t, tb, 8, "notified"); notified > fence/2 {
+		t.Errorf("8B: notified %g µs/msg should be under half of fence %g", notified, fence)
+	}
+}
+
+func TestStencilNotifiedBeatsFence(t *testing.T) {
+	tb := StencilNA(Config{Reps: 5, MaxP: 16, Inserts: 32, Seed: 7})
+	for _, p := range []float64{8, 16} {
+		fence := get(t, tb, p, "fence")
+		notified := get(t, tb, p, "notified")
+		if notified >= fence {
+			t.Errorf("p=%g: notified sweep %g µs should beat fence %g", p, notified, fence)
+		}
+	}
+}

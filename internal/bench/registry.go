@@ -31,6 +31,8 @@ var Registry = map[string]Experiment{
 	"instr":    {"instr", "§2.3/§2.4: fast-path instruction counts", Instr},
 	"memory":   {"memory", "§2.2: per-rank window memory", Memory},
 	"ablation": {"ablation", "design-choice ablations (DESIGN.md §4)", Ablations},
+	"pipeline": {"pipeline", "foMPI-NA producer/consumer: fence vs notified sync", Pipeline},
+	"stencil":  {"stencil", "foMPI-NA pipelined halo exchange: fence vs notified", StencilNA},
 }
 
 // IDs returns the experiment ids in a stable order.

@@ -15,6 +15,7 @@ const (
 	stepsFlush  = 78  // all four flush variants share one implementation
 	stepsPutGet = 173 // optimized contiguous fast path of MPI_Put/MPI_Get
 	stepsSync   = 17
+	stepsNotify = 41 // notified-access bookkeeping above the put/get fast path
 )
 
 // Fence finishes the previous access-and-exposure epoch and opens the next

@@ -27,6 +27,12 @@ type Config struct {
 	MaxPosts int
 	// MaxAttach bounds the dynamic-window attach table. Default 64.
 	MaxAttach int
+	// MaxNotify bounds the notified-access buffers: the delivery ring and
+	// the popped-but-unmatched list each hold at most MaxNotify entries, so
+	// a rank can hold up to 2×MaxNotify delivered-but-unconsumed
+	// notifications before the next arrival (or drain) faults, like
+	// matching-list overflow. Default 64.
+	MaxNotify int
 	// DispUnit scales target displacements, as in MPI_Win_create.
 	// Default 1 (byte displacements).
 	DispUnit int
@@ -38,6 +44,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxAttach <= 0 {
 		c.MaxAttach = 64
+	}
+	if c.MaxNotify <= 0 {
+		c.MaxNotify = 64
 	}
 	if c.DispUnit <= 0 {
 		c.DispUnit = 1
@@ -70,6 +79,12 @@ const (
 )
 
 func ctlPostList(maxAttach int) int { return ctlAttach + maxAttach*16 }
+
+// ctlNotifyRing places the notified-access ring after the PSCW post list.
+func ctlNotifyRing(c Config) int { return ctlPostList(c.MaxAttach) + c.MaxPosts*8 }
+
+// ctlBytes is the full control-region size.
+func ctlBytes(c Config) int { return ctlNotifyRing(c) + simnet.NotifyRingBytes(c.MaxNotify) }
 
 // epochKind tracks which synchronization epoch the window is in, so that
 // erroneous MPI usage faults instead of corrupting memory.
@@ -119,6 +134,12 @@ type Win struct {
 	dynCache   map[int]*dynCache
 	attachRegs map[int]*simnet.Region
 
+	// Notified-access state: the local delivery ring, the bounded list of
+	// popped-but-unmatched notifications, and the origin-side send counter.
+	notifyRing    *simnet.NotifyRing
+	notifyPending []pendingNotify
+	notifySeq     uint32
+
 	freed bool
 }
 
@@ -144,8 +165,9 @@ func winBase(p *spmd.Proc, cfg Config, kind winKind) *Win {
 		attachRegs:  make(map[int]*simnet.Region),
 		consumed:    make([]bool, cfg.MaxPosts),
 	}
-	w.ctl = w.ep.Register(ctlPostList(cfg.MaxAttach) + cfg.MaxPosts*8)
+	w.ctl = w.ep.Register(ctlBytes(cfg))
 	w.ctlKey = w.ctl.Key()
+	w.notifyRing = simnet.BindNotifyRing(w.ctl, ctlNotifyRing(cfg), cfg.MaxNotify)
 	assertSymmetric(p, uint64(w.ctlKey), "control region key")
 	return w
 }
@@ -360,9 +382,10 @@ func (w *Win) Free() {
 // holds, excluding the user's window memory itself: the measurable form of
 // the paper's O(1)/O(log p)-versus-Ω(p) storage claims.
 func (w *Win) MemoryFootprint() int {
-	n := ctlPostList(w.cfg.MaxAttach) + w.cfg.MaxPosts*8 // control region
-	n += len(w.peerKeys)*8 + len(w.peerSizes)*8          // Ω(p) only for Create
+	n := ctlBytes(w.cfg)                        // control region incl. notify ring
+	n += len(w.peerKeys)*8 + len(w.peerSizes)*8 // Ω(p) only for Create
 	n += len(w.consumed)
+	n += len(w.notifyPending) * 16
 	for _, c := range w.dynCache {
 		n += len(c.entries) * 16
 	}

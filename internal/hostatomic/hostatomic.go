@@ -18,8 +18,11 @@ func word(b []byte, off int) *uint64 {
 	if off&7 != 0 {
 		panic("hostatomic: misaligned 8-byte atomic access")
 	}
-	// Bounds-check the full word before taking the address.
-	_ = b[off+7]
+	// Bounds-check by length only: a plain read of b[off+7] would race with
+	// concurrent atomic stores to the same word under the race detector.
+	if off < 0 || off+8 > len(b) {
+		panic("hostatomic: 8-byte access outside slice")
+	}
 	return (*uint64)(unsafe.Pointer(&b[off]))
 }
 

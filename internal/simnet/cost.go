@@ -24,6 +24,7 @@ type Profile struct {
 	GsyncNs     int64   // local cost of a bulk-completion (flush) call
 	SyncNs      int64   // local cost of a memory-consistency call (mfence)
 	PollNs      int64   // cost of one local poll step
+	NotifyNs    int64   // issue overhead of a notification riding a data op
 	MatchNs     int64   // software overhead per message-passing match (MPI only)
 	CopyNsPB    float64 // extra per-byte cost of eager buffer copies (MPI only)
 }

@@ -356,7 +356,11 @@ func (ep *Endpoint) PollRemoteWord(a Addr, pred func(uint64) bool) uint64 {
 // Counters tallies fabric operations issued by an endpoint. The instruction
 // count experiment (DESIGN.md xtra-instr) reports these per critical path.
 type Counters struct {
-	Puts, Gets, Amos   int64
+	Puts, Gets, Amos int64
+	// Notifies counts notification words delivered (riders and bare). A
+	// bare Notify also counts as a Put — it is its own wire operation —
+	// while a fused rider shares its data op's descriptor.
+	Notifies int64
 	Gsyncs, Syncs      int64
 	Polls              int64
 	BytesPut, BytesGot int64
@@ -367,7 +371,8 @@ type Counters struct {
 func (c Counters) Sub(o Counters) Counters {
 	return Counters{
 		Puts: c.Puts - o.Puts, Gets: c.Gets - o.Gets, Amos: c.Amos - o.Amos,
-		Gsyncs: c.Gsyncs - o.Gsyncs, Syncs: c.Syncs - o.Syncs, Polls: c.Polls - o.Polls,
+		Notifies: c.Notifies - o.Notifies,
+		Gsyncs:   c.Gsyncs - o.Gsyncs, Syncs: c.Syncs - o.Syncs, Polls: c.Polls - o.Polls,
 		BytesPut: c.BytesPut - o.BytesPut, BytesGot: c.BytesGot - o.BytesGot,
 		SoftSteps: c.SoftSteps - o.SoftSteps,
 	}

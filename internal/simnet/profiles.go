@@ -34,13 +34,13 @@ func FoMPI() *CostModel {
 			// why the paper notes the locked path's higher bandwidth.
 			NsPerByte: 0.16, AmoNs: 1984, AmoPerElNs: 224,
 			SmallMax: 16, SmallKneeNs: 350,
-			GsyncNs: 76, SyncNs: 17, PollNs: 10,
+			GsyncNs: 76, SyncNs: 17, PollNs: 10, NotifyNs: 60,
 		},
 		Intra: Profile{
 			InjectNs: 80, PutLatNs: 240, GetLatNs: 280,
 			NsPerByte: 0.05, AmoNs: 140, AmoPerElNs: 20,
 			SmallMax: 1 << 30, SmallKneeNs: 0,
-			GsyncNs: 17, SyncNs: 17, PollNs: 5,
+			GsyncNs: 17, SyncNs: 17, PollNs: 5, NotifyNs: 20,
 		},
 	}
 }
@@ -54,13 +54,13 @@ func UPC() *CostModel {
 			InjectNs: 900, PutLatNs: 1250, GetLatNs: 2300,
 			NsPerByte: 0.16, AmoNs: 3100, AmoPerElNs: 260,
 			SmallMax: 16, SmallKneeNs: 350,
-			GsyncNs: 150, SyncNs: 40, PollNs: 10,
+			GsyncNs: 150, SyncNs: 40, PollNs: 10, NotifyNs: 120,
 		},
 		Intra: Profile{
 			InjectNs: 160, PutLatNs: 420, GetLatNs: 460,
 			NsPerByte: 0.055, AmoNs: 260, AmoPerElNs: 30,
 			SmallMax: 1 << 30,
-			GsyncNs:  40, SyncNs: 40, PollNs: 5,
+			GsyncNs:  40, SyncNs: 40, PollNs: 5, NotifyNs: 40,
 		},
 	}
 }
@@ -74,13 +74,13 @@ func CAF() *CostModel {
 			InjectNs: 1050, PutLatNs: 1500, GetLatNs: 2600,
 			NsPerByte: 0.165, AmoNs: 3400,
 			SmallMax: 16, SmallKneeNs: 350,
-			GsyncNs: 180, SyncNs: 45, PollNs: 10,
+			GsyncNs: 180, SyncNs: 45, PollNs: 10, NotifyNs: 140,
 		},
 		Intra: Profile{
 			InjectNs: 190, PutLatNs: 500, GetLatNs: 540,
 			NsPerByte: 0.06, AmoNs: 300,
 			SmallMax: 1 << 30,
-			GsyncNs:  45, SyncNs: 45, PollNs: 5,
+			GsyncNs:  45, SyncNs: 45, PollNs: 5, NotifyNs: 45,
 		},
 	}
 }
@@ -94,13 +94,13 @@ func CrayMPI22() *CostModel {
 			InjectNs: 4200, PutLatNs: 6000, GetLatNs: 9500,
 			NsPerByte: 0.18, AmoNs: 11000, AmoPerElNs: 300,
 			SmallMax: 16, SmallKneeNs: 500,
-			GsyncNs: 2500, SyncNs: 400, PollNs: 20,
+			GsyncNs: 2500, SyncNs: 400, PollNs: 20, NotifyNs: 500,
 		},
 		Intra: Profile{
 			InjectNs: 1500, PutLatNs: 2500, GetLatNs: 2800,
 			NsPerByte: 0.08, AmoNs: 2200, AmoPerElNs: 90,
 			SmallMax: 1 << 30,
-			GsyncNs:  900, SyncNs: 200, PollNs: 10,
+			GsyncNs:  900, SyncNs: 200, PollNs: 10, NotifyNs: 150,
 		},
 	}
 }
@@ -117,14 +117,14 @@ func CrayMPI1() *CostModel {
 			InjectNs: 950, PutLatNs: 700, GetLatNs: 1700,
 			NsPerByte: 0.16, AmoNs: 2400,
 			SmallMax: 16, SmallKneeNs: 350,
-			GsyncNs: 100, SyncNs: 30, PollNs: 15,
+			GsyncNs: 100, SyncNs: 30, PollNs: 15, NotifyNs: 100,
 			MatchNs: 450, CopyNsPB: 0.12,
 		},
 		Intra: Profile{
 			InjectNs: 120, PutLatNs: 300, GetLatNs: 340,
 			NsPerByte: 0.05, AmoNs: 200,
 			SmallMax: 1 << 30,
-			GsyncNs:  30, SyncNs: 20, PollNs: 8,
+			GsyncNs:  30, SyncNs: 20, PollNs: 8, NotifyNs: 30,
 			MatchNs: 250, CopyNsPB: 0.06,
 		},
 	}

@@ -1,0 +1,27 @@
+#!/bin/sh
+# verify.sh — the repository's tier-1 gate plus the race pass.
+#
+#   go vet ./...                 static checks
+#   go build ./...               everything compiles
+#   go test ./...                all package suites
+#   go test -race -short <hot>   concurrency check over the packages whose
+#                                goroutines share fabric memory
+#
+# Run via `make verify` or directly. Exits nonzero on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race -short (simnet, core, spmd)"
+go test -race -short ./internal/simnet/ ./internal/core/ ./internal/spmd/
+
+echo "verify: OK"
