@@ -1,4 +1,4 @@
-.PHONY: verify build test race bench
+.PHONY: verify build test race bench bench-host
 
 # verify is the tier-1 gate: vet + build + full tests + short-mode race pass
 # over the concurrency-heavy packages (see scripts/verify.sh).
@@ -18,3 +18,9 @@ race:
 # full sweeps.
 bench:
 	go run ./cmd/fompi-bench -exp all
+
+# bench-host regenerates BENCH_host.json: the simulator's own wall-clock
+# ns/op and allocs/op per hot-path scenario, compared against the recorded
+# pre-optimization baseline (scripts/bench_host_baseline.json).
+bench-host:
+	sh scripts/bench_host.sh

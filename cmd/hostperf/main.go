@@ -1,0 +1,175 @@
+// Command hostperf measures the simulator's host-side performance — wall
+// nanoseconds and heap allocations per simulated operation — over the
+// scenarios in internal/hostperf, and emits a machine-readable JSON report.
+// scripts/bench_host.sh wraps it to regenerate BENCH_host.json, embedding
+// the recorded pre-optimization baseline for before/after comparison.
+//
+// Usage:
+//
+//	hostperf -iters 3 -o BENCH_host.json
+//	hostperf -iters 1 -only 'put_sweep|fence' -o -     # smoke, stdout
+//	hostperf -check BENCH_host.json                     # validate only
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"time"
+
+	"fompi/internal/hostperf"
+)
+
+// Schema identifies the report layout; bump on incompatible change.
+const Schema = "fompi-hostperf/v1"
+
+type result struct {
+	Name        string  `json:"name"`
+	Unit        string  `json:"unit"`
+	OpsPerIter  int64   `json:"ops_per_iter"`
+	Iters       int     `json:"iters"`
+	WallMs      float64 `json:"wall_ms"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type report struct {
+	Schema     string             `json:"schema"`
+	GoVersion  string             `json:"go"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Results    []result           `json:"results"`
+	Baseline   []result           `json:"baseline,omitempty"`
+	Speedup    map[string]float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+func measure(sc hostperf.Scenario, iters int) result {
+	if iters > 1 {
+		sc.Run() // warm pools and the scheduler before timing
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		sc.Run()
+	}
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	ops := sc.Ops * int64(iters)
+	return result{
+		Name:        sc.Name,
+		Unit:        sc.Unit,
+		OpsPerIter:  sc.Ops,
+		Iters:       iters,
+		WallMs:      float64(wall.Nanoseconds()) / 1e6,
+		NsPerOp:     float64(wall.Nanoseconds()) / float64(ops),
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(ops),
+	}
+}
+
+// load parses a report file, tolerating either a full report or a bare
+// baseline written by an earlier run.
+func load(path string) (report, error) {
+	var r report
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+func check(path string) error {
+	r, err := load(path)
+	if err != nil {
+		return err
+	}
+	if r.Schema != Schema {
+		return fmt.Errorf("%s: schema %q, want %q", path, r.Schema, Schema)
+	}
+	if len(r.Results) == 0 {
+		return fmt.Errorf("%s: no results", path)
+	}
+	for _, res := range r.Results {
+		if res.Name == "" || res.NsPerOp <= 0 {
+			return fmt.Errorf("%s: malformed result %+v", path, res)
+		}
+	}
+	return nil
+}
+
+func main() {
+	iters := flag.Int("iters", 3, "timed iterations per scenario")
+	out := flag.String("o", "BENCH_host.json", "output path ('-' for stdout)")
+	baseline := flag.String("baseline", "", "baseline report to embed and compare against")
+	only := flag.String("only", "", "regexp selecting scenario names")
+	checkPath := flag.String("check", "", "validate a report file and exit")
+	flag.Parse()
+
+	if *checkPath != "" {
+		if err := check(*checkPath); err != nil {
+			fmt.Fprintln(os.Stderr, "hostperf:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("hostperf: %s well-formed\n", *checkPath)
+		return
+	}
+
+	var filter *regexp.Regexp
+	if *only != "" {
+		filter = regexp.MustCompile(*only)
+	}
+	rep := report{Schema: Schema, GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, sc := range hostperf.Scenarios() {
+		if filter != nil && !filter.MatchString(sc.Name) {
+			continue
+		}
+		res := measure(sc, *iters)
+		fmt.Fprintf(os.Stderr, "%-16s %12.1f ns/%s %10.2f allocs/%s %10.1f ms\n",
+			res.Name, res.NsPerOp, res.Unit, res.AllocsPerOp, res.Unit, res.WallMs)
+		rep.Results = append(rep.Results, res)
+	}
+	if len(rep.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "hostperf: no scenarios matched")
+		os.Exit(1)
+	}
+
+	if *baseline != "" {
+		base, err := load(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hostperf:", err)
+			os.Exit(1)
+		}
+		rep.Baseline = base.Results
+		rep.Speedup = map[string]float64{}
+		byName := map[string]result{}
+		for _, r := range base.Results {
+			byName[r.Name] = r
+		}
+		for _, r := range rep.Results {
+			if b, ok := byName[r.Name]; ok && r.NsPerOp > 0 {
+				rep.Speedup[r.Name] = b.NsPerOp / r.NsPerOp
+			}
+		}
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hostperf:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "hostperf:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden tables")
+
+// goldenCfg is the fixed seed configuration the golden table was generated
+// with (PR 2, against the pre-refactor flat-stamp / locked-doorbell fabric).
+func goldenCfg() Config { return Config{Reps: 5, MaxP: 16, Inserts: 64, Seed: 7} }
+
+func render(t *Table) string {
+	var b bytes.Buffer
+	t.Fprint(&b)
+	return b.String()
+}
+
+// TestVirtualTimeDeterminism asserts that two runs of a seeded Quick
+// experiment produce bit-identical virtual-time tables: the benchmark-
+// determinism guard for the fabric hot-path rewrites. Fig4a is the
+// experiment whose execution is strictly serialized (a two-rank
+// passive-target sweep), so its virtual times are independent of host
+// scheduling; experiments with concurrently booked NICs (PSCW rings, paced
+// hashtables) are reproducible only statistically, in the seed fabric as
+// much as in this one.
+func TestVirtualTimeDeterminism(t *testing.T) {
+	a := render(Fig4a(goldenCfg()))
+	b := render(Fig4a(goldenCfg()))
+	if a != b {
+		t.Fatalf("two seeded Fig4a runs diverged:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+}
+
+// TestGoldenFig4a compares Fig4a's virtual-time table against the golden
+// file captured from the pre-refactor implementation (flat per-word stamps,
+// mutex-guarded region map, locked doorbells, O(p) pacing): the hot-path
+// rewrite must be bit-identical in virtual time, not merely close.
+// Regenerate with -update-golden only when an intentional cost-model or
+// protocol change shifts virtual time.
+func TestGoldenFig4a(t *testing.T) {
+	got := render(Fig4a(goldenCfg()))
+	path := filepath.Join("testdata", "golden_fig4a.txt")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("Fig4a virtual-time table diverged from pre-refactor golden:\n--- got\n%s\n--- want\n%s", got, want)
+	}
+}

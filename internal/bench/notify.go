@@ -30,40 +30,42 @@ const pipeDepth = 4
 func Pipeline(cfg Config) *Table {
 	t := NewTable("pipeline", "Producer/consumer streaming: fence vs notified",
 		"bytes", "us_per_msg", "fence", "notified")
-	sizes := Sizes(64 << 10)
+	const maxSz = 64 << 10
+	sizes := Sizes(maxSz)
 	msgs := cfg.Reps
 	if msgs < 2*pipeDepth {
 		msgs = 2 * pipeDepth
 	}
-	for _, sz := range sizes {
-		worst := map[string]timing.Time{}
-		spmd.MustRun(spmd.Config{Ranks: 2, RanksPerNode: 1}, func(p *spmd.Proc) {
-			src := make([]byte, sz)
-			for i := range src {
-				src[i] = byte(i)
-			}
-
+	// One world and one window pair serve the whole size sweep (landing
+	// slots are spaced maxSz apart, so every size fits): worlds — and their
+	// pooled per-rank scratch — are not re-created per sweep point.
+	worst := map[int]map[string]timing.Time{}
+	spmd.MustRun(spmd.Config{Ranks: 2, RanksPerNode: 1}, func(p *spmd.Proc) {
+		src := make([]byte, maxSz)
+		for i := range src {
+			src[i] = byte(i)
+		}
+		w, _ := core.Allocate(p, maxSz, core.Config{})
+		wn, _ := core.Allocate(p, pipeDepth*maxSz, core.Config{})
+		for _, sz := range sizes {
 			// Fence-based baseline: one landing slot, two fences per message.
-			w, _ := core.Allocate(p, sz, core.Config{})
 			w.Fence()
 			p.Barrier()
 			t0 := p.Now()
 			for m := 0; m < msgs; m++ {
 				if p.Rank() == 0 {
-					w.Put(src, 1, 0)
+					w.Put(src[:sz], 1, 0)
 				}
 				w.Fence() // message visible at the consumer
 				w.Fence() // consumer done reading; slot reusable
 			}
 			el := timing.Time(p.Allreduce8(spmd.OpMax, uint64(p.Now()-t0)))
 			if p.Rank() == 0 {
-				worst["fence"] = el
+				worst[sz] = map[string]timing.Time{"fence": el}
 			}
 			p.Barrier()
-			w.Free()
 
 			// Notified pipeline: pipeDepth slots, tags cycle with the slot.
-			wn, _ := core.Allocate(p, pipeDepth*sz, core.Config{})
 			p.Barrier()
 			t0 = p.Now()
 			if p.Rank() == 0 {
@@ -73,7 +75,7 @@ func Pipeline(cfg Config) *Table {
 					if m >= pipeDepth {
 						wn.WaitNotify(credTag(slot)) // slot recycled by the consumer
 					}
-					wn.PutNotify(src, 1, slot*sz, msgTag(slot))
+					wn.PutNotify(src[:sz], 1, slot*maxSz, msgTag(slot))
 				}
 				wn.UnlockAll()
 			} else {
@@ -85,12 +87,24 @@ func Pipeline(cfg Config) *Table {
 			}
 			el = timing.Time(p.Allreduce8(spmd.OpMax, uint64(p.Now()-t0)))
 			if p.Rank() == 0 {
-				worst["notified"] = el
+				worst[sz]["notified"] = el
+			}
+			// Drain the pipeDepth credits the producer never waited for
+			// (outside the timed section — the per-size window used to be
+			// freed here, discarding them): leftovers would widen the next
+			// size's credit window and creep toward the ring's fault limit.
+			if p.Rank() == 0 {
+				for slot := 0; slot < pipeDepth; slot++ {
+					wn.WaitNotify(credTag(slot))
+				}
 			}
 			p.Barrier()
-			wn.Free()
-		})
-		for name, el := range worst {
+		}
+		w.Free()
+		wn.Free()
+	})
+	for sz, byName := range worst {
+		for name, el := range byName {
 			t.Set(float64(sz), name, el.Micros()/float64(msgs))
 		}
 	}

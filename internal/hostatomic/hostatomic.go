@@ -83,6 +83,16 @@ func Xor(b []byte, off int, v uint64) uint64 {
 	return rmw(b, off, func(c uint64) uint64 { return c ^ v })
 }
 
+// MaxU32 atomically raises the uint32 at p to at least v.
+func MaxU32(p *uint32, v uint32) {
+	for {
+		cur := atomic.LoadUint32(p)
+		if v <= cur || atomic.CompareAndSwapUint32(p, cur, v) {
+			return
+		}
+	}
+}
+
 // MaxI64 atomically raises the int64 at p to at least v.
 func MaxI64(p *int64, v int64) {
 	for {

@@ -1,0 +1,148 @@
+// Package hostperf measures the simulator's own wall-clock cost: the host
+// time and allocations the fabric burns per simulated operation, independent
+// of the virtual-time results. The paper's evaluation runs at up to half a
+// million cores; the only thing standing between this repository and larger
+// rank counts is host-side overhead, so the scenarios here are the hot paths
+// that dominate it — bulk put/get (stamp maintenance), global synchronization
+// (doorbells), lock epochs (region resolution), and paced contended-word
+// workloads (the pacing tracker).
+//
+// Each Scenario runs a fixed workload to completion; cmd/hostperf times it
+// and emits BENCH_host.json (see scripts/bench_host.sh), and the benchmarks
+// in hostperf_test.go wrap the same scenarios for `go test -bench`.
+package hostperf
+
+import (
+	"fompi/internal/apps/hashtable"
+	"fompi/internal/apps/stencil"
+	"fompi/internal/core"
+	"fompi/internal/spmd"
+)
+
+// Scenario is one host-perf workload: Run executes it once, performing Ops
+// operations of the named Unit.
+type Scenario struct {
+	Name string
+	Unit string // what one "op" is: put, get, fence, lockall, insert, iter
+	Ops  int64  // units performed per Run
+	Run  func()
+}
+
+// sweepSizes is the bulk-message size sweep: 4 KiB to 256 KiB doubling, the
+// upper half of the Figure 4/5 range where stamp maintenance dominates.
+func sweepSizes() []int {
+	var out []int
+	for s := 4 << 10; s <= 256<<10; s *= 2 {
+		out = append(out, s)
+	}
+	return out
+}
+
+const sweepReps = 40
+
+// onesidedSweep runs the passive-target put or get size sweep between two
+// inter-node ranks: the paper's Figure 4 pattern (lock, op, flush), sized so
+// that per-word stamp work is the dominant host cost.
+func onesidedSweep(isGet bool) func() {
+	return func() {
+		spmd.MustRun(spmd.Config{Ranks: 2, RanksPerNode: 1}, func(p *spmd.Proc) {
+			w, _ := core.Allocate(p, 256<<10, core.Config{})
+			if p.Rank() == 0 {
+				buf := make([]byte, 256<<10)
+				w.Lock(core.LockExclusive, 1)
+				for _, sz := range sweepSizes() {
+					for r := 0; r < sweepReps; r++ {
+						if isGet {
+							w.Get(buf[:sz], 1, 0)
+						} else {
+							w.Put(buf[:sz], 1, 0)
+						}
+						w.Flush(1)
+					}
+				}
+				w.Unlock(1)
+			}
+			p.Barrier()
+			w.Free()
+		})
+	}
+}
+
+// fenceAt runs reps collective fence epochs at rank count p.
+func fenceAt(p, reps int) func() {
+	return func() {
+		spmd.MustRun(spmd.Config{Ranks: p, RanksPerNode: 4}, func(pr *spmd.Proc) {
+			w, _ := core.Allocate(pr, 64, core.Config{})
+			for r := 0; r < reps; r++ {
+				w.Fence()
+			}
+			w.Free()
+		})
+	}
+}
+
+// lockAllAt runs reps lock_all/flush_all/unlock_all epochs on every rank
+// concurrently at rank count p: the region-resolution and doorbell hot path.
+func lockAllAt(p, reps int) func() {
+	return func() {
+		spmd.MustRun(spmd.Config{Ranks: p, RanksPerNode: 4}, func(pr *spmd.Proc) {
+			w, _ := core.Allocate(pr, 64, core.Config{})
+			for r := 0; r < reps; r++ {
+				w.LockAll()
+				w.FlushAll()
+				w.UnlockAll()
+			}
+			pr.Barrier()
+			w.Free()
+		})
+	}
+}
+
+// hashtableAt runs the paced distributed-hashtable insert workload (§4.1)
+// at rank count p: contended CAS chains under a 20 µs pacing window, the
+// workload that exercises the pacing min-tracker hardest.
+func hashtableAt(p, inserts int) func() {
+	prm := hashtable.Params{InsertsPerRank: inserts, Seed: 7,
+		TableSlots: 16 * inserts, OverflowCells: inserts * p}
+	return func() {
+		spmd.MustRun(spmd.Config{Ranks: p, RanksPerNode: 4, PaceWindowNs: 20000},
+			func(pr *spmd.Proc) {
+				hashtable.RunFoMPI(pr, prm)
+				pr.Barrier()
+			})
+	}
+}
+
+// stencilAt runs the notified-access pipelined halo exchange at rank count p.
+func stencilAt(p, iters int) func() {
+	prm := stencil.Params{NX: 64, NY: 32, Iters: iters, Seed: 7}
+	return func() {
+		spmd.MustRun(spmd.Config{Ranks: p, RanksPerNode: 4}, func(pr *spmd.Proc) {
+			stencil.RunNotify(pr, prm)
+			pr.Barrier()
+		})
+	}
+}
+
+// Per-scenario workload constants. Changing any of these invalidates
+// comparisons against recorded baselines (scripts/bench_host_baseline.json).
+const (
+	fenceReps    = 100
+	lockAllReps  = 100
+	htInserts    = 256
+	stencilIters = 10
+)
+
+// Scenarios returns the full host-perf suite in reporting order.
+func Scenarios() []Scenario {
+	nSweep := int64(len(sweepSizes()) * sweepReps)
+	return []Scenario{
+		{Name: "put_sweep", Unit: "put", Ops: nSweep, Run: onesidedSweep(false)},
+		{Name: "get_sweep", Unit: "get", Ops: nSweep, Run: onesidedSweep(true)},
+		{Name: "fence_p64", Unit: "fence", Ops: fenceReps, Run: fenceAt(64, fenceReps)},
+		{Name: "fence_p256", Unit: "fence", Ops: fenceReps, Run: fenceAt(256, fenceReps)},
+		{Name: "lockall_p64", Unit: "lockall", Ops: lockAllReps, Run: lockAllAt(64, lockAllReps)},
+		{Name: "hashtable_p64", Unit: "insert", Ops: 64 * htInserts, Run: hashtableAt(64, htInserts)},
+		{Name: "stencil_p16", Unit: "iter", Ops: stencilIters, Run: stencilAt(16, stencilIters)},
+	}
+}

@@ -1,0 +1,39 @@
+package hostperf
+
+import "testing"
+
+// BenchmarkHost wraps every host-perf scenario as a standard Go benchmark:
+//
+//	go test -bench BenchmarkHost -benchmem -run '^$' ./internal/hostperf
+//
+// reports wall ns and allocs per scenario run (divide by Scenario.Ops for
+// per-operation figures; cmd/hostperf does that arithmetic and emits JSON).
+func BenchmarkHost(b *testing.B) {
+	for _, sc := range Scenarios() {
+		b.Run(sc.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sc.Run()
+			}
+			b.ReportMetric(float64(sc.Ops), "ops/run")
+		})
+	}
+}
+
+// TestScenariosSmoke runs the cheap scenarios once so `go test ./...` keeps
+// the harness executable; the heavy ones run only without -short.
+func TestScenariosSmoke(t *testing.T) {
+	heavy := map[string]bool{"fence_p256": true, "hashtable_p64": true}
+	for _, sc := range Scenarios() {
+		if testing.Short() && heavy[sc.Name] {
+			continue
+		}
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			if sc.Ops <= 0 {
+				t.Fatalf("scenario %s declares no ops", sc.Name)
+			}
+			sc.Run()
+		})
+	}
+}

@@ -79,7 +79,18 @@ func (ep *Endpoint) Register(size int) *Region {
 // RegisterBuf registers caller-provided memory (traditional windows expose
 // existing user buffers). The slice must come from make (8-byte aligned).
 func (ep *Endpoint) RegisterBuf(buf []byte) *Region {
-	reg := &Region{owner: ep.rank, buf: buf, stamps: timing.NewStamps(len(buf))}
+	return ep.RegisterBufStamps(buf, timing.NewStamps(len(buf)))
+}
+
+// RegisterBufStamps registers caller-provided memory with caller-provided
+// shadow stamps, which must cover len(buf) and be in the all-zero state
+// (timing.Stamps.Reset). The spmd scratch pool uses it to recycle the
+// shadow arrays across worlds instead of reallocating them per run.
+func (ep *Endpoint) RegisterBufStamps(buf []byte, st *timing.Stamps) *Region {
+	if st == nil || st.Bytes() < len(buf) {
+		panic("simnet: stamps do not cover the registered buffer")
+	}
+	reg := &Region{owner: ep.rank, buf: buf, stamps: st}
 	ep.fab.register(ep.rank, reg)
 	return reg
 }
@@ -275,7 +286,11 @@ func (ep *Endpoint) StoreW(a Addr, v uint64) {
 }
 
 // LoadW atomically reads a remote 8-byte word (blocking get of one word).
+// Like every other remote operation it runs through the pacing discipline
+// (pace publishes the clock), so paced workloads that poll via LoadW cannot
+// run ahead of the pacing window.
 func (ep *Endpoint) LoadW(a Addr) uint64 {
+	ep.fab.pace(ep.rank, ep.clock)
 	pr := ep.profileFor(a.Rank)
 	reg := ep.fab.region(a)
 	v := reg.atomicLoad(a.Off)
@@ -360,7 +375,7 @@ type Counters struct {
 	// Notifies counts notification words delivered (riders and bare). A
 	// bare Notify also counts as a Put — it is its own wire operation —
 	// while a fused rider shares its data op's descriptor.
-	Notifies int64
+	Notifies           int64
 	Gsyncs, Syncs      int64
 	Polls              int64
 	BytesPut, BytesGot int64

@@ -12,6 +12,11 @@
 // virtual clock according to a calibrated cost model, and stamps the written
 // words with the operation's virtual completion time so that polling ranks
 // merge time causally (see DESIGN.md §6).
+//
+// The per-operation host costs are kept allocation-free and (nearly)
+// lock-free: region resolution is one atomic pointer load into a
+// copy-on-write table, doorbells ring without a lock when nobody is parked,
+// and pacing folds sharded minimum caches instead of scanning every rank.
 package simnet
 
 import (
@@ -19,6 +24,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fompi/internal/timing"
 )
@@ -39,8 +45,13 @@ func (a Addr) Add(n int) Addr { a.Off += n; return a }
 // node is the per-rank fabric state: the registered-region table, the NIC
 // occupancy used for bandwidth/incast modelling, and the waiter doorbell.
 type node struct {
-	mu      sync.RWMutex
-	regions map[Key]*Region
+	// regions is a copy-on-write dense table indexed by Key (keys are
+	// handed out sequentially and never reused, so the table only grows;
+	// unregistered slots hold nil). The hot path — region() on every
+	// put/get/AMO — is one atomic load plus a bounds-checked index; mu
+	// serializes only the cold register/unregister copy.
+	mu      sync.Mutex
+	regions atomic.Pointer[[]*Region]
 	nextKey Key
 
 	// NIC busy interval [nicStart, nicBusy) in virtual time (see reserveNIC).
@@ -48,17 +59,35 @@ type node struct {
 	nicStart int64
 	nicBusy  int64
 
-	doorMu  sync.Mutex
-	doorGen uint64
-	door    *sync.Cond
+	// Futex-style doorbell: writers bump doorGen on every modification of
+	// this rank's memory, but take doorMu and broadcast only when a waiter
+	// has registered itself in doorWaiters — the overwhelmingly common
+	// nobody-is-waiting case is one atomic add plus one atomic load.
+	doorGen     atomic.Uint64
+	doorWaiters atomic.Int32
+	doorMu      sync.Mutex
+	door        *sync.Cond
 }
 
+// notify rings the rank's doorbell. The generation bump is sequentially
+// consistent with the waiter's registration (doorWaiters.Add before its
+// locked re-check of doorGen), so a waiter either observes the new
+// generation without sleeping or is registered in doorWaiters before the
+// writer decides whether to broadcast — no lost wakeups.
 func (nd *node) notify() {
+	nd.doorGen.Add(1)
+	if nd.doorWaiters.Load() == 0 {
+		return
+	}
 	nd.doorMu.Lock()
-	nd.doorGen++
 	nd.door.Broadcast()
 	nd.doorMu.Unlock()
 }
+
+// paceShardBits sizes the pacing tracker's shards: 64 ranks per shard keeps
+// a shard rescan one cache-line-friendly sweep while the global fold touches
+// only p/64 cached minimums.
+const paceShardBits = 6
 
 // Fabric connects n ranks arranged as nodes of ranksPerNode consecutive
 // ranks. It is shared by all transport layers (foMPI, PGAS baselines, MPI-1)
@@ -74,11 +103,26 @@ type Fabric struct {
 	hookMu     sync.Mutex
 	abortHooks []func()
 
-	// Conservative pacing (SetPacing): per-rank published clocks and a
-	// progress generation counter.
-	paceWindow int64
-	paceClocks []int64
-	paceGen    atomic.Uint64
+	// Conservative pacing (SetPacing): per-rank published clocks, a
+	// per-shard cached minimum, and a progress generation counter. Shard
+	// caches may transiently run below the true minimum (a concurrent
+	// rescan can store a stale result) but never above it, so pacing only
+	// ever over-waits; pace() re-rescans the governing shard while blocked,
+	// which repairs any staleness.
+	paceWindow    int64
+	paceClocks    []int64
+	paceShardMins []int64
+	paceGen       atomic.Uint64
+
+	// Pacing wait heap: blocked ranks park on a wakeup threshold instead
+	// of spinning; laggard rescans wake them when the minimum folds past
+	// it. paceParked and paceNextTgt let publishers skip the heap lock
+	// entirely when nobody is parked or no threshold is reachable.
+	paceMu      sync.Mutex
+	paceHeap    []paceEntry
+	paceSlots   []paceSlot
+	paceParked  atomic.Int32
+	paceNextTgt atomic.Int64
 }
 
 // ErrAborted is the panic value delivered to goroutines blocked in fabric
@@ -118,43 +162,263 @@ func (f *Fabric) SetPacing(window int64) { f.paceWindow = window }
 func (f *Fabric) PaceWindow() int64 { return f.paceWindow }
 
 // publishClock records a rank's virtual clock for pacing and signals
-// progress.
+// progress. When the publisher was at or below its shard's cached minimum —
+// it was (one of) the laggard(s) whose clock the cache tracks — it rescans
+// the shard itself, so the O(shard) sweep runs once per laggard operation
+// instead of once per blocked-rank poll; every other publisher pays one
+// store, two loads, and a counter bump.
 func (f *Fabric) publishClock(rank int, t timing.Time) {
 	if f.paceWindow == 0 {
 		return
 	}
+	old := atomic.LoadInt64(&f.paceClocks[rank])
 	atomic.StoreInt64(&f.paceClocks[rank], int64(t))
+	s := rank >> paceShardBits
+	if old <= atomic.LoadInt64(&f.paceShardMins[s]) {
+		f.rescanShard(s)
+		min, _ := f.paceMinCached()
+		f.wakeWaiters(min)
+	}
 	f.paceGen.Add(1)
 }
 
-// pace blocks rank (by yielding) while its clock is more than the pacing
-// window ahead of the slowest published clock.
+// rescanShard recomputes one shard's cached minimum from its ranks' clocks
+// and returns it. Clocks are monotone, so the scanned minimum can never
+// exceed the true current minimum; a racing rescan may overwrite with an
+// older (lower) result, which is conservative.
+func (f *Fabric) rescanShard(s int) int64 {
+	lo := s << paceShardBits
+	hi := lo + (1 << paceShardBits)
+	if hi > f.n {
+		hi = f.n
+	}
+	m := int64(1) << 62
+	for i := lo; i < hi; i++ {
+		if c := atomic.LoadInt64(&f.paceClocks[i]); c < m {
+			m = c
+		}
+	}
+	atomic.StoreInt64(&f.paceShardMins[s], m)
+	return m
+}
+
+// paceMinCached folds the per-shard cached minimums: O(p/64), no rescans.
+func (f *Fabric) paceMinCached() (min int64, argShard int) {
+	min = int64(1) << 62
+	for s := range f.paceShardMins {
+		if v := atomic.LoadInt64(&f.paceShardMins[s]); v < min {
+			min, argShard = v, s
+		}
+	}
+	return min, argShard
+}
+
+// paceParkTimeout is the parked-rank heartbeat: how long a pace-blocked
+// rank sleeps before re-checking whether the world still makes progress.
+const paceParkTimeout = 200 * time.Microsecond
+
+// paceEntry is one parked rank's wakeup threshold in the pacing wait heap.
+type paceEntry struct {
+	target int64 // release when the folded minimum reaches this
+	rank   int32
+	seq    uint32 // live while it matches paceSlots[rank].seq
+}
+
+// paceSlot is a rank's reusable parking state: allocated once, so parking
+// is allocation-free after a rank's first block. seq is guarded by paceMu;
+// ch and timer are touched only by the rank's own goroutine after creation
+// (publishers send on ch under paceMu).
+type paceSlot struct {
+	ch    chan struct{}
+	timer *time.Timer
+	seq   uint32
+}
+
+// wakeWaiters pops every live heap entry whose target the folded minimum
+// has reached and signals its rank. The two atomic guards make the
+// nobody-parked case — every unpaced or in-window operation — two loads.
+func (f *Fabric) wakeWaiters(min int64) {
+	if f.paceParked.Load() == 0 || f.paceNextTgt.Load() > min {
+		return
+	}
+	f.paceMu.Lock()
+	for len(f.paceHeap) > 0 {
+		e := f.paceHeap[0]
+		live := f.paceSlots[e.rank].seq == e.seq
+		if live && e.target > min {
+			break
+		}
+		f.heapPop()
+		if live {
+			select {
+			case f.paceSlots[e.rank].ch <- struct{}{}:
+			default:
+			}
+		}
+	}
+	f.updateNextTgt()
+	f.paceMu.Unlock()
+}
+
+func (f *Fabric) updateNextTgt() {
+	if len(f.paceHeap) == 0 {
+		f.paceNextTgt.Store(int64(1) << 62)
+		return
+	}
+	f.paceNextTgt.Store(f.paceHeap[0].target)
+}
+
+func (f *Fabric) heapPush(e paceEntry) {
+	h := append(f.paceHeap, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].target <= h[i].target {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	f.paceHeap = h
+}
+
+func (f *Fabric) heapPop() {
+	h := f.paceHeap
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r, s := 2*i+1, 2*i+2, i
+		if l < n && h[l].target < h[s].target {
+			s = l
+		}
+		if r < n && h[r].target < h[s].target {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h[i], h[s] = h[s], h[i]
+		i = s
+	}
+	f.paceHeap = h
+}
+
+// pace blocks rank while its clock is more than the pacing window ahead of
+// the slowest published clock. The fast path is one fold of the shard
+// caches; a blocked rank parks on a wakeup threshold (its clock minus the
+// window) in the pacing wait heap and sleeps until a laggard's rescan folds
+// the minimum past it — no spinning, which matters doubly when the host has
+// fewer cores than the world has ranks, since a spinning waiter starves the
+// very laggard it waits for.
 func (f *Fabric) pace(rank int, t timing.Time) {
 	if f.paceWindow == 0 {
 		return
 	}
 	f.publishClock(rank, t)
 	me := int64(t)
-	var lastGen uint64
+	if min, _ := f.paceMinCached(); me <= min+f.paceWindow {
+		return
+	}
+	f.paceBlock(rank, me)
+}
+
+func (f *Fabric) paceBlock(rank int, me int64) {
+	target := me - f.paceWindow
+	slot := &f.paceSlots[rank]
+	lastGen := f.paceGen.Load()
 	stall := 0
-	for {
-		min := int64(1) << 62
-		for i := range f.paceClocks {
-			if c := atomic.LoadInt64(&f.paceClocks[i]); c < min {
-				min = c
-			}
-		}
+	parkDur := paceParkTimeout
+	for it := 0; ; it++ {
+		// Fold-only check each iteration; the governing shard is rescanned
+		// (repairing stale-low caches) before any park and periodically
+		// while spinning, so a stale cache cannot park the world but also
+		// is not recomputed on every yield.
+		min, arg := f.paceMinCached()
 		if me <= min+f.paceWindow || f.aborted.Load() {
 			return
 		}
-		if g := f.paceGen.Load(); g == lastGen {
+
+		g := f.paceGen.Load()
+		if g == lastGen {
+			// No publish since we last looked: the world is likely parked
+			// outside the fabric (mailbox waits, local polls), a state
+			// only the stall valve resolves. Spin cheaply toward it —
+			// with everyone else parked the yields return immediately,
+			// and active-message hand-offs rely on a prompt release.
+			if it&31 == 0 {
+				if m := f.rescanShard(arg); m != min {
+					continue
+				}
+			}
 			if stall++; stall > 2000 {
 				return // nothing else is progressing: do not deadlock
 			}
-		} else {
-			lastGen, stall = g, 0
+			runtime.Gosched()
+			continue
 		}
-		runtime.Gosched()
+		lastGen, stall = g, 0
+
+		// Progress is happening, so this wait will end: park on our
+		// threshold instead of spinning (a spinning waiter starves the
+		// very laggard it waits for when cores are scarcer than ranks).
+		// Authoritative check first: rescan the governing shard to a
+		// fixpoint so we never park against a stale minimum.
+		if m := f.rescanShard(arg); m != min {
+			parkDur = paceParkTimeout
+			continue
+		}
+		// Publish the entry, then re-check the fold so a wakeup that
+		// folded before the push cannot be missed (the publisher's
+		// shard-min store precedes its heap scan; if the scan missed our
+		// entry, this fold sees its store).
+		f.paceMu.Lock()
+		if slot.ch == nil {
+			slot.ch = make(chan struct{}, 1)
+		}
+		slot.seq++
+		f.heapPush(paceEntry{target: target, rank: int32(rank), seq: slot.seq})
+		f.updateNextTgt()
+		f.paceParked.Add(1)
+		f.paceMu.Unlock()
+		eligible := false
+		if min, _ := f.paceMinCached(); min >= target || f.aborted.Load() {
+			eligible = true
+		}
+		woken := false
+		if !eligible {
+			if slot.timer == nil {
+				slot.timer = time.NewTimer(parkDur)
+			} else {
+				slot.timer.Reset(parkDur)
+			}
+			select {
+			case <-slot.ch:
+				woken = true
+			case <-slot.timer.C: // heartbeat: recheck progress via paceGen
+			case <-f.done:
+			}
+			slot.timer.Stop()
+		}
+		f.paceMu.Lock()
+		slot.seq++ // invalidate our heap entry (reaped lazily)
+		f.paceParked.Add(-1)
+		f.paceMu.Unlock()
+		select { // drain a wake that raced the timeout
+		case <-slot.ch:
+		default:
+		}
+		if f.aborted.Load() {
+			return
+		}
+		if woken || eligible {
+			parkDur = paceParkTimeout
+		} else if parkDur < 2*time.Millisecond {
+			// Far from our threshold: heartbeats back off exponentially so
+			// dozens of long-parked ranks do not saturate the timer wheel.
+			parkDur *= 2
+		}
 	}
 }
 
@@ -185,12 +449,18 @@ func NewFabric(n, ranksPerNode int) *Fabric {
 	if ranksPerNode <= 0 {
 		ranksPerNode = 1
 	}
+	nShards := (n + (1 << paceShardBits) - 1) >> paceShardBits
 	f := &Fabric{
 		n: n, ranksPerNode: ranksPerNode, nodes: make([]*node, n),
 		done: make(chan struct{}), paceClocks: make([]int64, n),
+		paceShardMins: make([]int64, nShards),
+		paceSlots:     make([]paceSlot, n),
 	}
+	f.paceNextTgt.Store(int64(1) << 62)
 	for i := range f.nodes {
-		nd := &node{regions: make(map[Key]*Region)}
+		nd := &node{}
+		empty := make([]*Region, 0)
+		nd.regions.Store(&empty)
 		nd.door = sync.NewCond(&nd.doorMu)
 		f.nodes[i] = nd
 	}
@@ -209,7 +479,8 @@ func (f *Fabric) NodeOf(r int) int { return r / f.ranksPerNode }
 // SameNode reports whether ranks a and b share a node (XPMEM reachable).
 func (f *Fabric) SameNode(a, b int) bool { return f.NodeOf(a) == f.NodeOf(b) }
 
-// register installs a region owned by rank and returns its key.
+// register installs a region owned by rank and returns its key. Cold path:
+// it copies the dense table and publishes the copy atomically.
 func (f *Fabric) register(rank int, reg *Region) Key {
 	nd := f.nodes[rank]
 	nd.mu.Lock()
@@ -217,32 +488,39 @@ func (f *Fabric) register(rank int, reg *Region) Key {
 	k := nd.nextKey
 	nd.nextKey++
 	reg.key = k
-	nd.regions[k] = reg
+	old := *nd.regions.Load()
+	tbl := make([]*Region, int(k)+1)
+	copy(tbl, old)
+	tbl[k] = reg
+	nd.regions.Store(&tbl)
 	return k
 }
 
 // unregister removes a region; subsequent accesses panic, modelling a DMAPP
-// memory-registration fault.
+// memory-registration fault. The key's slot is nilled, never reused.
 func (f *Fabric) unregister(rank int, k Key) {
 	nd := f.nodes[rank]
 	nd.mu.Lock()
 	defer nd.mu.Unlock()
-	delete(nd.regions, k)
+	old := *nd.regions.Load()
+	tbl := append([]*Region(nil), old...)
+	if int(k) < len(tbl) {
+		tbl[k] = nil
+	}
+	nd.regions.Store(&tbl)
 }
 
-// region resolves an address to its registered region.
+// region resolves an address to its registered region: one atomic load and
+// a bounds-checked index on the hot path of every remote operation.
 func (f *Fabric) region(a Addr) *Region {
 	if a.Rank < 0 || a.Rank >= f.n {
 		panic(fmt.Sprintf("simnet: address names rank %d outside fabric of %d", a.Rank, f.n))
 	}
-	nd := f.nodes[a.Rank]
-	nd.mu.RLock()
-	reg := nd.regions[a.Key]
-	nd.mu.RUnlock()
-	if reg == nil {
+	tbl := *f.nodes[a.Rank].regions.Load()
+	if int(a.Key) >= len(tbl) || tbl[a.Key] == nil {
 		panic(fmt.Sprintf("simnet: access to unregistered region (rank %d key %d)", a.Rank, a.Key))
 	}
-	return reg
+	return tbl[a.Key]
 }
 
 // reserveNIC reserves the target rank's NIC for xfer virtual nanoseconds
@@ -280,26 +558,28 @@ func (f *Fabric) reserveNIC(rank int, arrival timing.Time, xfer int64) timing.Ti
 
 // waitDoor blocks until rank's doorbell generation exceeds gen, i.e. until
 // some fabric operation has modified that rank's memory. It returns the new
-// generation.
+// generation. The caller registers itself in doorWaiters before the locked
+// re-check, pairing with notify's post-bump load of the waiter count.
 func (f *Fabric) waitDoor(rank int, gen uint64) uint64 {
 	nd := f.nodes[rank]
+	if g := nd.doorGen.Load(); g != gen {
+		return g // doorbell already rung: no lock, no sleep
+	}
+	nd.doorWaiters.Add(1)
 	nd.doorMu.Lock()
-	for nd.doorGen == gen && !f.aborted.Load() {
+	for nd.doorGen.Load() == gen && !f.aborted.Load() {
 		nd.door.Wait()
 	}
-	g := nd.doorGen
 	nd.doorMu.Unlock()
+	nd.doorWaiters.Add(-1)
+	g := nd.doorGen.Load()
 	if f.aborted.Load() && g == gen {
 		panic(ErrAborted)
 	}
 	return g
 }
 
-// doorGen samples rank's doorbell generation.
+// doorGenOf samples rank's doorbell generation.
 func (f *Fabric) doorGenOf(rank int) uint64 {
-	nd := f.nodes[rank]
-	nd.doorMu.Lock()
-	g := nd.doorGen
-	nd.doorMu.Unlock()
-	return g
+	return f.nodes[rank].doorGen.Load()
 }

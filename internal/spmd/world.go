@@ -40,9 +40,54 @@ func (c Config) withDefaults() Config {
 		c.Model = simnet.FoMPI()
 	}
 	if c.ScratchBytes <= 0 {
-		c.ScratchBytes = 1 << 20
+		// The built-in collectives need p words of flags plus the payload
+		// area; the layers above exchange at most tens of bytes per rank
+		// (window descriptors), so the default scales with the world rather
+		// than reserving a fixed megabyte per rank. Workloads with larger
+		// collective payloads set ScratchBytes explicitly.
+		c.ScratchBytes = 64 << 10
+		if need := 64 * c.Ranks; need > c.ScratchBytes {
+			c.ScratchBytes = need
+		}
 	}
 	return c
+}
+
+// scratchSeg is one rank's recyclable scratch: the registered bytes and
+// their shadow stamps. Worlds are created per experiment repetition in the
+// bench sweeps, so segments are pooled per size instead of reallocated —
+// NewWorld costs no heap churn after the first world of a given shape.
+type scratchSeg struct {
+	buf []byte
+	st  *timing.Stamps
+}
+
+// scratchPools maps segment size to its *sync.Pool. sync.Pool drains under
+// GC pressure, so idle worlds do not pin memory.
+var scratchPools sync.Map
+
+func poolFor(size int) *sync.Pool {
+	if p, ok := scratchPools.Load(size); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := scratchPools.LoadOrStore(size, &sync.Pool{})
+	return p.(*sync.Pool)
+}
+
+// getScratchSeg returns an all-zero segment of the given size.
+func getScratchSeg(size int) *scratchSeg {
+	if s, ok := poolFor(size).Get().(*scratchSeg); ok && s != nil {
+		return s
+	}
+	return &scratchSeg{buf: make([]byte, size), st: timing.NewStamps(size)}
+}
+
+// putScratchSeg zeroes a segment and returns it to its pool. Callers must
+// guarantee no goroutine still touches the segment's world.
+func putScratchSeg(s *scratchSeg) {
+	clear(s.buf)
+	s.st.Reset()
+	poolFor(len(s.buf)).Put(s)
 }
 
 // World is the shared state of one SPMD run.
@@ -50,6 +95,17 @@ type World struct {
 	cfg     Config
 	fab     *simnet.Fabric
 	scratch []*simnet.Region // per-rank collective scratch, fabric key 0
+	segs    []*scratchSeg    // pooled backing of scratch, recycled on exit
+}
+
+// recycle returns the world's scratch segments to the pool. Only safe after
+// every rank goroutine has exited cleanly (an aborted world may still have
+// unwinding goroutines holding region references, so it is not recycled).
+func (w *World) recycle() {
+	for _, s := range w.segs {
+		putScratchSeg(s)
+	}
+	w.segs = nil
 }
 
 // Proc is one rank's handle: its endpoint, scratch region, and collective
@@ -64,6 +120,11 @@ type Proc struct {
 // Run launches cfg.Ranks rank goroutines executing body and waits for all of
 // them. If any rank panics, the fabric is aborted (unblocking the others)
 // and the first panic is returned as an error.
+//
+// On clean exit the per-rank scratch segments are recycled into a
+// process-wide pool and may back an unrelated future world: body must not
+// leak goroutines that touch the world after returning, and callers must
+// not retain ScratchRegion (or fabric addresses into it) past Run.
 func Run(cfg Config, body func(*Proc)) error {
 	w, procs := NewWorld(cfg)
 	var wg sync.WaitGroup
@@ -87,6 +148,9 @@ func Run(cfg Config, body func(*Proc)) error {
 		}(procs[r])
 	}
 	wg.Wait()
+	if firstErr == nil && !w.fab.Aborted() {
+		w.recycle()
+	}
 	return firstErr
 }
 
@@ -104,10 +168,13 @@ func NewWorld(cfg Config) (*World, []*Proc) {
 	w := &World{cfg: cfg, fab: simnet.NewFabric(cfg.Ranks, cfg.RanksPerNode)}
 	w.fab.SetPacing(cfg.PaceWindowNs)
 	w.scratch = make([]*simnet.Region, cfg.Ranks)
+	w.segs = make([]*scratchSeg, cfg.Ranks)
 	procs := make([]*Proc, cfg.Ranks)
 	for r := 0; r < cfg.Ranks; r++ {
 		p := &Proc{world: w, rank: r, ep: w.fab.Endpoint(r, cfg.Model)}
-		w.scratch[r] = p.ep.Register(hdrBytes + cfg.ScratchBytes)
+		seg := getScratchSeg(hdrBytes + cfg.ScratchBytes)
+		w.segs[r] = seg
+		w.scratch[r] = p.ep.RegisterBufStamps(seg.buf, seg.st)
 		procs[r] = p
 	}
 	return w, procs
@@ -142,5 +209,6 @@ func (p *Proc) Compute(ns int64) { p.ep.Compute(ns) }
 func (p *Proc) scratchOf(r int) *simnet.Region { return p.world.scratch[r] }
 
 // ScratchRegion exposes the rank's collective scratch region
-// (instrumentation and tests).
+// (instrumentation and tests). Its backing memory is recycled into the
+// scratch pool when Run returns cleanly — do not retain it past the world.
 func (p *Proc) ScratchRegion() *simnet.Region { return p.world.scratch[p.rank] }

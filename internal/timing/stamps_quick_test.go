@@ -1,0 +1,130 @@
+package timing
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// flatStamps is the reference implementation the block-summary layout must
+// be observationally equivalent to: one slot per word, no summaries.
+type flatStamps struct {
+	w []int64
+}
+
+func newFlatStamps(size int) *flatStamps { return &flatStamps{w: make([]int64, (size+7)/8)} }
+
+func (s *flatStamps) Set(off int, t Time) { s.w[off/8] = int64(t) }
+
+func (s *flatStamps) SetRange(off, n int, t Time) {
+	if n <= 0 {
+		return
+	}
+	for i := off / 8; i <= (off+n-1)/8; i++ {
+		s.w[i] = int64(t)
+	}
+}
+
+func (s *flatStamps) Get(off int) Time { return Time(s.w[off/8]) }
+
+func (s *flatStamps) MaxRange(off, n int) Time {
+	if n <= 0 {
+		return 0
+	}
+	var m int64
+	for i := off / 8; i <= (off+n-1)/8; i++ {
+		if s.w[i] > m {
+			m = s.w[i]
+		}
+	}
+	return Time(m)
+}
+
+// stampOp is one step of a random history. Fields are clamped in apply, so
+// any random values testing/quick generates form a valid program.
+type stampOp struct {
+	Kind uint8 // %3: 0 Set, 1 SetRange, 2 MaxRange
+	Off  uint16
+	N    uint16
+	T    uint16
+}
+
+// stampsIface lets apply drive both implementations identically.
+type stampsIface interface {
+	Set(off int, t Time)
+	SetRange(off, n int, t Time)
+	Get(off int) Time
+	MaxRange(off, n int) Time
+}
+
+// apply runs op against s over a region of size bytes and returns the value
+// the op observed (0 for writes).
+func apply(s stampsIface, op stampOp, size int) Time {
+	off := int(op.Off) % size
+	n := int(op.N) % (size - off + 1)
+	t := Time(op.T)
+	switch op.Kind % 3 {
+	case 0:
+		s.Set(off-off%8, t)
+		return 0
+	case 1:
+		s.SetRange(off, n, t)
+		return 0
+	default:
+		return s.MaxRange(off, n)
+	}
+}
+
+// TestStampsEquivalence drives random sequential histories of Set, SetRange,
+// and MaxRange through the block-summary Stamps and the flat reference, and
+// requires every observation — including a final per-word Get sweep — to
+// match. This is the observational-equivalence property DESIGN.md §6 claims
+// for the two-level layout.
+func TestStampsEquivalence(t *testing.T) {
+	// Sizes straddle the BlockWords boundary: sub-block, exactly one block,
+	// and multi-block with a ragged tail.
+	for _, size := range []int{40, 8 * BlockWords, 8*3*BlockWords + 24} {
+		size := size
+		f := func(ops []stampOp) bool {
+			a := NewStamps(size)
+			b := newFlatStamps(size)
+			for _, op := range ops {
+				if got, want := apply(a, op, size), apply(b, op, size); got != want {
+					t.Logf("size %d: op %+v observed %d, flat %d", size, op, got, want)
+					return false
+				}
+			}
+			for off := 0; off+8 <= size; off += 8 {
+				if got, want := a.Get(off), b.Get(off); got != want {
+					t.Logf("size %d: final Get(%d) = %d, flat %d", size, off, got, want)
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{
+			MaxCount: 400,
+			Rand:     rand.New(rand.NewSource(int64(size))),
+		}); err != nil {
+			t.Errorf("size %d: %v", size, err)
+		}
+	}
+}
+
+// TestStampsResetRecycles checks that Reset returns a used Stamps to the
+// all-zero state the pool contract requires.
+func TestStampsResetRecycles(t *testing.T) {
+	s := NewStamps(8 * 4 * BlockWords)
+	s.SetRange(0, 8*4*BlockWords, 99)
+	s.Set(16, 123)
+	s.Reset()
+	if got := s.MaxRange(0, 8*4*BlockWords); got != 0 {
+		t.Fatalf("MaxRange after Reset = %d, want 0", got)
+	}
+	if got := s.Get(16); got != 0 {
+		t.Fatalf("Get after Reset = %d, want 0", got)
+	}
+	if s.Bytes() != 8*4*BlockWords {
+		t.Fatalf("Bytes = %d", s.Bytes())
+	}
+}

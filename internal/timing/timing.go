@@ -8,6 +8,8 @@ package timing
 import (
 	"sync/atomic"
 	"time"
+
+	"fompi/internal/hostatomic"
 )
 
 // Time is a virtual-time instant in nanoseconds since program start.
@@ -31,38 +33,156 @@ func Max(a, b Time) Time {
 	return b
 }
 
+// BlockWords is the width of one stamp summary block: 64 words = 512 bytes
+// of registered memory per block.
+const BlockWords = 64
+
 // Stamps tracks one shadow timestamp per 8-byte-aligned word of a registered
 // memory region. All accesses are atomic: stamps are written by remote ranks
 // concurrently with owner reads.
+//
+// The layout is two-level so that bulk transfers do not pay one atomic per
+// word. Words are grouped into blocks of BlockWords. A full-block SetRange
+// — the put/get bulk path — records a single (fill stamp, fill epoch) pair
+// per block instead of storing 64 word stamps; single-word writes record
+// (stamp, epoch) in the word's own slots. A word's effective stamp is its
+// own stamp when its epoch is at least the block's fill epoch (the word was
+// written after the last covering fill), and the block's fill stamp
+// otherwise. Epochs come from one per-Stamps counter bumped by each filling
+// SetRange, so a fill logically supersedes every earlier word write in its
+// blocks without touching them.
+//
+// Two per-block summaries keep range queries cheap: blockMax is a monotone
+// upper bound on every stamp ever written to the block (MaxRange skips a
+// block whose bound cannot raise the running maximum), and blockEpoch is
+// the highest epoch of any single-word write in the block (when it is below
+// the fill epoch, the fill stamp covers the whole block and MaxRange reads
+// one value instead of scanning 64).
+//
+// Concurrent writers to the same word race exactly as they did with the
+// flat one-word-one-slot layout: last writer wins, and a reader may observe
+// either side of an in-flight write. Sequential (protocol-ordered) histories
+// are observationally identical to the flat layout; TestStampsEquivalence
+// checks that property against a reference implementation.
 type Stamps struct {
-	w []int64
+	words  []int64  // per-word stamp, live iff wordEpoch >= its block's fill epoch
+	wEpoch []uint32 // per-word epoch of the last single-word write
+
+	fill   []int64  // per-block fill stamp (last covering SetRange)
+	fEpoch []uint32 // per-block fill epoch (0 = never filled)
+
+	blockMax   []int64  // per-block monotone upper bound of all stamps written
+	blockEpoch []uint32 // per-block max epoch of single-word writes
+
+	epoch atomic.Uint32 // fill-epoch source; single-word writes sample it
 }
 
-// NewStamps creates shadow timestamps covering size bytes.
+// NewStamps creates shadow timestamps covering size bytes. The six arrays
+// are views into two backing slabs (one per element width) so a region's
+// shadow state costs two allocations, not six.
 func NewStamps(size int) *Stamps {
-	return &Stamps{w: make([]int64, (size+7)/8)}
+	nw := (size + 7) / 8
+	nb := (nw + BlockWords - 1) / BlockWords
+	i64 := make([]int64, nw+2*nb)
+	u32 := make([]uint32, nw+2*nb)
+	return &Stamps{
+		words: i64[:nw:nw], fill: i64[nw : nw+nb : nw+nb], blockMax: i64[nw+nb:],
+		wEpoch: u32[:nw:nw], fEpoch: u32[nw : nw+nb : nw+nb], blockEpoch: u32[nw+nb:],
+	}
 }
+
+// Reset returns the stamps to the all-zero state so the shadow arrays can be
+// recycled across worlds (see the spmd scratch pool).
+func (s *Stamps) Reset() {
+	clear(s.words)
+	clear(s.wEpoch)
+	clear(s.fill)
+	clear(s.fEpoch)
+	clear(s.blockMax)
+	clear(s.blockEpoch)
+	s.epoch.Store(0)
+}
+
+// Bytes returns the registered size the stamps cover (for pool lookups).
+func (s *Stamps) Bytes() int { return len(s.words) * 8 }
 
 // Set records that the word containing byte offset off was written by an
 // operation completing at t.
 func (s *Stamps) Set(off int, t Time) {
-	atomic.StoreInt64(&s.w[off/8], int64(t))
+	i := off / 8
+	b := i / BlockWords
+	e := s.epoch.Load()
+	hostatomic.MaxI64(&s.blockMax[b], int64(t))
+	hostatomic.MaxU32(&s.blockEpoch[b], e)
+	// Stamp before epoch: a reader that observes the new epoch observes the
+	// new stamp (or a yet newer one).
+	atomic.StoreInt64(&s.words[i], int64(t))
+	atomic.StoreUint32(&s.wEpoch[i], e)
 }
 
 // SetRange stamps every word overlapping [off, off+n) with completion time t.
+// Fully covered blocks record one fill instead of per-word stamps; only the
+// partially covered edge blocks pay per-word work.
 func (s *Stamps) SetRange(off, n int, t Time) {
 	if n <= 0 {
 		return
 	}
+	v := int64(t)
 	first, last := off/8, (off+n-1)/8
-	for i := first; i <= last; i++ {
-		atomic.StoreInt64(&s.w[i], int64(t))
+	fb, lb := first/BlockWords, last/BlockWords
+	firstFull, lastFull := fb, lb
+	if first > fb*BlockWords {
+		firstFull = fb + 1
+	}
+	if last < lb*BlockWords+BlockWords-1 {
+		lastFull = lb - 1
+	}
+	var fillEpoch uint32
+	if firstFull <= lastFull {
+		// At least one block is fully covered: take a fresh fill epoch.
+		// Exhausting the 32-bit counter would make old word epochs compare
+		// as current again (silently stale stamps), so fault loudly first —
+		// it takes 2^32 covering fills on one registration to get here.
+		if fillEpoch = s.epoch.Add(1); fillEpoch == 0 {
+			panic("timing: stamp fill-epoch counter exhausted; re-register the region")
+		}
+	}
+	edgeEpoch := s.epoch.Load()
+	for b := fb; b <= lb; b++ {
+		lo := b * BlockWords
+		hi := lo + BlockWords - 1
+		hostatomic.MaxI64(&s.blockMax[b], v)
+		if first <= lo && last >= hi {
+			// Fill stamp before fill epoch: a reader observing the new
+			// epoch observes the new stamp (or a newer one).
+			atomic.StoreInt64(&s.fill[b], v)
+			atomic.StoreUint32(&s.fEpoch[b], fillEpoch)
+			continue
+		}
+		w0, w1 := lo, hi
+		if first > w0 {
+			w0 = first
+		}
+		if last < w1 {
+			w1 = last
+		}
+		hostatomic.MaxU32(&s.blockEpoch[b], edgeEpoch)
+		for i := w0; i <= w1; i++ {
+			atomic.StoreInt64(&s.words[i], v)
+			atomic.StoreUint32(&s.wEpoch[i], edgeEpoch)
+		}
 	}
 }
 
 // Get returns the stamp of the word containing byte offset off.
 func (s *Stamps) Get(off int) Time {
-	return Time(atomic.LoadInt64(&s.w[off/8]))
+	i := off / 8
+	b := i / BlockWords
+	fe := atomic.LoadUint32(&s.fEpoch[b])
+	if atomic.LoadUint32(&s.wEpoch[i]) >= fe {
+		return Time(atomic.LoadInt64(&s.words[i]))
+	}
+	return Time(atomic.LoadInt64(&s.fill[b]))
 }
 
 // MaxRange returns the latest stamp of any word overlapping [off, off+n).
@@ -72,9 +192,43 @@ func (s *Stamps) MaxRange(off, n int) Time {
 	}
 	var m int64
 	first, last := off/8, (off+n-1)/8
-	for i := first; i <= last; i++ {
-		if v := atomic.LoadInt64(&s.w[i]); v > m {
-			m = v
+	fb, lb := first/BlockWords, last/BlockWords
+	for b := fb; b <= lb; b++ {
+		lo := b * BlockWords
+		hi := lo + BlockWords - 1
+		full := first <= lo && last >= hi
+		if full && atomic.LoadInt64(&s.blockMax[b]) <= m {
+			continue // the bound proves nothing in this block can raise m
+		}
+		fe := atomic.LoadUint32(&s.fEpoch[b])
+		uniform := atomic.LoadUint32(&s.blockEpoch[b]) < fe
+		if uniform {
+			// No single-word write since the last fill: the fill stamp
+			// covers every word of the block, in or out of range.
+			if f := atomic.LoadInt64(&s.fill[b]); f > m {
+				m = f
+			}
+			continue
+		}
+		w0, w1 := lo, hi
+		if first > w0 {
+			w0 = first
+		}
+		if last < w1 {
+			w1 = last
+		}
+		fillCounted := false
+		for i := w0; i <= w1; i++ {
+			if atomic.LoadUint32(&s.wEpoch[i]) >= fe {
+				if v := atomic.LoadInt64(&s.words[i]); v > m {
+					m = v
+				}
+			} else if !fillCounted {
+				if f := atomic.LoadInt64(&s.fill[b]); f > m {
+					m = f
+				}
+				fillCounted = true
+			}
 		}
 	}
 	return Time(m)

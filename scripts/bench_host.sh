@@ -1,0 +1,29 @@
+#!/bin/sh
+# bench_host.sh — regenerate BENCH_host.json, the simulator's host-side
+# performance record (wall ns/op and allocs/op per hot-path scenario; see
+# internal/hostperf). When scripts/bench_host_baseline.json exists — the
+# pre-optimization numbers recorded by PR 2 — the report embeds it and
+# computes per-scenario speedups.
+#
+#   sh scripts/bench_host.sh                 # full run, 5 iterations
+#   ITERS=1 OUT=/tmp/b.json sh scripts/bench_host.sh -only 'put_sweep|fence_p64'
+#
+# Extra arguments pass through to cmd/hostperf.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# Default matches the iteration count the committed BENCH_host.json and
+# the recorded baseline were generated with.
+ITERS="${ITERS:-5}"
+OUT="${OUT:-BENCH_host.json}"
+BASELINE="scripts/bench_host_baseline.json"
+
+if [ -f "$BASELINE" ]; then
+	go run ./cmd/hostperf -iters "$ITERS" -o "$OUT" -baseline "$BASELINE" "$@"
+else
+	go run ./cmd/hostperf -iters "$ITERS" -o "$OUT" "$@"
+fi
+
+# The report must parse back as well-formed JSON with at least one result.
+go run ./cmd/hostperf -check "$OUT"

@@ -6,6 +6,8 @@
 #   go test ./...                all package suites
 #   go test -race -short <hot>   concurrency check over the packages whose
 #                                goroutines share fabric memory
+#   bench_host.sh smoke          one-iteration host-perf run; asserts the
+#                                emitted JSON is well-formed
 #
 # Run via `make verify` or directly. Exits nonzero on the first failure.
 set -eu
@@ -23,5 +25,10 @@ go test ./...
 
 echo "== go test -race -short (simnet, core, spmd)"
 go test -race -short ./internal/simnet/ ./internal/core/ ./internal/spmd/
+
+echo "== bench-host smoke (1 iteration, JSON well-formed)"
+SMOKE_OUT="$(mktemp)"
+ITERS=1 OUT="$SMOKE_OUT" sh scripts/bench_host.sh -only 'put_sweep|get_sweep|fence_p64|lockall_p64|stencil_p16'
+rm -f "$SMOKE_OUT"
 
 echo "verify: OK"
