@@ -1,4 +1,4 @@
-.PHONY: verify build test race bench bench-host
+.PHONY: verify build test race bench bench-host bench-host-quick
 
 # verify is the tier-1 gate: vet + build + full tests + short-mode race pass
 # over the concurrency-heavy packages (see scripts/verify.sh).
@@ -24,3 +24,11 @@ bench:
 # pre-optimization baseline (scripts/bench_host_baseline.json).
 bench-host:
 	sh scripts/bench_host.sh
+
+# bench-host-quick is the verify-wired smoke: one iteration over a small
+# scenario subset into a throwaway file, asserting the perf harness still
+# runs and emits well-formed JSON on every verify.
+bench-host-quick:
+	@OUT="$$(mktemp)"; \
+	ITERS=1 OUT="$$OUT" sh scripts/bench_host.sh -only 'put_sweep|get_sweep|fence_p64|lockall_p64|coll_p256|stencil_p16'; \
+	rm -f "$$OUT"

@@ -18,6 +18,7 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"fompi/internal/hostperf"
@@ -40,6 +41,7 @@ type report struct {
 	Schema     string             `json:"schema"`
 	GoVersion  string             `json:"go"`
 	GOMAXPROCS int                `json:"gomaxprocs"`
+	NumCPU     int                `json:"numcpu"`
 	Results    []result           `json:"results"`
 	Baseline   []result           `json:"baseline,omitempty"`
 	Speedup    map[string]float64 `json:"speedup_vs_baseline,omitempty"`
@@ -109,6 +111,7 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline report to embed and compare against")
 	only := flag.String("only", "", "regexp selecting scenario names")
 	checkPath := flag.String("check", "", "validate a report file and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the timed runs")
 	flag.Parse()
 
 	if *checkPath != "" {
@@ -124,7 +127,21 @@ func main() {
 	if *only != "" {
 		filter = regexp.MustCompile(*only)
 	}
-	rep := report{Schema: Schema, GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	rep := report{
+		Schema: Schema, GoVersion: runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hostperf:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "hostperf:", err)
+			os.Exit(1)
+		}
+	}
 	for _, sc := range hostperf.Scenarios() {
 		if filter != nil && !filter.MatchString(sc.Name) {
 			continue
@@ -133,6 +150,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%-16s %12.1f ns/%s %10.2f allocs/%s %10.1f ms\n",
 			res.Name, res.NsPerOp, res.Unit, res.AllocsPerOp, res.Unit, res.WallMs)
 		rep.Results = append(rep.Results, res)
+	}
+	if *cpuprofile != "" {
+		// Stop (and flush) immediately after the timed runs: later error
+		// paths exit via os.Exit, which would skip a deferred stop and
+		// leave the profile truncated.
+		pprof.StopCPUProfile()
 	}
 	if len(rep.Results) == 0 {
 		fmt.Fprintln(os.Stderr, "hostperf: no scenarios matched")

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"fompi/internal/spmd"
+)
+
+// TestFenceAllocCeiling is the alloc-regression guard for the collective
+// synchronization path: with the window control regions pooled and the
+// per-rank handles slab-allocated, a steady-state fence epoch at p=64 must
+// stay under a small world-wide allocation ceiling (the pre-pooling cost was
+// ~22 allocations per fence, dominated by per-world setup). AllocsPerRun
+// counts mallocs process-wide, so every rank's fence work is included; rank
+// 0 measures while the other ranks run the same number of fences.
+func TestFenceAllocCeiling(t *testing.T) {
+	const ranks = 64
+	const runs = 5 // AllocsPerRun executes runs+1 calls (one warmup)
+	var avg atomic.Uint64
+	spmd.MustRun(spmd.Config{Ranks: ranks, RanksPerNode: 4}, func(p *spmd.Proc) {
+		w, _ := Allocate(p, 64, Config{})
+		defer w.Free()
+		p.Barrier()
+		if p.Rank() == 0 {
+			a := testing.AllocsPerRun(runs, func() { w.Fence() })
+			avg.Store(uint64(a * 1000))
+		} else {
+			for i := 0; i < runs+1; i++ {
+				w.Fence()
+			}
+		}
+		p.Barrier()
+	})
+	// World-wide ceiling per fence: the fence itself is allocation-free;
+	// the slack absorbs runtime-internal noise (stack growth, timer churn).
+	if got := float64(avg.Load()) / 1000; got > 32 {
+		t.Fatalf("fence@p=%d allocates %.1f objects world-wide per call, ceiling 32", ranks, got)
+	}
+}

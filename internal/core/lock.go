@@ -88,6 +88,9 @@ func (w *Win) Lock(mode LockMode, target int) {
 	default:
 		panic("core: unknown lock mode")
 	}
+	if w.lockedRanks == nil {
+		w.lockedRanks = make(map[int]bool)
+	}
 	w.lockedRanks[target] = mode == LockExclusive
 	w.epoch = epochPassive
 }
@@ -103,6 +106,10 @@ func (w *Win) Unlock(target int) {
 	w.ep.MemSync()
 	w.ep.Gsync() // remote completion of the epoch's operations
 	local := w.ctlAddr(target, ctlLocal)
+	// The release atomics (local lock, plus the global registration for the
+	// last exclusive lock) issue as one batch: one pacing check, and the
+	// master's doorbell rings once even when both words live there.
+	w.ep.BeginBatch()
 	if excl {
 		w.ep.AddNBI(local, neg(writerBit))
 		w.exclHeld--
@@ -112,6 +119,7 @@ func (w *Win) Unlock(target int) {
 	} else {
 		w.ep.AddNBI(local, neg(1))
 	}
+	w.ep.EndBatch()
 	delete(w.lockedRanks, target)
 	if len(w.lockedRanks) == 0 && !w.lockAll {
 		w.epoch = epochNone

@@ -2,9 +2,8 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
-
-	"fompi/internal/simnet"
 )
 
 // Fast-path software-step counts the paper reports (§2.3, §2.4, §6): the
@@ -32,8 +31,28 @@ func (w *Win) Fence() {
 	w.epoch = epochFence
 }
 
-// checkGroup validates and copies an epoch group argument.
+// groupCacheEnt memoizes one validated epoch group: arg is the caller's
+// group argument as passed, val the sorted validated copy.
+type groupCacheEnt struct {
+	arg []int
+	val []int
+}
+
+// groupCacheSize bounds the per-window group memo; epochs cycle through a
+// handful of neighbor groups, and a miss only costs re-validation.
+const groupCacheSize = 4
+
+// checkGroup validates an epoch group argument and returns a sorted copy.
+// Applications pass the same neighbor group to every Post/Start of their
+// epoch loop, so validated groups are memoized by content: a hit is one O(k)
+// comparison instead of an allocation and a sort per call. Callers must not
+// mutate the returned slice.
 func (w *Win) checkGroup(group []int) []int {
+	for i := range w.groupCache {
+		if e := &w.groupCache[i]; slices.Equal(e.arg, group) {
+			return e.val
+		}
+	}
 	g := append([]int(nil), group...)
 	sort.Ints(g)
 	for i, r := range g {
@@ -43,6 +62,13 @@ func (w *Win) checkGroup(group []int) []int {
 		if i > 0 && g[i-1] == r {
 			panic(fmt.Sprintf("core: duplicate rank %d in group", r))
 		}
+	}
+	ent := groupCacheEnt{arg: append([]int(nil), group...), val: g}
+	if len(w.groupCache) < groupCacheSize {
+		w.groupCache = append(w.groupCache, ent)
+	} else {
+		w.groupCache[w.groupCacheRR] = ent
+		w.groupCacheRR = (w.groupCacheRR + 1) % groupCacheSize
 	}
 	return g
 }
@@ -55,11 +81,17 @@ func (w *Win) checkGroup(group []int) []int {
 func (w *Win) Post(group []int) {
 	g := w.checkGroup(group)
 	// Acquire all k free-list slots in one round trip: the fetch-adds are
-	// independent, so they pipeline.
-	idxs := make([]uint64, len(g))
-	handles := make([]simnet.Handle, len(g))
-	for i, j := range g {
-		idxs[i], handles[i] = w.ep.FetchAddNB(w.ctlAddr(j, ctlPostCount), 1)
+	// independent, so they pipeline. The whole O(k) announcement issues as
+	// one batch — one pacing check, and each group member's doorbell rings
+	// once, after both its counter bump and its rank word have landed — and
+	// draws its ticket/handle scratch from the window's reusable pool.
+	idxs := w.postIdxs[:0]
+	handles := w.postHandles[:0]
+	w.ep.BeginBatch()
+	for _, j := range g {
+		v, h := w.ep.FetchAddNB(w.ctlAddr(j, ctlPostCount), 1)
+		idxs = append(idxs, v)
+		handles = append(handles, h)
 	}
 	for i, j := range g {
 		w.ep.Wait(handles[i])
@@ -68,6 +100,8 @@ func (w *Win) Post(group []int) {
 		}
 		w.ep.StoreW(w.ctlAddr(j, ctlPostList(w.cfg.MaxAttach)+int(idxs[i])*8), uint64(w.p.Rank())+1)
 	}
+	w.ep.EndBatch()
+	w.postIdxs, w.postHandles = idxs[:0], handles[:0]
 	w.ep.Gsync()
 	w.exposureQueue = append(w.exposureQueue, len(g))
 }
@@ -81,6 +115,9 @@ func (w *Win) Start(group []int) {
 		panic("core: Start while an access epoch is open")
 	}
 	g := w.checkGroup(group)
+	if w.consumed == nil {
+		w.consumed = make([]bool, w.cfg.MaxPosts)
+	}
 	need := make(map[int]int, len(g)) // rank -> outstanding matches needed
 	for _, r := range g {
 		need[r]++
@@ -123,9 +160,13 @@ func (w *Win) Complete() {
 	}
 	w.ep.MemSync()
 	w.ep.Gsync()
+	// The O(k) completion counters issue as one batch: one pacing check and
+	// one memoized control-region lookup per target.
+	w.ep.BeginBatch()
 	for _, j := range w.accessGroup {
 		w.ep.AddNBI(w.ctlAddr(j, ctlComplete), 1)
 	}
+	w.ep.EndBatch()
 	w.ep.Gsync()
 	w.accessGroup = nil
 	w.epoch = epochNone

@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"fompi/internal/segpool"
 	"fompi/internal/simnet"
 	"fompi/internal/spmd"
 )
@@ -105,8 +106,18 @@ type Win struct {
 	cfg Config
 
 	kind winKind
-	data *simnet.Region // local window memory (nil for dynamic)
-	ctl  *simnet.Region // local control region
+	data *simnet.Region // local window memory (points at dataReg; nil for dynamic)
+	ctl  *simnet.Region // local control region (points at ctlReg)
+
+	// Embedded registration and ring state: a window costs one Win
+	// allocation, not one per handle it holds.
+	dataReg simnet.Region
+	ctlReg  simnet.Region
+
+	// Pooled backing segments (internal/segpool), recycled by Free. ctlSeg
+	// is always pooled; dataSeg only for library-allocated window memory.
+	ctlSeg  *segpool.Seg
+	dataSeg *segpool.Seg
 
 	dataKey simnet.Key // symmetric data key (allocate/shared)
 	ctlKey  simnet.Key // symmetric control key (all kinds)
@@ -117,11 +128,18 @@ type Win struct {
 	peerKeys  []simnet.Key
 	peerSizes []int
 
-	// PSCW state.
+	// PSCW state. consumed is allocated on first Start (fence- and
+	// lock-only windows never pay for it); groupCache memoizes validated
+	// epoch groups, and postIdxs/postHandles are Post's reusable O(k)
+	// scratch.
 	accessGroup   []int // current access epoch (start..complete)
 	exposureQueue []int // outstanding exposure group sizes, FIFO for wait
 	waitTarget    uint64
 	consumed      []bool // matching-list entries already matched by start
+	groupCache    []groupCacheEnt
+	groupCacheRR  int
+	postIdxs      []uint64
+	postHandles   []simnet.Handle
 
 	// Passive-target state.
 	epoch       epochKind
@@ -136,7 +154,7 @@ type Win struct {
 
 	// Notified-access state: the local delivery ring, the bounded list of
 	// popped-but-unmatched notifications, and the origin-side send counter.
-	notifyRing    *simnet.NotifyRing
+	notifyRing    simnet.NotifyRing
 	notifyPending []pendingNotify
 	notifySeq     uint32
 
@@ -155,19 +173,20 @@ type dynEntry struct {
 }
 
 // winBase initializes the parts common to all window kinds and verifies the
-// control key is symmetric (O(log p) allreduce, no per-rank table).
+// control key is symmetric (O(log p) allreduce, no per-rank table). The
+// control region — dominated by the MaxPosts matching list — comes from the
+// segment pool: per-repetition worlds would otherwise allocate and zero
+// ~130 KiB of control state per rank per window. Mode-specific bookkeeping
+// (PSCW consumed list, lock and dynamic-window maps) allocates lazily on
+// first use.
 func winBase(p *spmd.Proc, cfg Config, kind winKind) *Win {
 	cfg = cfg.withDefaults()
-	w := &Win{
-		p: p, ep: p.EP(), cfg: cfg, kind: kind,
-		lockedRanks: make(map[int]bool),
-		dynCache:    make(map[int]*dynCache),
-		attachRegs:  make(map[int]*simnet.Region),
-		consumed:    make([]bool, cfg.MaxPosts),
-	}
-	w.ctl = w.ep.Register(ctlBytes(cfg))
+	w := &Win{p: p, ep: p.EP(), cfg: cfg, kind: kind}
+	w.ctlSeg = segpool.Get(ctlBytes(cfg))
+	w.ep.RegisterBufStampsInto(&w.ctlReg, w.ctlSeg.Buf, w.ctlSeg.St)
+	w.ctl = &w.ctlReg
 	w.ctlKey = w.ctl.Key()
-	w.notifyRing = simnet.BindNotifyRing(w.ctl, ctlNotifyRing(cfg), cfg.MaxNotify)
+	w.notifyRing.Bind(w.ctl, ctlNotifyRing(cfg), cfg.MaxNotify)
 	assertSymmetric(p, uint64(w.ctlKey), "control region key")
 	return w
 }
@@ -188,9 +207,13 @@ func assertSymmetric(p *spmd.Proc, v uint64, what string) {
 // Allocate creates an allocated window (MPI_Win_allocate): the library
 // allocates size bytes backed by the symmetric heap, so remote addressing
 // needs O(1) state per rank. It returns the window and the local memory.
+// The memory is owned by the window, as in MPI: Free recycles it, so the
+// returned slice must not be used after Free.
 func Allocate(p *spmd.Proc, size int, cfg Config) (*Win, []byte) {
 	w := winBase(p, cfg, kindAllocate)
-	w.data = w.ep.Register(size)
+	w.dataSeg = segpool.Get(size)
+	w.ep.RegisterBufStampsInto(&w.dataReg, w.dataSeg.Buf, w.dataSeg.St)
+	w.data = &w.dataReg
 	w.size = size
 	w.dataKey = w.data.Key()
 	assertSymmetric(p, uint64(w.dataKey), "allocated window key")
@@ -234,7 +257,8 @@ func CreateDynamic(p *spmd.Proc, cfg Config) *Win {
 
 // AllocateShared creates a shared-memory window (MPI_Win_allocate_shared).
 // All ranks must reside on one node; SharedSlice then gives direct
-// load/store access to any rank's segment, the XPMEM fast path.
+// load/store access to any rank's segment, the XPMEM fast path. Like
+// Allocate, the returned memory is owned by the window and recycled by Free.
 func AllocateShared(p *spmd.Proc, size int, cfg Config) (*Win, []byte) {
 	for r := 0; r < p.Size(); r++ {
 		if !p.SameNode(r) {
@@ -242,7 +266,9 @@ func AllocateShared(p *spmd.Proc, size int, cfg Config) (*Win, []byte) {
 		}
 	}
 	w := winBase(p, cfg, kindShared)
-	w.data = w.ep.Register(size)
+	w.dataSeg = segpool.Get(size)
+	w.ep.RegisterBufStampsInto(&w.dataReg, w.dataSeg.Buf, w.dataSeg.St)
+	w.data = &w.dataReg
 	w.size = size
 	w.dataKey = w.data.Key()
 	assertSymmetric(p, uint64(w.dataKey), "shared window key")
@@ -269,6 +295,9 @@ func (w *Win) Attach(buf []byte) int {
 		panic("core: Attach requires a dynamic window")
 	}
 	reg := w.ep.RegisterBuf(buf)
+	if w.attachRegs == nil {
+		w.attachRegs = make(map[int]*simnet.Region)
+	}
 	ctl := w.ctl.Bytes()
 	slot := -1
 	for i := 0; i < w.cfg.MaxAttach; i++ {
@@ -325,6 +354,9 @@ func (w *Win) dynResolve(target, slot, off, n int) simnet.Addr {
 				size: int(binary.LittleEndian.Uint64(raw[i*16+8:])),
 			}
 		}
+		if w.dynCache == nil {
+			w.dynCache = make(map[int]*dynCache)
+		}
 		w.dynCache[target] = c
 	}
 	if slot < 0 || slot >= len(c.entries) || c.entries[slot].key == 0 {
@@ -365,7 +397,10 @@ func (w *Win) Proc() *spmd.Proc { return w.p }
 // Size returns the local window size in bytes.
 func (w *Win) Size() int { return w.size }
 
-// Free releases the window collectively.
+// Free releases the window collectively. Pooled backing segments — the
+// control region always, the data region when the library allocated it —
+// are recycled after the closing barrier, when no rank can still address
+// them; memory returned by Allocate/AllocateShared is invalid afterwards.
 func (w *Win) Free() {
 	if w.freed {
 		panic("core: double Free")
@@ -375,6 +410,24 @@ func (w *Win) Free() {
 		w.ep.Unregister(w.data)
 	}
 	w.ep.Unregister(w.ctl)
+	if w.dataSeg != nil {
+		// Window memory was exposed to the application as a raw slice, so
+		// its writes are untracked: full wipe.
+		segpool.Put(w.dataSeg)
+		w.dataSeg = nil
+	}
+	// Control-region writes are stamped fabric operations except for the
+	// notification ring's unstamped header/pop stores and, on dynamic
+	// windows, the locally-written attach table.
+	extras := []segpool.Range{{
+		Lo: ctlNotifyRing(w.cfg),
+		Hi: ctlNotifyRing(w.cfg) + simnet.NotifyRingBytes(w.cfg.MaxNotify),
+	}}
+	if w.kind == kindDynamic {
+		extras = append(extras, segpool.Range{Lo: ctlAttach, Hi: ctlAttach + w.cfg.MaxAttach*16})
+	}
+	segpool.PutScrubbed(w.ctlSeg, extras...)
+	w.ctlSeg = nil
 	w.freed = true
 }
 

@@ -113,6 +113,21 @@ func hashtableAt(p, inserts int) func() {
 	}
 }
 
+// collAt runs reps collective rounds — one Allreduce8 plus one Barrier — at
+// rank count p: the batched-issue path of the word collectives (value+flag
+// pairs coalesced into one pacing check and one doorbell per peer).
+func collAt(p, reps int) func() {
+	return func() {
+		spmd.MustRun(spmd.Config{Ranks: p, RanksPerNode: 4}, func(pr *spmd.Proc) {
+			var acc uint64
+			for r := 0; r < reps; r++ {
+				acc = pr.Allreduce8(spmd.OpSum, acc+uint64(pr.Rank())+1)
+				pr.Barrier()
+			}
+		})
+	}
+}
+
 // stencilAt runs the notified-access pipelined halo exchange at rank count p.
 func stencilAt(p, iters int) func() {
 	prm := stencil.Params{NX: 64, NY: 32, Iters: iters, Seed: 7}
@@ -129,6 +144,7 @@ func stencilAt(p, iters int) func() {
 const (
 	fenceReps    = 100
 	lockAllReps  = 100
+	collReps     = 100
 	htInserts    = 256
 	stencilIters = 10
 )
@@ -142,6 +158,7 @@ func Scenarios() []Scenario {
 		{Name: "fence_p64", Unit: "fence", Ops: fenceReps, Run: fenceAt(64, fenceReps)},
 		{Name: "fence_p256", Unit: "fence", Ops: fenceReps, Run: fenceAt(256, fenceReps)},
 		{Name: "lockall_p64", Unit: "lockall", Ops: lockAllReps, Run: lockAllAt(64, lockAllReps)},
+		{Name: "coll_p256", Unit: "round", Ops: collReps, Run: collAt(256, collReps)},
 		{Name: "hashtable_p64", Unit: "insert", Ops: 64 * htInserts, Run: hashtableAt(64, htInserts)},
 		{Name: "stencil_p16", Unit: "iter", Ops: stencilIters, Run: stencilAt(16, stencilIters)},
 	}

@@ -23,7 +23,7 @@ func BenchmarkHost(b *testing.B) {
 // TestScenariosSmoke runs the cheap scenarios once so `go test ./...` keeps
 // the harness executable; the heavy ones run only without -short.
 func TestScenariosSmoke(t *testing.T) {
-	heavy := map[string]bool{"fence_p256": true, "hashtable_p64": true}
+	heavy := map[string]bool{"fence_p256": true, "coll_p256": true, "hashtable_p64": true}
 	for _, sc := range Scenarios() {
 		if testing.Short() && heavy[sc.Name] {
 			continue

@@ -30,9 +30,9 @@ func (ep *Endpoint) AmoBulkNBI(a Addr, op AmoOp, src []byte) {
 	if len(src)%8 != 0 {
 		panic("simnet: bulk AMO length must be a multiple of 8")
 	}
-	ep.fab.pace(ep.rank, ep.clock)
+	ep.paceOp()
 	pr := ep.profileFor(a.Rank)
-	reg := ep.fab.region(a)
+	reg := ep.region(a)
 	reg.check(a.Off, len(src))
 	ep.clock += timing.Time(pr.InjectNs)
 	n := len(src) / 8
@@ -61,7 +61,7 @@ func (ep *Endpoint) AmoBulkNBI(a Addr, op AmoOp, src []byte) {
 	ep.implicitMax = timing.Max(ep.implicitMax, comp)
 	ep.ctr.Amos += int64(n)
 	ep.ctr.BytesPut += int64(len(src))
-	ep.fab.nodes[a.Rank].notify()
+	ep.notifyDst(a.Rank)
 }
 
 // Shared maps a remote region into the caller's address space, the XPMEM
@@ -72,7 +72,7 @@ func (ep *Endpoint) Shared(a Addr, n int) []byte {
 	if !ep.fab.SameNode(ep.rank, a.Rank) {
 		panic("simnet: XPMEM mapping requires same-node ranks")
 	}
-	reg := ep.fab.region(a)
+	reg := ep.region(a)
 	reg.check(a.Off, n)
 	return reg.buf[a.Off : a.Off+n]
 }

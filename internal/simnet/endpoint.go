@@ -13,13 +13,37 @@ import (
 type Endpoint struct {
 	fab  *Fabric
 	rank int
+	node int // cached fab.NodeOf(rank): intra/inter decisions are one division
 	cm   *CostModel
 
 	clock       timing.Time
 	implicitMax timing.Time
 	nicFree     timing.Time // source-side NIC availability (outcast bandwidth)
 
+	// Batched-issue state (BeginBatch/EndBatch). While batchDepth > 0 the
+	// per-operation host disciplines are deferred: pacing and the clock
+	// publish run once at EndBatch, destination doorbells ring once per
+	// distinct node at EndBatch (pendDst, deduplicated through dstMark),
+	// and region lookups are memoized in regMemo. None of this touches
+	// virtual time — batched issue is bit-identical to unbatched issue.
+	batchDepth int
+	batchGen   uint32   // current dedup generation; 0 is never valid
+	pendDst    []int    // distinct destination ranks with a deferred doorbell
+	dstMark    []uint32 // dstMark[r] == batchGen ⇒ r already in pendDst
+	regMemo    [regMemoSize]regMemoEnt
+	regMemoN   int
+
 	ctr Counters
+}
+
+// regMemoSize bounds the per-batch region memo: batches touch few distinct
+// (rank, key) pairs, and a miss only costs the regular atomic-load lookup.
+const regMemoSize = 8
+
+type regMemoEnt struct {
+	rank int32
+	key  Key
+	reg  *Region
 }
 
 // Handle identifies an explicit-nonblocking operation; it completes at a
@@ -31,7 +55,18 @@ func (f *Fabric) Endpoint(rank int, cm *CostModel) *Endpoint {
 	if rank < 0 || rank >= f.n {
 		panic("simnet: endpoint rank out of range")
 	}
-	return &Endpoint{fab: f, rank: rank, cm: cm}
+	return &Endpoint{fab: f, rank: rank, node: f.NodeOf(rank), cm: cm}
+}
+
+// Endpoints creates one endpoint per rank with a shared cost model, in a
+// single slab (world setup: one allocation instead of one per rank). Each
+// endpoint is still confined to its rank's goroutine.
+func (f *Fabric) Endpoints(cm *CostModel) []Endpoint {
+	eps := make([]Endpoint, f.n)
+	for r := range eps {
+		eps[r] = Endpoint{fab: f, rank: r, node: f.NodeOf(r), cm: cm}
+	}
+	return eps
 }
 
 // Rank returns the owning rank.
@@ -54,10 +89,12 @@ func (ep *Endpoint) AdvanceTo(t timing.Time) {
 }
 
 // Compute advances the clock by ns nanoseconds of local computation and
-// publishes the new clock for pacing.
+// publishes the new clock for pacing (deferred to EndBatch inside a batch).
 func (ep *Endpoint) Compute(ns int64) {
 	ep.clock += timing.Time(ns)
-	ep.fab.publishClock(ep.rank, ep.clock)
+	if ep.batchDepth == 0 {
+		ep.fab.publishClock(ep.rank, ep.clock)
+	}
 }
 
 // Steps charges n software steps (≈CPU instructions) to the layer's
@@ -70,6 +107,122 @@ func (ep *Endpoint) Counters() Counters { return ep.ctr }
 
 // ResetCounters zeroes the operation counters.
 func (ep *Endpoint) ResetCounters() { ep.ctr = Counters{} }
+
+// BeginBatch opens a batched non-blocking issue scope. Operations issued
+// before the matching EndBatch accumulate their virtual-time effects exactly
+// as unbatched issue would — clocks, stamps, and NIC bookings are
+// bit-identical — but the per-operation host disciplines are coalesced:
+// EndBatch performs one clock publish and one pacing check, rings each
+// distinct destination node's doorbell once, and region lookups within the
+// batch are memoized per (rank, key). Batches nest; only the outermost
+// EndBatch flushes. A batch is an issue scope, not a transaction: bytes land
+// at issue time, and blocking waits inside a batch (WaitLocal,
+// PollRemoteWord) flush the deferred doorbells before parking so a peer
+// waiting on a batched write cannot be stranded.
+func (ep *Endpoint) BeginBatch() {
+	if ep.batchDepth == 0 {
+		ep.nextBatchGen()
+		ep.regMemoN = 0
+	}
+	ep.batchDepth++
+}
+
+// EndBatch closes a batched issue scope. The outermost EndBatch rings the
+// deferred doorbells (one notify per distinct destination node) and runs the
+// pacing discipline once over the batch's accumulated clock.
+func (ep *Endpoint) EndBatch() {
+	if ep.batchDepth <= 0 {
+		panic("simnet: EndBatch without BeginBatch")
+	}
+	ep.batchDepth--
+	if ep.batchDepth > 0 {
+		return
+	}
+	ep.flushBatchNotifies()
+	ep.fab.pace(ep.rank, ep.clock)
+}
+
+// InBatch reports whether a batched issue scope is open.
+func (ep *Endpoint) InBatch() bool { return ep.batchDepth > 0 }
+
+// nextBatchGen advances the doorbell-dedup generation, invalidating every
+// dstMark entry in O(1). Generation 0 is reserved (the zero value of a fresh
+// dstMark slot), so a wrap clears the marks and restarts at 1.
+func (ep *Endpoint) nextBatchGen() {
+	ep.batchGen++
+	if ep.batchGen == 0 {
+		clear(ep.dstMark)
+		ep.batchGen = 1
+	}
+}
+
+// flushBatchNotifies rings every deferred doorbell once and invalidates the
+// dedup marks so later writes in the same batch re-arm their destinations.
+func (ep *Endpoint) flushBatchNotifies() {
+	for _, r := range ep.pendDst {
+		ep.fab.nodes[r].notify()
+	}
+	ep.pendDst = ep.pendDst[:0]
+	ep.nextBatchGen()
+}
+
+// flushBeforeBlock releases everything a real-time wait must not hold back:
+// deferred doorbells (a peer may be parked on one) and the batched clock
+// publish (a pace-blocked peer may be waiting for this rank's progress).
+// The batch scope itself stays open.
+func (ep *Endpoint) flushBeforeBlock() {
+	if ep.batchDepth == 0 {
+		return
+	}
+	ep.flushBatchNotifies()
+	ep.fab.publishClock(ep.rank, ep.clock)
+}
+
+// notifyDst rings dst's doorbell, or defers the ring — deduplicated per
+// destination — while a batch is open.
+func (ep *Endpoint) notifyDst(dst int) {
+	if ep.batchDepth == 0 {
+		ep.fab.nodes[dst].notify()
+		return
+	}
+	if ep.dstMark == nil {
+		ep.dstMark = make([]uint32, ep.fab.n)
+	}
+	if ep.dstMark[dst] == ep.batchGen {
+		return
+	}
+	ep.dstMark[dst] = ep.batchGen
+	ep.pendDst = append(ep.pendDst, dst)
+}
+
+// paceOp runs the per-operation pacing discipline; inside a batch it is
+// deferred to EndBatch (one check per batch instead of one per op).
+func (ep *Endpoint) paceOp() {
+	if ep.batchDepth == 0 {
+		ep.fab.pace(ep.rank, ep.clock)
+	}
+}
+
+// region resolves an address, memoizing lookups per (rank, key) while a
+// batch is open. The memo carries the same staleness contract as the
+// copy-on-write region table itself: a concurrent unregister may leave a
+// reader holding the prior registration for the rest of its (short) batch.
+func (ep *Endpoint) region(a Addr) *Region {
+	if ep.batchDepth > 0 {
+		for i := 0; i < ep.regMemoN; i++ {
+			if e := &ep.regMemo[i]; e.rank == int32(a.Rank) && e.key == a.Key {
+				return e.reg
+			}
+		}
+		reg := ep.fab.region(a)
+		if ep.regMemoN < regMemoSize {
+			ep.regMemo[ep.regMemoN] = regMemoEnt{rank: int32(a.Rank), key: a.Key, reg: reg}
+			ep.regMemoN++
+		}
+		return reg
+	}
+	return ep.fab.region(a)
+}
 
 // Register allocates and registers size bytes of fresh memory.
 func (ep *Endpoint) Register(size int) *Region {
@@ -84,15 +237,24 @@ func (ep *Endpoint) RegisterBuf(buf []byte) *Region {
 
 // RegisterBufStamps registers caller-provided memory with caller-provided
 // shadow stamps, which must cover len(buf) and be in the all-zero state
-// (timing.Stamps.Reset). The spmd scratch pool uses it to recycle the
+// (timing.Stamps.Reset). The pooled-segment paths use it to recycle the
 // shadow arrays across worlds instead of reallocating them per run.
 func (ep *Endpoint) RegisterBufStamps(buf []byte, st *timing.Stamps) *Region {
+	reg := &Region{}
+	ep.RegisterBufStampsInto(reg, buf, st)
+	return reg
+}
+
+// RegisterBufStampsInto is RegisterBufStamps into a caller-owned Region
+// struct — world and window setup embed their regions in slab-allocated
+// state instead of allocating one object per registration. reg must not be
+// currently registered.
+func (ep *Endpoint) RegisterBufStampsInto(reg *Region, buf []byte, st *timing.Stamps) {
 	if st == nil || st.Bytes() < len(buf) {
 		panic("simnet: stamps do not cover the registered buffer")
 	}
-	reg := &Region{owner: ep.rank, buf: buf, stamps: st}
+	*reg = Region{owner: ep.rank, buf: buf, stamps: st}
 	ep.fab.register(ep.rank, reg)
-	return reg
 }
 
 // Unregister removes a registration; later remote accesses fault.
@@ -100,7 +262,7 @@ func (ep *Endpoint) Unregister(reg *Region) { ep.fab.unregister(ep.rank, reg.key
 
 // profileFor picks the intra/inter profile for a peer rank.
 func (ep *Endpoint) profileFor(peer int) *Profile {
-	return ep.cm.For(ep.fab.SameNode(ep.rank, peer))
+	return ep.cm.For(ep.sameNodeTo(peer))
 }
 
 // schedXfer models one payload crossing the wire as a pipeline: the source
@@ -109,7 +271,14 @@ func (ep *Endpoint) profileFor(peer int) *Profile {
 // at first-byte arrival (incast). The payload is fully delivered when the
 // target NIC finishes — one bandwidth term end to end, not one per NIC.
 func (ep *Endpoint) schedXfer(dst int, depart timing.Time, lat, xfer int64) timing.Time {
-	if ep.fab.SameNode(ep.rank, dst) {
+	return ep.schedXferOn(ep.sameNodeTo(dst), dst, depart, lat, xfer)
+}
+
+// schedXferOn is schedXfer with the intra/inter decision precomputed, so a
+// caller that already resolved the peer's profile does not re-derive node
+// indices (integer divisions on the per-operation hot path).
+func (ep *Endpoint) schedXferOn(same bool, dst int, depart timing.Time, lat, xfer int64) timing.Time {
+	if same {
 		// Intra-node (XPMEM): the issuing CPU performs the copy itself.
 		return depart + timing.Time(lat)
 	}
@@ -120,23 +289,30 @@ func (ep *Endpoint) schedXfer(dst int, depart timing.Time, lat, xfer int64) timi
 	return ep.fab.reserveNIC(dst, depart+timing.Time(lat), xfer)
 }
 
+// sameNodeTo reports whether peer shares this endpoint's node, using the
+// endpoint's cached node index (one division instead of two).
+func (ep *Endpoint) sameNodeTo(peer int) bool {
+	return ep.node == ep.fab.NodeOf(peer)
+}
+
 // putCommon moves the bytes now and returns the virtual completion time.
 func (ep *Endpoint) putCommon(dst Addr, src []byte) timing.Time {
-	ep.fab.pace(ep.rank, ep.clock)
-	pr := ep.profileFor(dst.Rank)
-	reg := ep.fab.region(dst)
+	ep.paceOp()
+	same := ep.sameNodeTo(dst.Rank)
+	pr := ep.cm.For(same)
+	reg := ep.region(dst)
 	reg.check(dst.Off, len(src))
 	ep.clock += timing.Time(pr.InjectNs)
-	if ep.fab.SameNode(ep.rank, dst.Rank) {
+	if same {
 		// XPMEM copy occupies the issuing CPU.
 		ep.clock += timing.Time(pr.xferNs(len(src)))
 	}
 	copy(reg.buf[dst.Off:dst.Off+len(src)], src)
-	comp := ep.schedXfer(dst.Rank, ep.clock, pr.PutLatNs+pr.knee(len(src)), pr.xferNs(len(src)))
+	comp := ep.schedXferOn(same, dst.Rank, ep.clock, pr.PutLatNs+pr.knee(len(src)), pr.xferNs(len(src)))
 	reg.stamps.SetRange(dst.Off, len(src), comp)
 	ep.ctr.Puts++
 	ep.ctr.BytesPut += int64(len(src))
-	ep.fab.nodes[dst.Rank].notify()
+	ep.notifyDst(dst.Rank)
 	return comp
 }
 
@@ -159,14 +335,15 @@ func (ep *Endpoint) Put(dst Addr, src []byte) {
 // getCommon copies the bytes now and returns the virtual completion time,
 // merged with the stamps of the words read (causality).
 func (ep *Endpoint) getCommon(dst []byte, src Addr) timing.Time {
-	ep.fab.pace(ep.rank, ep.clock)
-	pr := ep.profileFor(src.Rank)
-	reg := ep.fab.region(src)
+	ep.paceOp()
+	same := ep.sameNodeTo(src.Rank)
+	pr := ep.cm.For(same)
+	reg := ep.region(src)
 	reg.check(src.Off, len(dst))
 	ep.clock += timing.Time(pr.InjectNs)
 	copy(dst, reg.buf[src.Off:src.Off+len(dst)])
 	base := timing.Max(ep.clock, reg.stamps.MaxRange(src.Off, len(dst)))
-	if ep.fab.SameNode(ep.rank, src.Rank) {
+	if same {
 		// XPMEM read: CPU copies the data itself.
 		comp := base + timing.Time(pr.GetLatNs+pr.xferNs(len(dst)))
 		ep.clock = comp
@@ -203,19 +380,20 @@ func (ep *Endpoint) Get(dst []byte, src Addr) {
 // word's stamp); the origin-side completion of a fetching operation takes
 // the full AMO round trip (AmoNs — the paper's P_acc constant).
 func (ep *Endpoint) amoCommon(a Addr, fn func(reg *Region) uint64) (old uint64, comp timing.Time) {
-	ep.fab.pace(ep.rank, ep.clock)
-	pr := ep.profileFor(a.Rank)
-	reg := ep.fab.region(a)
+	ep.paceOp()
+	same := ep.sameNodeTo(a.Rank)
+	pr := ep.cm.For(same)
+	reg := ep.region(a)
 	reg.check(a.Off, 8)
 	ep.clock += timing.Time(pr.InjectNs)
 	prev := reg.stamps.Get(a.Off)
 	old = fn(reg)
 	base := timing.Max(ep.clock, prev)
-	land := ep.schedXfer(a.Rank, base, pr.PutLatNs, pr.xferNs(8))
+	land := ep.schedXferOn(same, a.Rank, base, pr.PutLatNs, pr.xferNs(8))
 	reg.stamps.Set(a.Off, land)
 	comp = timing.Max(land, base+timing.Time(pr.AmoNs))
 	ep.ctr.Amos++
-	ep.fab.nodes[a.Rank].notify()
+	ep.notifyDst(a.Rank)
 	return old, comp
 }
 
@@ -271,18 +449,19 @@ func (ep *Endpoint) AddNBI(a Addr, delta uint64) {
 // StoreW atomically stores an 8-byte word remotely (an NBI put of one word;
 // the flag-update primitive of all synchronization protocols).
 func (ep *Endpoint) StoreW(a Addr, v uint64) {
-	ep.fab.pace(ep.rank, ep.clock)
-	pr := ep.profileFor(a.Rank)
-	reg := ep.fab.region(a)
+	ep.paceOp()
+	same := ep.sameNodeTo(a.Rank)
+	pr := ep.cm.For(same)
+	reg := ep.region(a)
 	reg.check(a.Off, 8)
 	ep.clock += timing.Time(pr.InjectNs)
-	comp := ep.schedXfer(a.Rank, ep.clock, pr.PutLatNs, pr.xferNs(8))
+	comp := ep.schedXferOn(same, a.Rank, ep.clock, pr.PutLatNs, pr.xferNs(8))
 	hostatomic.Store(reg.buf, a.Off, v)
 	reg.stamps.Set(a.Off, comp)
 	ep.implicitMax = timing.Max(ep.implicitMax, comp)
 	ep.ctr.Puts++
 	ep.ctr.BytesPut += 8
-	ep.fab.nodes[a.Rank].notify()
+	ep.notifyDst(a.Rank)
 }
 
 // LoadW atomically reads a remote 8-byte word (blocking get of one word).
@@ -290,9 +469,9 @@ func (ep *Endpoint) StoreW(a Addr, v uint64) {
 // (pace publishes the clock), so paced workloads that poll via LoadW cannot
 // run ahead of the pacing window.
 func (ep *Endpoint) LoadW(a Addr) uint64 {
-	ep.fab.pace(ep.rank, ep.clock)
+	ep.paceOp()
 	pr := ep.profileFor(a.Rank)
-	reg := ep.fab.region(a)
+	reg := ep.region(a)
 	v := reg.atomicLoad(a.Off)
 	ep.clock = timing.Max(ep.clock+timing.Time(pr.InjectNs), reg.stamps.Get(a.Off)) +
 		timing.Time(pr.GetLatNs+pr.xferNs(8))
@@ -333,6 +512,7 @@ func (ep *Endpoint) Test(h Handle) bool { return h.comp <= ep.clock }
 // responsible for merging the stamps of the words that satisfied pred
 // (MergeStamp) — polls charge PollNs once on success.
 func (ep *Endpoint) WaitLocal(pred func() bool) {
+	ep.flushBeforeBlock()
 	gen := ep.fab.doorGenOf(ep.rank)
 	for !pred() {
 		gen = ep.fab.waitDoor(ep.rank, gen)
@@ -350,8 +530,9 @@ func (ep *Endpoint) MergeStamp(reg *Region, off, n int) {
 // with ideal exponential back-off (one round trip charged on success, as the
 // paper's protocols assume congestion-free retries).
 func (ep *Endpoint) PollRemoteWord(a Addr, pred func(uint64) bool) uint64 {
+	ep.flushBeforeBlock()
 	pr := ep.profileFor(a.Rank)
-	reg := ep.fab.region(a)
+	reg := ep.region(a)
 	reg.check(a.Off, 8)
 	gen := ep.fab.doorGenOf(a.Rank)
 	for {

@@ -17,11 +17,14 @@
 // lock-free: region resolution is one atomic pointer load into a
 // copy-on-write table, doorbells ring without a lock when nobody is parked,
 // and pacing folds sharded minimum caches instead of scanning every rank.
+// Groups of operations issue through Endpoint.BeginBatch/EndBatch, which
+// coalesce the per-operation disciplines — one pacing check, one doorbell
+// per distinct destination, memoized region lookups — without changing
+// virtual time by a single bit (DESIGN.md §6.2).
 package simnet
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -52,6 +55,7 @@ type node struct {
 	// serializes only the cold register/unregister copy.
 	mu      sync.Mutex
 	regions atomic.Pointer[[]*Region]
+	initTbl []*Region // initial header, carved from the fabric's setup slab
 	nextKey Key
 
 	// NIC busy interval [nicStart, nicBusy) in virtual time (see reserveNIC).
@@ -165,8 +169,16 @@ func (f *Fabric) PaceWindow() int64 { return f.paceWindow }
 // progress. When the publisher was at or below its shard's cached minimum —
 // it was (one of) the laggard(s) whose clock the cache tracks — it rescans
 // the shard itself, so the O(shard) sweep runs once per laggard operation
-// instead of once per blocked-rank poll; every other publisher pays one
-// store, two loads, and a counter bump.
+// instead of once per blocked-rank poll; with nobody parked, every other
+// publisher pays one store, three loads, and a counter bump.
+//
+// While ranks are parked the laggard test alone is not reliable enough to
+// carry their wakeups: concurrent rescans can leave a shard cache stale-low
+// (below every live clock), and then no publisher ever matches `old <=
+// cache` again until a parked rank's heartbeat repairs it — turning every
+// hand-off into a timer wait. So any publish that finds parked ranks rescans
+// its own shard unconditionally (~one cache line of atomic loads) and runs
+// the wake check; active publishers in each shard keep every cache fresh.
 func (f *Fabric) publishClock(rank int, t timing.Time) {
 	if f.paceWindow == 0 {
 		return
@@ -174,7 +186,7 @@ func (f *Fabric) publishClock(rank int, t timing.Time) {
 	old := atomic.LoadInt64(&f.paceClocks[rank])
 	atomic.StoreInt64(&f.paceClocks[rank], int64(t))
 	s := rank >> paceShardBits
-	if old <= atomic.LoadInt64(&f.paceShardMins[s]) {
+	if old <= atomic.LoadInt64(&f.paceShardMins[s]) || f.paceParked.Load() > 0 {
 		f.rescanShard(s)
 		min, _ := f.paceMinCached()
 		f.wakeWaiters(min)
@@ -213,9 +225,15 @@ func (f *Fabric) paceMinCached() (min int64, argShard int) {
 	return min, argShard
 }
 
-// paceParkTimeout is the parked-rank heartbeat: how long a pace-blocked
-// rank sleeps before re-checking whether the world still makes progress.
-const paceParkTimeout = 200 * time.Microsecond
+// paceParkHeartbeat is the parked-rank heartbeat: how long a pace-blocked
+// rank sleeps before re-checking whether the world still makes progress. It
+// starts short — the heartbeat doubles as the stall valve, and prompt stall
+// release matters for active-message hand-offs — and backs off exponentially
+// to paceParkMax so long-parked ranks do not saturate the timer wheel.
+const (
+	paceParkHeartbeat = 50 * time.Microsecond
+	paceParkMax       = 2 * time.Millisecond
+)
 
 // paceEntry is one parked rank's wakeup threshold in the pacing wait heap.
 type paceEntry struct {
@@ -327,49 +345,24 @@ func (f *Fabric) pace(rank int, t timing.Time) {
 func (f *Fabric) paceBlock(rank int, me int64) {
 	target := me - f.paceWindow
 	slot := &f.paceSlots[rank]
-	lastGen := f.paceGen.Load()
-	stall := 0
-	parkDur := paceParkTimeout
-	for it := 0; ; it++ {
-		// Fold-only check each iteration; the governing shard is rescanned
-		// (repairing stale-low caches) before any park and periodically
-		// while spinning, so a stale cache cannot park the world but also
-		// is not recomputed on every yield.
+	lastMin := int64(-1) // minimum observed at the previous heartbeat
+	idleBeats := 0
+	parkDur := paceParkHeartbeat
+	for {
 		min, arg := f.paceMinCached()
 		if me <= min+f.paceWindow || f.aborted.Load() {
 			return
 		}
-
-		g := f.paceGen.Load()
-		if g == lastGen {
-			// No publish since we last looked: the world is likely parked
-			// outside the fabric (mailbox waits, local polls), a state
-			// only the stall valve resolves. Spin cheaply toward it —
-			// with everyone else parked the yields return immediately,
-			// and active-message hand-offs rely on a prompt release.
-			if it&31 == 0 {
-				if m := f.rescanShard(arg); m != min {
-					continue
-				}
-			}
-			if stall++; stall > 2000 {
-				return // nothing else is progressing: do not deadlock
-			}
-			runtime.Gosched()
-			continue
-		}
-		lastGen, stall = g, 0
-
-		// Progress is happening, so this wait will end: park on our
-		// threshold instead of spinning (a spinning waiter starves the
-		// very laggard it waits for when cores are scarcer than ranks).
-		// Authoritative check first: rescan the governing shard to a
-		// fixpoint so we never park against a stale minimum.
+		// Authoritative check: rescan the governing shard to a fixpoint so
+		// we never park against a stale-low cached minimum.
 		if m := f.rescanShard(arg); m != min {
-			parkDur = paceParkTimeout
 			continue
 		}
-		// Publish the entry, then re-check the fold so a wakeup that
+		// Park immediately — never spin. On an oversubscribed host (cores
+		// scarcer than ranks) a yielding waiter drags every other blocked
+		// rank through the scheduler once per laggard operation; parked
+		// ranks leave the run queue to the ranks that can make progress.
+		// Publish the heap entry, then re-check the fold so a wakeup that
 		// folded before the push cannot be missed (the publisher's
 		// shard-min store precedes its heap scan; if the scan missed our
 		// entry, this fold sees its store).
@@ -413,10 +406,26 @@ func (f *Fabric) paceBlock(rank int, me int64) {
 			return
 		}
 		if woken || eligible {
-			parkDur = paceParkTimeout
-		} else if parkDur < 2*time.Millisecond {
-			// Far from our threshold: heartbeats back off exponentially so
-			// dozens of long-parked ranks do not saturate the timer wheel.
+			idleBeats, parkDur = 0, paceParkHeartbeat
+			continue
+		}
+		// Heartbeat expired with no channel wake: the stall check. The
+		// trustworthy freeze signal is the folded MINIMUM staying put — a
+		// laggard parked in a doorbell or mailbox wait pins it, and only
+		// ranks released past the window keep publishing, which moves their
+		// own clocks but never the minimum. (Counting publishes instead
+		// would let those releases mask a real freeze forever.) After two
+		// silent beats release this rank past the window for ONE operation;
+		// its next pace call re-detects, so frozen-minimum drains progress
+		// at the heartbeat rate rather than freely — an intentional
+		// real-time throttle that keeps ranks' relative rates (and so their
+		// stamp interleavings) tame while the window cannot be enforced.
+		if cur, _ := f.paceMinCached(); cur != lastMin {
+			lastMin, idleBeats = cur, 0
+		} else if idleBeats++; idleBeats >= 2 {
+			return
+		}
+		if parkDur < paceParkMax {
 			parkDur *= 2
 		}
 	}
@@ -457,15 +466,25 @@ func NewFabric(n, ranksPerNode int) *Fabric {
 		paceSlots:     make([]paceSlot, n),
 	}
 	f.paceNextTgt.Store(int64(1) << 62)
+	// Per-node state comes from three slabs (node structs, initial table
+	// headers via node.initTbl, table backing arrays): world setup is a few
+	// allocations, not a few per rank.
+	slab := make([]node, n)
+	backing := make([]*Region, initialRegionCap*n)
 	for i := range f.nodes {
-		nd := &node{}
-		empty := make([]*Region, 0)
-		nd.regions.Store(&empty)
+		nd := &slab[i]
+		nd.initTbl = backing[i*initialRegionCap : i*initialRegionCap : (i+1)*initialRegionCap]
+		nd.regions.Store(&nd.initTbl)
 		nd.door = sync.NewCond(&nd.doorMu)
 		f.nodes[i] = nd
 	}
 	return f
 }
+
+// initialRegionCap is each rank's pre-carved region-table capacity; typical
+// worlds register a handful of regions per rank (scratch, window data and
+// control), and tables growing past it just reallocate.
+const initialRegionCap = 8
 
 // Size returns the number of ranks.
 func (f *Fabric) Size() int { return f.n }
@@ -480,7 +499,11 @@ func (f *Fabric) NodeOf(r int) int { return r / f.ranksPerNode }
 func (f *Fabric) SameNode(a, b int) bool { return f.NodeOf(a) == f.NodeOf(b) }
 
 // register installs a region owned by rank and returns its key. Cold path:
-// it copies the dense table and publishes the copy atomically.
+// it extends the dense table and publishes a new header atomically. When the
+// backing array has spare capacity the new slot is written in place — the
+// store lands beyond every published header's length, so concurrent readers
+// (who hold the old header) cannot observe it — and only a full array
+// reallocates and copies.
 func (f *Fabric) register(rank int, reg *Region) Key {
 	nd := f.nodes[rank]
 	nd.mu.Lock()
@@ -489,9 +512,7 @@ func (f *Fabric) register(rank int, reg *Region) Key {
 	nd.nextKey++
 	reg.key = k
 	old := *nd.regions.Load()
-	tbl := make([]*Region, int(k)+1)
-	copy(tbl, old)
-	tbl[k] = reg
+	tbl := append(old, reg) // in-place when capacity allows (mu serializes writers)
 	nd.regions.Store(&tbl)
 	return k
 }

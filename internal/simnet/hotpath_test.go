@@ -196,23 +196,30 @@ func TestPacingShardTracker(t *testing.T) {
 		t.Fatal("in-window pace took the blocking path")
 	}
 
-	// A rank beyond the window blocks until the laggard publishes. A
-	// heartbeat keeps paceGen moving so the stall valve (tested separately)
-	// does not release it early.
+	// A rank beyond the window blocks until the laggard catches up. Rank 2
+	// is made the designated laggard (everyone else lifted well above it),
+	// and a heartbeat keeps inching its clock forward: the minimum MOVES,
+	// so neither eligibility nor the stall valve — which fires only on a
+	// static minimum — may release the blocked rank early.
+	for r := 0; r < n; r++ {
+		if r != 2 {
+			f.publishClock(r, 15_000)
+		}
+	}
 	released := make(chan struct{})
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		for {
+		for c := int64(1); ; c++ {
 			select {
 			case <-stop:
 				return
 			default:
-				// Republish rank 2's current clock: progress without
-				// moving any minimum (or undoing the catch-up below).
-				f.publishClock(2, timing.Time(atomic.LoadInt64(&f.paceClocks[2])))
+				// Slow real progress: the min crawls but stays far below
+				// the blocked rank's release threshold.
+				f.publishClock(2, timing.Time(10_002+c))
 				time.Sleep(50 * time.Microsecond)
 			}
 		}
@@ -226,7 +233,11 @@ func TestPacingShardTracker(t *testing.T) {
 		t.Fatal("pace returned while the window was exceeded")
 	case <-time.After(20 * time.Millisecond):
 	}
-	// Catch the laggards up; every shard minimum rises above the window.
+	// Stop the crawling laggard first (its republishes must not race the
+	// catch-up below back down), then catch every rank up; every shard
+	// minimum rises above the window and the blocked rank releases.
+	close(stop)
+	wg.Wait()
 	for r := 0; r < n; r++ {
 		f.publishClock(r, 30_000)
 	}
@@ -235,8 +246,6 @@ func TestPacingShardTracker(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("pace never released after laggards caught up")
 	}
-	close(stop)
-	wg.Wait()
 }
 
 // TestPacingStallDetector checks the deadlock valve: when no other rank
@@ -263,20 +272,23 @@ func TestPacingStallDetector(t *testing.T) {
 func TestPacingAbortReleases(t *testing.T) {
 	f := NewFabric(4, 4)
 	f.SetPacing(100)
-	// Publish a laggard far behind so rank 1 genuinely blocks, and keep
-	// publishing progress so the stall detector never fires.
+	// Publish a laggard far behind so rank 1 genuinely blocks, and keep the
+	// minimum inching forward so the stall detector (which fires only on a
+	// static minimum) never releases it.
+	f.publishClock(2, 5_000)
+	f.publishClock(3, 5_000)
 	f.publishClock(0, 1)
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		for {
+		for c := int64(1); ; c++ {
 			select {
 			case <-stop:
 				return
 			default:
-				f.publishClock(0, 1)
+				f.publishClock(0, timing.Time(1+c))
 				time.Sleep(50 * time.Microsecond)
 			}
 		}

@@ -52,6 +52,14 @@ type NotifyRing struct {
 // byte offset off inside reg (which the caller must own) and returns the
 // owner-side handle. The header and slots are zeroed.
 func BindNotifyRing(reg *Region, off, capacity int) *NotifyRing {
+	nr := &NotifyRing{}
+	nr.Bind(reg, off, capacity)
+	return nr
+}
+
+// Bind initializes a caller-owned ring handle in place (see BindNotifyRing);
+// windows embed the handle instead of allocating one per window.
+func (nr *NotifyRing) Bind(reg *Region, off, capacity int) {
 	if capacity <= 0 {
 		panic("simnet: notification ring needs positive capacity")
 	}
@@ -63,7 +71,7 @@ func BindNotifyRing(reg *Region, off, capacity int) *NotifyRing {
 		hostatomic.Store(reg.buf, off+i, 0)
 	}
 	hostatomic.Store(reg.buf, off+16, uint64(capacity))
-	return &NotifyRing{reg: reg, off: off, cap: capacity}
+	*nr = NotifyRing{reg: reg, off: off, cap: capacity}
 }
 
 // Base returns the fabric address remote ranks pass to PutNotify/GetNotify.
@@ -139,7 +147,7 @@ func (ep *Endpoint) deliverNotify(ring Addr, word uint64, after timing.Time, fus
 		panic("simnet: notification word uses reserved bit 63")
 	}
 	pr := ep.profileFor(ring.Rank)
-	reg := ep.fab.region(ring)
+	reg := ep.region(ring)
 	reg.check(ring.Off, notifyHeaderBytes)
 	capacity := hostatomic.Load(reg.buf, ring.Off+16)
 	if capacity == 0 {
@@ -167,7 +175,7 @@ func (ep *Endpoint) deliverNotify(ring Addr, word uint64, after timing.Time, fus
 	hostatomic.Store(reg.buf, slot, word|notifyValid)
 	ep.ctr.Notifies++
 	ep.ctr.BytesPut += 8
-	ep.fab.nodes[ring.Rank].notify()
+	ep.notifyDst(ring.Rank)
 	return comp
 }
 
@@ -203,7 +211,7 @@ func (ep *Endpoint) GetNotify(dst []byte, src Addr, ring Addr, word uint64) timi
 // Notify delivers a bare notification word with no accompanying data: the
 // credit/doorbell primitive of pipelined protocols (a zero-byte PutNotify).
 func (ep *Endpoint) Notify(ring Addr, word uint64) timing.Time {
-	ep.fab.pace(ep.rank, ep.clock)
+	ep.paceOp()
 	comp := ep.deliverNotify(ring, word, 0, false)
 	ep.implicitMax = timing.Max(ep.implicitMax, comp)
 	return comp

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sync"
 
+	"fompi/internal/segpool"
 	"fompi/internal/simnet"
 	"fompi/internal/timing"
 )
@@ -53,57 +54,28 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// scratchSeg is one rank's recyclable scratch: the registered bytes and
-// their shadow stamps. Worlds are created per experiment repetition in the
-// bench sweeps, so segments are pooled per size instead of reallocated —
-// NewWorld costs no heap churn after the first world of a given shape.
-type scratchSeg struct {
-	buf []byte
-	st  *timing.Stamps
-}
-
-// scratchPools maps segment size to its *sync.Pool. sync.Pool drains under
-// GC pressure, so idle worlds do not pin memory.
-var scratchPools sync.Map
-
-func poolFor(size int) *sync.Pool {
-	if p, ok := scratchPools.Load(size); ok {
-		return p.(*sync.Pool)
-	}
-	p, _ := scratchPools.LoadOrStore(size, &sync.Pool{})
-	return p.(*sync.Pool)
-}
-
-// getScratchSeg returns an all-zero segment of the given size.
-func getScratchSeg(size int) *scratchSeg {
-	if s, ok := poolFor(size).Get().(*scratchSeg); ok && s != nil {
-		return s
-	}
-	return &scratchSeg{buf: make([]byte, size), st: timing.NewStamps(size)}
-}
-
-// putScratchSeg zeroes a segment and returns it to its pool. Callers must
-// guarantee no goroutine still touches the segment's world.
-func putScratchSeg(s *scratchSeg) {
-	clear(s.buf)
-	s.st.Reset()
-	poolFor(len(s.buf)).Put(s)
-}
-
-// World is the shared state of one SPMD run.
+// World is the shared state of one SPMD run. Per-rank collective scratch —
+// registered bytes plus shadow stamps — comes from the shared segment pool
+// (internal/segpool), and the per-rank handles (procs, endpoints, scratch
+// regions) are slab-allocated: worlds are created per experiment repetition
+// in the bench sweeps, so NewWorld costs a handful of allocations, not a
+// handful per rank.
 type World struct {
 	cfg     Config
 	fab     *simnet.Fabric
-	scratch []*simnet.Region // per-rank collective scratch, fabric key 0
-	segs    []*scratchSeg    // pooled backing of scratch, recycled on exit
+	scratch []simnet.Region // per-rank collective scratch, fabric key 0
+	segs    []*segpool.Seg  // pooled backing of scratch, recycled on exit
 }
 
 // recycle returns the world's scratch segments to the pool. Only safe after
 // every rank goroutine has exited cleanly (an aborted world may still have
 // unwinding goroutines holding region references, so it is not recycled).
+// Scratch is written exclusively by stamping fabric operations (collective
+// flags and payloads), so the scrubbed recycle wipes only the parts a run
+// actually touched.
 func (w *World) recycle() {
 	for _, s := range w.segs {
-		putScratchSeg(s)
+		segpool.PutScrubbed(s)
 	}
 	w.segs = nil
 }
@@ -167,14 +139,17 @@ func NewWorld(cfg Config) (*World, []*Proc) {
 	cfg = cfg.withDefaults()
 	w := &World{cfg: cfg, fab: simnet.NewFabric(cfg.Ranks, cfg.RanksPerNode)}
 	w.fab.SetPacing(cfg.PaceWindowNs)
-	w.scratch = make([]*simnet.Region, cfg.Ranks)
-	w.segs = make([]*scratchSeg, cfg.Ranks)
+	w.scratch = make([]simnet.Region, cfg.Ranks)
+	w.segs = make([]*segpool.Seg, cfg.Ranks)
 	procs := make([]*Proc, cfg.Ranks)
+	procSlab := make([]Proc, cfg.Ranks)
+	eps := w.fab.Endpoints(cfg.Model)
 	for r := 0; r < cfg.Ranks; r++ {
-		p := &Proc{world: w, rank: r, ep: w.fab.Endpoint(r, cfg.Model)}
-		seg := getScratchSeg(hdrBytes + cfg.ScratchBytes)
+		p := &procSlab[r]
+		*p = Proc{world: w, rank: r, ep: &eps[r]}
+		seg := segpool.Get(hdrBytes + cfg.ScratchBytes)
 		w.segs[r] = seg
-		w.scratch[r] = p.ep.RegisterBufStamps(seg.buf, seg.st)
+		p.ep.RegisterBufStampsInto(&w.scratch[r], seg.Buf, seg.St)
 		procs[r] = p
 	}
 	return w, procs
@@ -206,9 +181,9 @@ func (p *Proc) Now() timing.Time { return p.ep.Now() }
 func (p *Proc) Compute(ns int64) { p.ep.Compute(ns) }
 
 // scratchOf returns the collective scratch region of rank r.
-func (p *Proc) scratchOf(r int) *simnet.Region { return p.world.scratch[r] }
+func (p *Proc) scratchOf(r int) *simnet.Region { return &p.world.scratch[r] }
 
 // ScratchRegion exposes the rank's collective scratch region
 // (instrumentation and tests). Its backing memory is recycled into the
 // scratch pool when Run returns cleanly — do not retain it past the world.
-func (p *Proc) ScratchRegion() *simnet.Region { return p.world.scratch[p.rank] }
+func (p *Proc) ScratchRegion() *simnet.Region { return &p.world.scratch[p.rank] }

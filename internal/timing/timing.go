@@ -75,6 +75,13 @@ type Stamps struct {
 	blockEpoch []uint32 // per-block max epoch of single-word writes
 
 	epoch atomic.Uint32 // fill-epoch source; single-word writes sample it
+
+	// zeroStamped records that some write carried stamp 0 (an op issued at
+	// virtual time 0, e.g. a local store during world setup): such a write
+	// raises no block summary, so the summary-guided Reset/DirtyBlocks fast
+	// paths would miss the block — they fall back to treating everything
+	// dirty instead.
+	zeroStamped atomic.Bool
 }
 
 // NewStamps creates shadow timestamps covering size bytes. The six arrays
@@ -92,15 +99,63 @@ func NewStamps(size int) *Stamps {
 }
 
 // Reset returns the stamps to the all-zero state so the shadow arrays can be
-// recycled across worlds (see the spmd scratch pool).
+// recycled across worlds (see internal/segpool). The per-block summaries
+// make it cost proportional to what was written: a block whose summaries
+// are all zero was never stamped with a nonzero value (every stamping path
+// raises blockMax, blockEpoch, or fEpoch first), so its word arrays are
+// still zero and are skipped. The caller must guarantee no concurrent
+// writers, as with any recycling.
 func (s *Stamps) Reset() {
-	clear(s.words)
-	clear(s.wEpoch)
-	clear(s.fill)
-	clear(s.fEpoch)
-	clear(s.blockMax)
-	clear(s.blockEpoch)
+	if s.zeroStamped.Load() {
+		clear(s.words)
+		clear(s.wEpoch)
+		clear(s.fill)
+		clear(s.fEpoch)
+		clear(s.blockMax)
+		clear(s.blockEpoch)
+		s.epoch.Store(0)
+		s.zeroStamped.Store(false)
+		return
+	}
+	for b := range s.fill {
+		if s.blockMax[b] == 0 && s.fEpoch[b] == 0 && s.blockEpoch[b] == 0 {
+			continue
+		}
+		lo := b * BlockWords
+		hi := lo + BlockWords
+		if hi > len(s.words) {
+			hi = len(s.words)
+		}
+		clear(s.words[lo:hi])
+		clear(s.wEpoch[lo:hi])
+		s.fill[b], s.fEpoch[b] = 0, 0
+		s.blockMax[b], s.blockEpoch[b] = 0, 0
+	}
 	s.epoch.Store(0)
+}
+
+// DirtyBlocks calls fn for each block that may have been stamped since the
+// last Reset, passing the block's byte extent [lo, hi) within the covered
+// region. Recyclers use it to wipe only the written parts of a backing
+// buffer whose writers all follow the stamp discipline.
+func (s *Stamps) DirtyBlocks(fn func(lo, hi int)) {
+	if s.zeroStamped.Load() {
+		// A stamp-0 write is invisible to the summaries: everything may be
+		// dirty.
+		fn(0, len(s.words)*8)
+		return
+	}
+	for b := range s.fill {
+		if s.blockMax[b] == 0 && s.fEpoch[b] == 0 && s.blockEpoch[b] == 0 {
+			continue
+		}
+		lo := b * BlockWords * 8
+		hi := lo + BlockWords*8
+		if n := len(s.words) * 8; hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	}
 }
 
 // Bytes returns the registered size the stamps cover (for pool lookups).
@@ -109,6 +164,9 @@ func (s *Stamps) Bytes() int { return len(s.words) * 8 }
 // Set records that the word containing byte offset off was written by an
 // operation completing at t.
 func (s *Stamps) Set(off int, t Time) {
+	if t == 0 {
+		s.zeroStamped.Store(true)
+	}
 	i := off / 8
 	b := i / BlockWords
 	e := s.epoch.Load()
@@ -126,6 +184,9 @@ func (s *Stamps) Set(off int, t Time) {
 func (s *Stamps) SetRange(off, n int, t Time) {
 	if n <= 0 {
 		return
+	}
+	if t == 0 {
+		s.zeroStamped.Store(true)
 	}
 	v := int64(t)
 	first, last := off/8, (off+n-1)/8
@@ -192,6 +253,11 @@ func (s *Stamps) MaxRange(off, n int) Time {
 	}
 	var m int64
 	first, last := off/8, (off+n-1)/8
+	if first == last {
+		// Single word — the flag-merge hot path of every synchronization
+		// protocol: resolve it like Get instead of walking block summaries.
+		return s.Get(off)
+	}
 	fb, lb := first/BlockWords, last/BlockWords
 	for b := fb; b <= lb; b++ {
 		lo := b * BlockWords

@@ -6,7 +6,7 @@
 #   go test ./...                all package suites
 #   go test -race -short <hot>   concurrency check over the packages whose
 #                                goroutines share fabric memory
-#   bench_host.sh smoke          one-iteration host-perf run; asserts the
+#   make bench-host-quick        one-iteration host-perf smoke; asserts the
 #                                emitted JSON is well-formed
 #
 # Run via `make verify` or directly. Exits nonzero on the first failure.
@@ -26,9 +26,7 @@ go test ./...
 echo "== go test -race -short (simnet, core, spmd)"
 go test -race -short ./internal/simnet/ ./internal/core/ ./internal/spmd/
 
-echo "== bench-host smoke (1 iteration, JSON well-formed)"
-SMOKE_OUT="$(mktemp)"
-ITERS=1 OUT="$SMOKE_OUT" sh scripts/bench_host.sh -only 'put_sweep|get_sweep|fence_p64|lockall_p64|stencil_p16'
-rm -f "$SMOKE_OUT"
+echo "== bench-host smoke (make bench-host-quick: 1 iteration, JSON well-formed)"
+make bench-host-quick
 
 echo "verify: OK"
