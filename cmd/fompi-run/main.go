@@ -1,0 +1,54 @@
+// Command fompi-run launches an SPMD program on the multi-process backend:
+// the mpirun/srun equivalent of the simulated toolchain. It creates the
+// shared-memory world and executes the target binary once per rank with the
+// worker environment set.
+//
+//	fompi-run -np 4 -ppn 2 ./myprog args...
+//
+// The launcher exports FOMPI_BACKEND=mp, so a program that selects its
+// backend from the environment (fompi.BackendFromEnv, as the examples do)
+// reaches its fompi.Run call with BackendMP and joins the world the
+// launcher created. The flags must match the program's fompi.Config (ranks,
+// ranks per node, pacing window, arena size): the workers validate their
+// config against the world and fail loudly on a mismatch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fompi/internal/mprun"
+)
+
+func main() {
+	np := flag.Int("np", 2, "number of ranks (one OS process each)")
+	ppn := flag.Int("ppn", 1, "ranks per node (intra-node pairs use the XPMEM-style fast path)")
+	pace := flag.Int64("pace", 0, "pacing window in virtual ns (0 disables; must match the program's PaceWindowNs)")
+	arena := flag.Int("arena", 0, "per-rank registered-memory arena bytes (0 = the 16 MiB default)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fompi-run [flags] program [args...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if mprun.IsWorker() {
+		fmt.Fprintln(os.Stderr, "fompi-run: refusing to nest inside a multi-process world")
+		os.Exit(2)
+	}
+	os.Setenv("FOMPI_BACKEND", "mp")
+	err := mprun.Launch(mprun.Options{
+		Ranks:        *np,
+		RanksPerNode: *ppn,
+		PaceWindowNs: *pace,
+		ArenaBytes:   *arena,
+		Relaunch:     flag.Args(),
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fompi-run: %v\n", err)
+		os.Exit(1)
+	}
+}

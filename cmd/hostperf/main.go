@@ -9,6 +9,7 @@
 //	hostperf -iters 3 -o BENCH_host.json
 //	hostperf -iters 1 -only 'put_sweep|fence' -o -     # smoke, stdout
 //	hostperf -check BENCH_host.json                     # validate only
+//	hostperf -guard BENCH_host.json -against fresh.json # CI perf guard
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"regexp"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"fompi/internal/hostperf"
@@ -105,12 +107,66 @@ func check(path string) error {
 	return nil
 }
 
+// guard compares a fresh report against the committed record and fails on
+// allocation regressions beyond factor. Allocations are deterministic enough
+// to gate on; wall-clock on shared CI runners is not, so ns/op ratios are
+// reported but never fail the guard (scripts/bench_check.sh wires this into
+// the CI workflow).
+func guard(recordPath, currentPath string, factor float64) error {
+	if err := check(recordPath); err != nil {
+		return err
+	}
+	if err := check(currentPath); err != nil {
+		return err
+	}
+	rec, err := load(recordPath)
+	if err != nil {
+		return err
+	}
+	cur, err := load(currentPath)
+	if err != nil {
+		return err
+	}
+	byName := map[string]result{}
+	for _, r := range cur.Results {
+		byName[r.Name] = r
+	}
+	var failures []string
+	for _, b := range rec.Results {
+		c, ok := byName[b.Name]
+		if !ok {
+			// The current run may be a scenario subset (the quick smoke);
+			// only scenarios it actually ran are compared.
+			continue
+		}
+		// The +1 absolute slack keeps near-zero baselines (the 0-alloc hot
+		// paths) from failing on sub-allocation noise while still catching
+		// any real per-op allocation introduced there.
+		ceiling := b.AllocsPerOp*factor + 1
+		verdict := "ok"
+		if c.AllocsPerOp > ceiling {
+			verdict = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s: %.2f allocs/%s exceeds ceiling %.2f (recorded %.2f × factor %g + 1)",
+				b.Name, c.AllocsPerOp, b.Unit, ceiling, b.AllocsPerOp, factor))
+		}
+		fmt.Printf("%-16s allocs %8.2f -> %8.2f (ceiling %8.2f) %-4s  wall x%.2f (advisory)\n",
+			b.Name, b.AllocsPerOp, c.AllocsPerOp, ceiling, verdict, c.NsPerOp/b.NsPerOp)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("allocation regressions:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
 func main() {
 	iters := flag.Int("iters", 3, "timed iterations per scenario")
 	out := flag.String("o", "BENCH_host.json", "output path ('-' for stdout)")
 	baseline := flag.String("baseline", "", "baseline report to embed and compare against")
 	only := flag.String("only", "", "regexp selecting scenario names")
 	checkPath := flag.String("check", "", "validate a report file and exit")
+	guardPath := flag.String("guard", "", "committed record to guard against (with -against)")
+	against := flag.String("against", "", "fresh report compared to -guard's record")
+	factor := flag.Float64("allocs-factor", 3, "allowed allocs/op growth factor for -guard")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the timed runs")
 	flag.Parse()
 
@@ -120,6 +176,18 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("hostperf: %s well-formed\n", *checkPath)
+		return
+	}
+	if *guardPath != "" || *against != "" {
+		if *guardPath == "" || *against == "" {
+			fmt.Fprintln(os.Stderr, "hostperf: -guard and -against must be given together")
+			os.Exit(2)
+		}
+		if err := guard(*guardPath, *against, *factor); err != nil {
+			fmt.Fprintln(os.Stderr, "hostperf:", err)
+			os.Exit(1)
+		}
+		fmt.Println("hostperf: bench guard passed")
 		return
 	}
 

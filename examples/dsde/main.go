@@ -20,7 +20,7 @@ import (
 func main() {
 	const ranks = 16
 	prm := dsde.Params{K: 6, Seed: 3}
-	var fab *simnet.Fabric
+	var fab simnet.Transport
 	fompi.MustRun(fompi.Config{Ranks: ranks, RanksPerNode: 4, PaceWindowNs: 20000},
 		func(p *fompi.Proc) {
 			fab = p.Fabric()

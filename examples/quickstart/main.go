@@ -2,16 +2,25 @@
 // window, exchange data with puts inside fence epochs, read it back with
 // passive-target gets, and print their virtual-time cost — everything a new
 // user needs to see the one-sided programming model end to end.
+// The -backend flag (or FOMPI_BACKEND) selects the transport: proc runs the
+// four ranks as goroutines over the in-process fabric, mp runs each rank as
+// an OS process over a shared-memory segment — same program, same output,
+// bit-identical virtual times.
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"fompi"
 )
 
 func main() {
-	fompi.MustRun(fompi.Config{Ranks: 4, RanksPerNode: 2}, func(p *fompi.Proc) {
+	backend := flag.String("backend", string(fompi.BackendFromEnv()),
+		"transport backend: proc (in-process, default) or mp (multi-process)")
+	flag.Parse()
+	cfg := fompi.Config{Ranks: 4, RanksPerNode: 2, Backend: fompi.Backend(*backend)}
+	fompi.MustRun(cfg, func(p *fompi.Proc) {
 		// Allocated windows use the symmetric heap: O(1) remote-addressing
 		// state per rank (§2.2 of the paper); always prefer them.
 		win, mem := fompi.WinAllocate(p, 64)

@@ -39,6 +39,8 @@
 package fompi
 
 import (
+	"os"
+
 	"fompi/internal/core"
 	"fompi/internal/datatype"
 	"fompi/internal/simnet"
@@ -47,8 +49,30 @@ import (
 )
 
 // Config describes an SPMD world: rank count, node width (ranks sharing the
-// XPMEM fast path), and optionally a non-default transport cost model.
+// XPMEM fast path), optionally a non-default transport cost model, and the
+// transport backend (Config.Backend).
 type Config = spmd.Config
+
+// Backend selects the transport substrate of a world: BackendInProc runs
+// ranks as goroutines over the in-process fabric, BackendMP runs each rank
+// as an OS process with RMA through a mmap-shared segment and doorbells over
+// Unix sockets (see internal/mprun and cmd/fompi-run). Virtual time lives
+// above the transport line, so checksums and virtual-time figures are
+// bit-identical across backends.
+type Backend = spmd.Backend
+
+// Backend selectors for Config.Backend.
+const (
+	BackendInProc = spmd.BackendInProc
+	BackendMP     = spmd.BackendMP
+)
+
+// BackendFromEnv reads the FOMPI_BACKEND environment variable ("proc" or
+// "mp"; empty means in-process), the convention the cmd/fompi-run launcher
+// and the examples use to select a backend without code changes.
+func BackendFromEnv() Backend {
+	return Backend(os.Getenv("FOMPI_BACKEND"))
+}
 
 // Proc is one rank's handle: rank/size, virtual clock, collectives.
 type Proc = spmd.Proc
@@ -85,8 +109,12 @@ const (
 	AccNoOp    = core.AccNoOp
 )
 
-// Run launches cfg.Ranks goroutine ranks executing body and waits for them;
-// a rank panic aborts the world and is returned as an error.
+// Run launches cfg.Ranks ranks executing body and waits for them; a rank
+// panic aborts the world and is returned as an error. On the default
+// in-process backend ranks are goroutines; with Config.Backend == BackendMP
+// the calling process becomes a launcher that re-executes itself once per
+// rank, and in those worker processes Run exits the process after body — so
+// keep all per-rank output inside body (rank-0-guarded), as the examples do.
 func Run(cfg Config, body func(*Proc)) error { return spmd.Run(cfg, body) }
 
 // MustRun is Run but panics on error.

@@ -33,7 +33,7 @@ func equal(a, b []uint64) bool {
 // exactly the expected multiset.
 func runAll(t *testing.T, ranks int, prm Params) {
 	t.Helper()
-	var fab *simnet.Fabric
+	var fab simnet.Transport
 	type got struct {
 		name string
 		recv []uint64
@@ -77,7 +77,7 @@ func TestPropertyRandomSeedsAndK(t *testing.T) {
 		if k > 7 {
 			k = 7
 		}
-		var fab *simnet.Fabric
+		var fab simnet.Transport
 		ok := true
 		spmd.MustRun(spmd.Config{Ranks: n, RanksPerNode: 4}, func(p *spmd.Proc) {
 			prm := Params{K: k, Seed: int64(seed)}

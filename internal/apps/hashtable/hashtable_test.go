@@ -48,7 +48,7 @@ func runVariant(t *testing.T, name string, ranks int, prm Params,
 	run func(p *spmd.Proc) (Result, []byte)) {
 	t.Helper()
 	vols := make([][]byte, ranks)
-	var fab *simnet.Fabric
+	var fab simnet.Transport
 	err := spmd.Run(spmd.Config{Ranks: ranks, RanksPerNode: 4, PaceWindowNs: 50000},
 		func(p *spmd.Proc) {
 			fab = p.Fabric()

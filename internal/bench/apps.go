@@ -24,7 +24,7 @@ func Fig7a(cfg Config) *Table {
 		prm := hashtable.Params{InsertsPerRank: cfg.Inserts, Seed: cfg.Seed,
 			TableSlots: 16 * cfg.Inserts, OverflowCells: cfg.Inserts * n}
 		els := map[string][]timing.Time{}
-		var fab *simnet.Fabric
+		var fab simnet.Transport
 		// Pacing bounds cross-rank clock divergence: the hashtable's CAS
 		// and overflow-counter words couple the ranks' virtual clocks, and
 		// unpaced real-time scheduling would turn that into noise.
@@ -71,7 +71,7 @@ func Fig7b(cfg Config) *Table {
 		}
 		prm := dsde.Params{K: 6, Seed: cfg.Seed}
 		worst := map[string]timing.Time{}
-		var fab *simnet.Fabric
+		var fab simnet.Transport
 		spmd.MustRun(spmd.Config{Ranks: n, RanksPerNode: 4, PaceWindowNs: 20000}, func(p *spmd.Proc) {
 			fab = p.Fabric()
 			c := mpi1.Dial(p)
@@ -116,7 +116,7 @@ func Fig7c(cfg Config) *Table {
 	for _, n := range PSweep(maxP) {
 		prm := fft.Params{NX: 64, NY: 64, NZ: 64, Iters: 1, NsPerFlop: 0.02}
 		worst := map[string]float64{}
-		var fab *simnet.Fabric
+		var fab simnet.Transport
 		spmd.MustRun(spmd.Config{Ranks: n, RanksPerNode: 4}, func(p *spmd.Proc) {
 			fab = p.Fabric()
 			c := mpi1.Dial(p)
@@ -155,7 +155,7 @@ func Fig8(cfg Config) *Table {
 		grid := milcGrid(n)
 		prm := milc.Params{Local: [4]int{4, 4, 4, 8}, Grid: grid, Iters: 20, Seed: cfg.Seed}
 		worst := map[string]timing.Time{}
-		var fab *simnet.Fabric
+		var fab simnet.Transport
 		spmd.MustRun(spmd.Config{Ranks: n, RanksPerNode: 4}, func(p *spmd.Proc) {
 			fab = p.Fabric()
 			type variant struct {

@@ -114,8 +114,10 @@ type Win struct {
 	dataReg simnet.Region
 	ctlReg  simnet.Region
 
-	// Pooled backing segments (internal/segpool), recycled by Free. ctlSeg
-	// is always pooled; dataSeg only for library-allocated window memory.
+	// Transport-allocated backing segments, recycled by Free. ctlSeg is
+	// always transport memory; dataSeg only for library-allocated window
+	// memory (on the multi-process backend this is what makes the window
+	// remotely reachable at all).
 	ctlSeg  *segpool.Seg
 	dataSeg *segpool.Seg
 
@@ -182,7 +184,7 @@ type dynEntry struct {
 func winBase(p *spmd.Proc, cfg Config, kind winKind) *Win {
 	cfg = cfg.withDefaults()
 	w := &Win{p: p, ep: p.EP(), cfg: cfg, kind: kind}
-	w.ctlSeg = segpool.Get(ctlBytes(cfg))
+	w.ctlSeg = w.ep.AllocSeg(ctlBytes(cfg))
 	w.ep.RegisterBufStampsInto(&w.ctlReg, w.ctlSeg.Buf, w.ctlSeg.St)
 	w.ctl = &w.ctlReg
 	w.ctlKey = w.ctl.Key()
@@ -211,7 +213,7 @@ func assertSymmetric(p *spmd.Proc, v uint64, what string) {
 // returned slice must not be used after Free.
 func Allocate(p *spmd.Proc, size int, cfg Config) (*Win, []byte) {
 	w := winBase(p, cfg, kindAllocate)
-	w.dataSeg = segpool.Get(size)
+	w.dataSeg = w.ep.AllocSeg(size)
 	w.ep.RegisterBufStampsInto(&w.dataReg, w.dataSeg.Buf, w.dataSeg.St)
 	w.data = &w.dataReg
 	w.size = size
@@ -266,7 +268,7 @@ func AllocateShared(p *spmd.Proc, size int, cfg Config) (*Win, []byte) {
 		}
 	}
 	w := winBase(p, cfg, kindShared)
-	w.dataSeg = segpool.Get(size)
+	w.dataSeg = w.ep.AllocSeg(size)
 	w.ep.RegisterBufStampsInto(&w.dataReg, w.dataSeg.Buf, w.dataSeg.St)
 	w.data = &w.dataReg
 	w.size = size
@@ -413,7 +415,7 @@ func (w *Win) Free() {
 	if w.dataSeg != nil {
 		// Window memory was exposed to the application as a raw slice, so
 		// its writes are untracked: full wipe.
-		segpool.Put(w.dataSeg)
+		w.ep.RecycleSegWiped(w.dataSeg)
 		w.dataSeg = nil
 	}
 	// Control-region writes are stamped fabric operations except for the
@@ -426,7 +428,7 @@ func (w *Win) Free() {
 	if w.kind == kindDynamic {
 		extras = append(extras, segpool.Range{Lo: ctlAttach, Hi: ctlAttach + w.cfg.MaxAttach*16})
 	}
-	segpool.PutScrubbed(w.ctlSeg, extras...)
+	w.ep.RecycleSeg(w.ctlSeg, extras...)
 	w.ctlSeg = nil
 	w.freed = true
 }

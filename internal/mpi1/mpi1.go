@@ -72,7 +72,7 @@ type world struct {
 
 var (
 	worldsMu sync.Mutex
-	worlds   = map[*simnet.Fabric]*world{}
+	worlds   = map[simnet.Transport]*world{}
 )
 
 // Comm is one rank's communicator handle over the MPI-1 layer.
@@ -110,12 +110,12 @@ func Dial(p *spmd.Proc) *Comm {
 		})
 	}
 	worldsMu.Unlock()
-	return &Comm{proc: p, ep: fab.Endpoint(p.Rank(), w.model), w: w}
+	return &Comm{proc: p, ep: simnet.NewEndpoint(fab, p.Rank(), w.model), w: w}
 }
 
 // Release detaches the layer from a fabric so benchmark fabrics are not
 // retained after their world exits.
-func Release(f *simnet.Fabric) {
+func Release(f simnet.Transport) {
 	worldsMu.Lock()
 	delete(worlds, f)
 	worldsMu.Unlock()

@@ -16,7 +16,7 @@ import (
 // run launches an n-rank world with the MPI-1 layer dialed on every rank.
 func run(t *testing.T, n, rpn int, body func(c *Comm)) {
 	t.Helper()
-	var fab *simnet.Fabric
+	var fab simnet.Transport
 	err := spmd.Run(spmd.Config{Ranks: n, RanksPerNode: rpn}, func(p *spmd.Proc) {
 		fab = p.Fabric()
 		body(Dial(p))
@@ -281,7 +281,7 @@ func TestPropertyMessagesDeliverExactly(t *testing.T) {
 			return true
 		}
 		ok := true
-		var fab *simnet.Fabric
+		var fab simnet.Transport
 		spmd.MustRun(spmd.Config{Ranks: 2}, func(p *spmd.Proc) {
 			fab = p.Fabric()
 			c := Dial(p)

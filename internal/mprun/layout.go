@@ -1,0 +1,161 @@
+package mprun
+
+import (
+	"fmt"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Shared-memory world layout. One file, mapped MAP_SHARED by the launcher
+// and every worker process, holds everything two ranks ever both touch:
+//
+//	header   (1 page)   world parameters + the abort flag
+//	rank[i]  (128 B)    doorbell generation, doorbell waiter mask, published
+//	                    pace clock, NIC busy interval + its spinlock
+//	dir[i]   (32 B × maxRegions per rank)
+//	                    the region directory: each owner publishes its
+//	                    registrations here in key order
+//	arena[i] (ArenaBytes per rank)
+//	                    registered memory. Every segment is laid out as
+//	                    [buffer][stamp int64 slab][stamp uint32 slab], so a
+//	                    directory entry needs only (offset, length): peers
+//	                    derive the stamp slabs with timing.StampSlabLens.
+//
+// All multi-word fields are 8-byte aligned; cross-process synchronization
+// uses sync/atomic on the mapped words, which on a cache-coherent machine
+// gives the same acquire/release ordering between processes as between
+// goroutines. DESIGN.md §8 documents the layout and its ordering contracts.
+const (
+	shmMagic   = 0x666f4d50_72756e31 // "foMPrun1"
+	shmVersion = 1
+
+	hdrMagic      = 0  // u64
+	hdrVersion    = 8  // u64
+	hdrRanks      = 16 // u64
+	hdrRPN        = 24 // u64
+	hdrPaceWindow = 32 // i64
+	hdrArenaBytes = 40 // u64
+	hdrMaxRegions = 48 // u64
+	hdrAbort      = 56 // u32
+	hdrBytes      = 4096
+
+	rankStride    = 128
+	rnDoorGen     = 0  // u64
+	rnDoorWaiters = 8  // u64 bitmask: ranks blocked in WaitDoor on this rank
+	rnPaceClock   = 16 // i64
+	rnNicLock     = 24 // u32 spinlock
+	rnNicStart    = 32 // i64
+	rnNicBusy     = 40 // i64
+
+	entryStride = 32
+	enState     = 0  // u32: entryEmpty/entryLive/entryDead
+	enBufOff    = 8  // u64, arena-relative
+	enBufLen    = 16 // u64
+
+	entryEmpty = 0
+	entryLive  = 1
+	entryDead  = 2
+
+	// maxRegions bounds each rank's registrations over the world lifetime
+	// (keys are never reused). Worlds register a handful of regions per
+	// window; 1024 is two orders of magnitude of headroom.
+	maxRegions = 1024
+
+	// MaxRanks bounds a multi-process world: the doorbell waiter set is one
+	// 64-bit mask per rank. Worlds of OS processes are launcher-scale, not
+	// simulation-scale (the in-process backend runs p=4096).
+	MaxRanks = 64
+
+	pageAlign = 4096
+)
+
+func alignUp(n, a int) int { return (n + a - 1) &^ (a - 1) }
+
+// layout computes the section offsets of a world's shared file.
+type layout struct {
+	ranks      int
+	arenaBytes int
+	dirOff     int
+	arenaOff   int
+	total      int
+}
+
+func layoutFor(ranks, arenaBytes int) layout {
+	l := layout{ranks: ranks, arenaBytes: arenaBytes}
+	l.dirOff = hdrBytes + ranks*rankStride
+	l.arenaOff = alignUp(l.dirOff+ranks*maxRegions*entryStride, pageAlign)
+	l.total = l.arenaOff + ranks*arenaBytes
+	return l
+}
+
+func (l layout) rankOff(r int) int     { return hdrBytes + r*rankStride }
+func (l layout) entryOff(r, k int) int { return l.dirOff + (r*maxRegions+k)*entryStride }
+func (l layout) arenaBase(r int) int   { return l.arenaOff + r*l.arenaBytes }
+func (l layout) arena(m []byte, r int) []byte {
+	base := l.arenaBase(r)
+	return m[base : base+l.arenaBytes : base+l.arenaBytes]
+}
+
+// Typed views of aligned words inside the mapping. The byte offsets above
+// are all 4- or 8-aligned and the mapping is page-aligned, so the casts
+// satisfy sync/atomic's alignment requirements.
+func u64at(m []byte, off int) *uint64 { return (*uint64)(unsafe.Pointer(&m[off])) }
+func i64at(m []byte, off int) *int64  { return (*int64)(unsafe.Pointer(&m[off])) }
+func u32at(m []byte, off int) *uint32 { return (*uint32)(unsafe.Pointer(&m[off])) }
+
+// i64slice and u32slice view a byte extent as a typed slab (stamp arrays).
+func i64slice(m []byte, off, n int) []int64 {
+	if n == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&m[off])), n)
+}
+
+func u32slice(m []byte, off, n int) []uint32 {
+	if n == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint32)(unsafe.Pointer(&m[off])), n)
+}
+
+// arenaOffset locates buf inside arena, or reports that it is foreign.
+func arenaOffset(arena, buf []byte) (int, bool) {
+	if len(buf) == 0 {
+		return 0, true
+	}
+	base := uintptr(unsafe.Pointer(&arena[0]))
+	p := uintptr(unsafe.Pointer(&buf[0]))
+	if p < base || p+uintptr(len(buf)) > base+uintptr(len(arena)) {
+		return 0, false
+	}
+	return int(p - base), true
+}
+
+// checkHeader validates a mapped world against the joiner's expectations.
+func checkHeader(m []byte, o Options) error {
+	if len(m) < hdrBytes {
+		return fmt.Errorf("mprun: shared segment truncated (%d bytes)", len(m))
+	}
+	if g := atomic.LoadUint64(u64at(m, hdrMagic)); g != shmMagic {
+		return fmt.Errorf("mprun: bad shared-segment magic %#x", g)
+	}
+	if v := atomic.LoadUint64(u64at(m, hdrVersion)); v != shmVersion {
+		return fmt.Errorf("mprun: shared-segment layout version %d, want %d", v, shmVersion)
+	}
+	for _, c := range []struct {
+		name string
+		off  int
+		want uint64
+	}{
+		{"rank count", hdrRanks, uint64(o.Ranks)},
+		{"ranks per node", hdrRPN, uint64(o.RanksPerNode)},
+		{"pacing window", hdrPaceWindow, uint64(o.PaceWindowNs)},
+		{"arena bytes", hdrArenaBytes, uint64(o.ArenaBytes)},
+		{"region directory size", hdrMaxRegions, maxRegions},
+	} {
+		if g := atomic.LoadUint64(u64at(m, c.off)); g != c.want {
+			return fmt.Errorf("mprun: %s mismatch: launcher created the world with %d, this program wants %d (the worker binary must run the same spmd.Config as the launcher)", c.name, g, c.want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,738 @@
+// Package mprun is the multi-process transport backend: each rank of an
+// SPMD world is an OS process, registered memory lives in one mmap-shared
+// file (the paper's XPMEM-style same-node fast path made real — remote puts
+// and gets are memcpys into the target's mapped segment), and control plus
+// doorbell traffic travels over Unix-domain sockets. The package has two
+// faces:
+//
+//   - Launch, called in the launcher process (a program whose spmd.Config
+//     selected BackendMP, or cmd/fompi-run), creates the world — the shared
+//     segment, the control socket — and re-executes the worker argv once per
+//     rank with FOMPI_MP_DIR/FOMPI_MP_RANK in the environment.
+//   - Join, called in a worker (detected by IsWorker), maps the segment and
+//     returns a World implementing simnet.Transport for its rank.
+//
+// Everything virtual-time lives above the Transport line in simnet.Endpoint
+// and internal/timing, and the shadow-stamp arrays themselves are laid out
+// inside the shared segment, so a multi-process run's clocks, stamps, and
+// checksums are bit-identical to the in-process backend's (the conformance
+// suite in internal/transporttest pins this). See DESIGN.md §8 for the wire
+// layout and the cross-process ordering argument.
+package mprun
+
+import (
+	"bufio"
+	"fmt"
+	"math/bits"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"fompi/internal/segpool"
+	"fompi/internal/simnet"
+	"fompi/internal/timing"
+)
+
+const (
+	envDir  = "FOMPI_MP_DIR"
+	envRank = "FOMPI_MP_RANK"
+
+	bootTimeout  = 60 * time.Second
+	abortGrace   = 20 * time.Second
+	doorWaitMin  = 200 * time.Microsecond
+	doorWaitMax  = 5 * time.Millisecond
+	paceSleepMin = 50 * time.Microsecond
+	paceSleepMax = 2 * time.Millisecond
+)
+
+// Options describes a multi-process world. Launcher and workers must agree
+// on every field (Join validates against the header the launcher wrote).
+type Options struct {
+	Ranks        int
+	RanksPerNode int
+	PaceWindowNs int64
+	// ArenaBytes is each rank's registered-memory arena inside the shared
+	// segment; AllocSeg carves registrations from it.
+	ArenaBytes int
+	// Relaunch is the worker argv; nil re-executes os.Args.
+	Relaunch []string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Ranks <= 0 {
+		o.Ranks = 1
+	}
+	if o.RanksPerNode <= 0 {
+		o.RanksPerNode = 1
+	}
+	if o.ArenaBytes <= 0 {
+		o.ArenaBytes = 16 << 20
+	}
+	o.ArenaBytes = alignUp(o.ArenaBytes, pageAlign)
+	return o
+}
+
+// IsWorker reports whether this process was launched as a worker rank of a
+// multi-process world (the launcher environment is present).
+func IsWorker() bool { return os.Getenv(envRank) != "" }
+
+func shmPath(dir string) string { return filepath.Join(dir, "shm") }
+func ctlPath(dir string) string { return filepath.Join(dir, "ctl") }
+func doorPath(dir string, r int) string {
+	return filepath.Join(dir, fmt.Sprintf("door.%d", r))
+}
+
+// World is one process's attachment to a multi-process world; in a worker it
+// implements simnet.Transport for that worker's rank.
+type World struct {
+	opts Options
+	rank int // -1 in the launcher
+	dir  string
+	m    []byte
+	lay  layout
+
+	ctl   *net.UnixConn // stream to the launcher (workers only)
+	ctlRd *bufio.Reader
+	door  *net.UnixConn   // this rank's bound doorbell socket
+	peers []*net.UnixConn // lazily dialed per-destination doorbell conns
+
+	arenaPos int
+	freeSegs map[int][]*segpool.Seg
+	nextKey  uint32
+	regions  [][]*simnet.Region // lazily built (rank, key) views
+
+	done      chan struct{}
+	abortOnce sync.Once
+	hookMu    sync.Mutex
+	hooks     []func()
+	watchStop chan struct{}
+}
+
+func (w *World) mapWorld(o Options, dir string, create bool) error {
+	w.opts, w.dir = o, dir
+	w.lay = layoutFor(o.Ranks, o.ArenaBytes)
+	flags := os.O_RDWR
+	if create {
+		flags |= os.O_CREATE | os.O_EXCL
+	}
+	f, err := os.OpenFile(shmPath(dir), flags, 0o600)
+	if err != nil {
+		return fmt.Errorf("mprun: open shared segment: %w", err)
+	}
+	defer f.Close()
+	if create {
+		if err := f.Truncate(int64(w.lay.total)); err != nil {
+			return fmt.Errorf("mprun: size shared segment: %w", err)
+		}
+	} else if st, err := f.Stat(); err != nil || st.Size() != int64(w.lay.total) {
+		return fmt.Errorf("mprun: shared segment is %v bytes, want %d (launcher/worker config mismatch?)", fileSize(st, err), w.lay.total)
+	}
+	m, err := syscall.Mmap(int(f.Fd()), 0, w.lay.total,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return fmt.Errorf("mprun: mmap shared segment: %w", err)
+	}
+	w.m = m
+	if create {
+		atomic.StoreUint64(u64at(m, hdrRanks), uint64(o.Ranks))
+		atomic.StoreUint64(u64at(m, hdrRPN), uint64(o.RanksPerNode))
+		atomic.StoreInt64(i64at(m, hdrPaceWindow), o.PaceWindowNs)
+		atomic.StoreUint64(u64at(m, hdrArenaBytes), uint64(o.ArenaBytes))
+		atomic.StoreUint64(u64at(m, hdrMaxRegions), maxRegions)
+		atomic.StoreUint64(u64at(m, hdrVersion), shmVersion)
+		atomic.StoreUint64(u64at(m, hdrMagic), shmMagic)
+	} else if err := checkHeader(m, o); err != nil {
+		return err
+	}
+	w.peers = make([]*net.UnixConn, o.Ranks)
+	w.regions = make([][]*simnet.Region, o.Ranks)
+	w.freeSegs = map[int][]*segpool.Seg{}
+	w.done = make(chan struct{})
+	w.watchStop = make(chan struct{})
+	return nil
+}
+
+func fileSize(st os.FileInfo, err error) any {
+	if err != nil {
+		return err
+	}
+	return st.Size()
+}
+
+// Launch creates a multi-process world and runs worker processes through it.
+// It blocks until every worker exits and returns nil only if all of them
+// finished cleanly. Worker stdout/stderr pass through to this process.
+func Launch(o Options) error {
+	o = o.withDefaults()
+	if o.Ranks > MaxRanks {
+		return fmt.Errorf("mprun: %d ranks exceed the multi-process backend's limit of %d (use the in-process backend for large worlds)", o.Ranks, MaxRanks)
+	}
+	argv := o.Relaunch
+	if len(argv) == 0 {
+		argv = os.Args
+	}
+	dir, err := os.MkdirTemp("", "fompi-mp-*")
+	if err != nil {
+		return fmt.Errorf("mprun: create world dir: %w", err)
+	}
+	defer os.RemoveAll(dir)
+
+	w := &World{rank: -1}
+	if err := w.mapWorld(o, dir, true); err != nil {
+		return err
+	}
+	defer syscall.Munmap(w.m)
+
+	ln, err := net.ListenUnix("unix", &net.UnixAddr{Name: ctlPath(dir), Net: "unix"})
+	if err != nil {
+		return fmt.Errorf("mprun: listen control socket: %w", err)
+	}
+	defer ln.Close()
+
+	cmds := make([]*exec.Cmd, o.Ranks)
+	for r := 0; r < o.Ranks; r++ {
+		cmd := exec.Command(argv[0], argv[1:]...)
+		cmd.Env = append(os.Environ(),
+			envDir+"="+dir, fmt.Sprintf("%s=%d", envRank, r))
+		cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+		if err := cmd.Start(); err != nil {
+			w.abortWorld()
+			killAll(cmds[:r])
+			return fmt.Errorf("mprun: spawn rank %d (%s): %w", r, argv[0], err)
+		}
+		cmds[r] = cmd
+	}
+
+	// Bootstrap barrier: accept one control connection per rank, collect the
+	// READY lines (sent after each worker registered its setup regions), then
+	// release everyone with GO.
+	conns := make([]*net.UnixConn, o.Ranks)
+	deadline := time.Now().Add(bootTimeout)
+	for i := 0; i < o.Ranks; i++ {
+		ln.SetDeadline(deadline)
+		c, err := ln.AcceptUnix()
+		if err != nil {
+			w.abortWorld()
+			killAll(cmds)
+			return fmt.Errorf("mprun: worker bootstrap timed out (%d of %d connected): %w", i, o.Ranks, err)
+		}
+		c.SetReadDeadline(deadline)
+		var r int
+		if _, err := fmt.Fscanf(bufio.NewReader(c), "READY %d\n", &r); err != nil || r < 0 || r >= o.Ranks || conns[r] != nil {
+			w.abortWorld()
+			killAll(cmds)
+			return fmt.Errorf("mprun: bad READY handshake from a worker: %v", err)
+		}
+		c.SetReadDeadline(time.Time{})
+		conns[r] = c
+	}
+	for _, c := range conns {
+		if _, err := c.Write([]byte("GO\n")); err != nil {
+			w.abortWorld()
+			killAll(cmds)
+			return fmt.Errorf("mprun: release workers: %w", err)
+		}
+	}
+
+	// Collect final status lines and process exits. On the first failure,
+	// abort the world so blocked peers unwind, give them a grace period, and
+	// kill whatever is left.
+	type status struct {
+		rank int
+		msg  string // "" = clean
+	}
+	results := make(chan status, o.Ranks)
+	for r := range conns {
+		go func(r int, c *net.UnixConn) {
+			line, err := bufio.NewReader(c).ReadString('\n')
+			line = strings.TrimSpace(line)
+			exitErr := cmds[r].Wait()
+			switch {
+			case strings.HasPrefix(line, "FAIL "):
+				msg := strings.TrimSpace(strings.TrimPrefix(line, fmt.Sprintf("FAIL %d", r)))
+				results <- status{r, msg}
+			case strings.HasPrefix(line, "DONE ") && exitErr == nil:
+				results <- status{r, ""}
+			case err != nil && exitErr == nil:
+				results <- status{r, fmt.Sprintf("control channel closed early: %v", err)}
+			default:
+				results <- status{r, fmt.Sprintf("exited without DONE: %v", exitErr)}
+			}
+		}(r, conns[r])
+	}
+	var firstErr error
+	killed := false
+	for i := 0; i < o.Ranks; i++ {
+		var st status
+		if firstErr == nil {
+			st = <-results
+		} else {
+			select {
+			case st = <-results:
+			case <-time.After(abortGrace):
+				if !killed {
+					killAll(cmds)
+					killed = true
+				}
+				st = <-results
+			}
+		}
+		if st.msg != "" {
+			if firstErr == nil || !strings.Contains(st.msg, "aborted by peer") {
+				err := fmt.Errorf("mprun: rank %d: %s", st.rank, st.msg)
+				if firstErr == nil || strings.Contains(firstErr.Error(), "aborted by peer") {
+					firstErr = err
+				}
+			}
+			w.abortWorld()
+		}
+	}
+	return firstErr
+}
+
+func killAll(cmds []*exec.Cmd) {
+	for _, c := range cmds {
+		if c != nil && c.Process != nil {
+			c.Process.Kill()
+		}
+	}
+}
+
+// Join attaches a worker process (spawned by Launch) to its world and
+// returns the Transport for its rank. The caller registers its setup regions
+// and then calls Ready to enter the bootstrap barrier.
+func Join(o Options) (*World, error) {
+	o = o.withDefaults()
+	dir := os.Getenv(envDir)
+	var rank int
+	if _, err := fmt.Sscanf(os.Getenv(envRank), "%d", &rank); err != nil || dir == "" {
+		return nil, fmt.Errorf("mprun: not a worker process (%s/%s unset)", envDir, envRank)
+	}
+	if rank < 0 || rank >= o.Ranks {
+		return nil, fmt.Errorf("mprun: worker rank %d outside world of %d (launcher/worker config mismatch)", rank, o.Ranks)
+	}
+	w := &World{rank: rank}
+	if err := w.mapWorld(o, dir, false); err != nil {
+		return nil, err
+	}
+	door, err := net.ListenUnixgram("unixgram", &net.UnixAddr{Name: doorPath(dir, rank), Net: "unixgram"})
+	if err != nil {
+		return nil, fmt.Errorf("mprun: bind doorbell socket: %w", err)
+	}
+	w.door = door
+	ctl, err := net.DialUnix("unix", nil, &net.UnixAddr{Name: ctlPath(dir), Net: "unix"})
+	if err != nil {
+		return nil, fmt.Errorf("mprun: dial control socket: %w", err)
+	}
+	w.ctl, w.ctlRd = ctl, bufio.NewReader(ctl)
+	go w.watchAbort()
+	return w, nil
+}
+
+// watchAbort surfaces a peer- or launcher-initiated abort to this process:
+// it closes Done and runs the OnAbort hooks. Doorbell and pacing waits check
+// the flag themselves on every heartbeat.
+func (w *World) watchAbort() {
+	t := time.NewTicker(5 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.watchStop:
+			return
+		case <-t.C:
+			if atomic.LoadUint32(u32at(w.m, hdrAbort)) != 0 {
+				w.localAbort()
+				return
+			}
+		}
+	}
+}
+
+// localAbort runs this process's abort consequences exactly once.
+func (w *World) localAbort() {
+	w.abortOnce.Do(func() {
+		close(w.done)
+		w.hookMu.Lock()
+		hooks := append([]func(){}, w.hooks...)
+		w.hookMu.Unlock()
+		for _, fn := range hooks {
+			fn()
+		}
+	})
+}
+
+// abortWorld marks the whole world aborted and wakes every rank.
+func (w *World) abortWorld() {
+	atomic.StoreUint32(u32at(w.m, hdrAbort), 1)
+	for r := 0; r < w.opts.Ranks; r++ {
+		atomic.AddUint64(u64at(w.m, w.lay.rankOff(r)+rnDoorGen), 1)
+		w.sendDoor(r)
+	}
+	w.localAbort()
+}
+
+// Rank returns this process's rank (-1 in the launcher).
+func (w *World) Rank() int { return w.rank }
+
+// Ready enters the bootstrap barrier: it tells the launcher this rank's
+// setup registrations are addressable and blocks until every rank's are.
+func (w *World) Ready() {
+	if _, err := fmt.Fprintf(w.ctl, "READY %d\n", w.rank); err != nil {
+		panic(fmt.Sprintf("mprun: report READY: %v", err))
+	}
+	// A dead or wedged launcher must not strand workers: bound the wait.
+	w.ctl.SetReadDeadline(time.Now().Add(bootTimeout))
+	line, err := w.ctlRd.ReadString('\n')
+	w.ctl.SetReadDeadline(time.Time{})
+	if err != nil || strings.TrimSpace(line) != "GO" {
+		panic(fmt.Sprintf("mprun: bootstrap barrier failed (%q, %v)", line, err))
+	}
+}
+
+// Finish reports clean completion to the launcher.
+func (w *World) Finish() {
+	fmt.Fprintf(w.ctl, "DONE %d\n", w.rank)
+	w.ctl.Close()
+	close(w.watchStop)
+}
+
+// Fail aborts the world and reports msg to the launcher; the caller exits
+// nonzero afterwards.
+func (w *World) Fail(msg string) {
+	w.abortWorld()
+	msg = strings.ReplaceAll(msg, "\n", " ")
+	fmt.Fprintf(w.ctl, "FAIL %d %s\n", w.rank, msg)
+	w.ctl.Close()
+}
+
+// ---- simnet.Transport ----
+
+var _ simnet.Transport = (*World)(nil)
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.opts.Ranks }
+
+// RanksPerNode returns the node width.
+func (w *World) RanksPerNode() int { return w.opts.RanksPerNode }
+
+// NodeOf returns the node index hosting rank r.
+func (w *World) NodeOf(r int) int { return r / w.opts.RanksPerNode }
+
+// SameNode reports whether ranks a and b share a node.
+func (w *World) SameNode(a, b int) bool { return w.NodeOf(a) == w.NodeOf(b) }
+
+// AllocSeg carves a zeroed segment — buffer plus shadow-stamp slabs, laid
+// out contiguously so the region directory needs only (offset, length) —
+// from this rank's shared-memory arena, reusing a recycled segment of the
+// same size when one is free.
+func (w *World) AllocSeg(rank, size int) *segpool.Seg {
+	if rank != w.rank {
+		panic("mprun: AllocSeg for a foreign rank")
+	}
+	if l := w.freeSegs[size]; len(l) > 0 {
+		s := l[len(l)-1]
+		w.freeSegs[size] = l[:len(l)-1]
+		return s
+	}
+	n64, n32 := timing.StampSlabLens(size)
+	bufLen := alignUp(size, 8)
+	total := alignUp(bufLen+n64*8+n32*4, 64)
+	if w.arenaPos+total > w.opts.ArenaBytes {
+		panic(fmt.Sprintf("mprun: rank %d arena exhausted (%d of %d bytes used); raise Config.MPArenaBytes",
+			w.rank, w.arenaPos, w.opts.ArenaBytes))
+	}
+	base := w.arenaPos
+	w.arenaPos += total
+	a := w.lay.arena(w.m, w.rank)
+	buf := a[base : base+size : base+size]
+	st := timing.NewStampsOver(
+		i64slice(a, base+bufLen, n64),
+		u32slice(a, base+bufLen+n64*8, n32), size)
+	return &segpool.Seg{Buf: buf, St: st}
+}
+
+// RecycleSeg returns a segment to this rank's free list (see Transport).
+func (w *World) RecycleSeg(rank int, s *segpool.Seg, scrubbed bool, extra ...segpool.Range) {
+	if rank != w.rank {
+		panic("mprun: RecycleSeg for a foreign rank")
+	}
+	if scrubbed {
+		segpool.Scrub(s, extra...)
+	} else {
+		clear(s.Buf)
+		s.St.Reset()
+	}
+	w.freeSegs[len(s.Buf)] = append(w.freeSegs[len(s.Buf)], s)
+}
+
+// RegisterRegion publishes a registration in the shared directory. The
+// buffer must come from AllocSeg: remote processes can only reach the shared
+// segment, so arbitrary heap memory (traditional windows over user buffers)
+// is rejected with a clear fault.
+func (w *World) RegisterRegion(rank int, reg *simnet.Region) simnet.Key {
+	if rank != w.rank {
+		panic("mprun: RegisterRegion for a foreign rank")
+	}
+	buf := reg.Bytes()
+	a := w.lay.arena(w.m, w.rank)
+	off, ok := arenaOffset(a, buf)
+	if !ok {
+		panic("mprun: the multi-process backend can only register transport-allocated memory (Endpoint.AllocSeg / Register); traditional windows over user buffers are in-process only")
+	}
+	k := w.nextKey
+	if k >= maxRegions {
+		panic(fmt.Sprintf("mprun: rank %d region directory full (%d registrations)", w.rank, maxRegions))
+	}
+	w.nextKey++
+	e := w.lay.entryOff(w.rank, int(k))
+	atomic.StoreUint64(u64at(w.m, e+enBufOff), uint64(off))
+	atomic.StoreUint64(u64at(w.m, e+enBufLen), uint64(len(buf)))
+	// The state store publishes the fields: peers load it with acquire
+	// ordering before reading them.
+	atomic.StoreUint32(u32at(w.m, e+enState), entryLive)
+	w.regionsFor(w.rank)[k] = reg
+	return simnet.Key(k)
+}
+
+// UnregisterRegion marks a registration dead; later remote accesses fault.
+func (w *World) UnregisterRegion(rank int, k simnet.Key) {
+	if rank != w.rank {
+		panic("mprun: UnregisterRegion for a foreign rank")
+	}
+	atomic.StoreUint32(u32at(w.m, w.lay.entryOff(rank, int(k))+enState), entryDead)
+	if int(k) < maxRegions {
+		w.regionsFor(rank)[k] = nil
+	}
+}
+
+func (w *World) regionsFor(rank int) []*simnet.Region {
+	if w.regions[rank] == nil {
+		w.regions[rank] = make([]*simnet.Region, maxRegions)
+	}
+	return w.regions[rank]
+}
+
+// LookupRegion resolves an address, materializing (and caching) a local view
+// of the owner's registration: the buffer and stamp slabs are slices of the
+// shared mapping, so stamp arithmetic runs on the same words in every
+// process. Cached views carry the same staleness contract as the in-process
+// fabric's copy-on-write table: a concurrent unregister may leave a reader
+// holding the prior registration briefly.
+func (w *World) LookupRegion(a simnet.Addr) *simnet.Region {
+	if a.Rank < 0 || a.Rank >= w.opts.Ranks {
+		panic(fmt.Sprintf("simnet: address names rank %d outside fabric of %d", a.Rank, w.opts.Ranks))
+	}
+	regs := w.regionsFor(a.Rank)
+	if int(a.Key) >= maxRegions {
+		panic(fmt.Sprintf("simnet: access to unregistered region (rank %d key %d)", a.Rank, a.Key))
+	}
+	e := w.lay.entryOff(a.Rank, int(a.Key))
+	if atomic.LoadUint32(u32at(w.m, e+enState)) != entryLive {
+		// Checked on cache hits too: the owner may have unregistered (and
+		// its arena recycled the bytes) since this view was materialized —
+		// the access must fault like the in-process fabric's nilled slot,
+		// not silently write through a stale view.
+		regs[a.Key] = nil
+		panic(fmt.Sprintf("simnet: access to unregistered region (rank %d key %d)", a.Rank, a.Key))
+	}
+	if r := regs[a.Key]; r != nil {
+		return r
+	}
+	off := int(atomic.LoadUint64(u64at(w.m, e+enBufOff)))
+	ln := int(atomic.LoadUint64(u64at(w.m, e+enBufLen)))
+	ar := w.lay.arena(w.m, a.Rank)
+	buf := ar[off : off+ln : off+ln]
+	n64, n32 := timing.StampSlabLens(ln)
+	bufLen := alignUp(ln, 8)
+	st := timing.NewStampsOver(
+		i64slice(ar, off+bufLen, n64),
+		u32slice(ar, off+bufLen+n64*8, n32), ln)
+	reg := simnet.MakeRegion(a.Rank, a.Key, buf, st)
+	regs[a.Key] = &reg
+	return &reg
+}
+
+// ReserveNIC books the target rank's NIC busy interval under a shared-memory
+// spinlock; the interval logic is identical to the in-process fabric's
+// (including hole service for tardy bookings — see Fabric.reserveNIC).
+func (w *World) ReserveNIC(rank int, arrival timing.Time, xfer int64) timing.Time {
+	ro := w.lay.rankOff(rank)
+	lk := u32at(w.m, ro+rnNicLock)
+	for !atomic.CompareAndSwapUint32(lk, 0, 1) {
+		runtime.Gosched()
+	}
+	start, busy := i64at(w.m, ro+rnNicStart), i64at(w.m, ro+rnNicBusy)
+	a := int64(arrival)
+	var res int64
+	switch {
+	case a >= *busy:
+		*start, *busy = a, a+xfer
+		res = *busy
+	case a+xfer <= *start:
+		res = a + xfer
+	default:
+		*busy += xfer
+		res = *busy
+	}
+	atomic.StoreUint32(lk, 0)
+	return timing.Time(res)
+}
+
+// PublishClock records a rank's virtual clock in the shared pacing table.
+func (w *World) PublishClock(rank int, t timing.Time) {
+	if w.opts.PaceWindowNs == 0 {
+		return
+	}
+	atomic.StoreInt64(i64at(w.m, w.lay.rankOff(rank)+rnPaceClock), int64(t))
+}
+
+// PaceWindow returns the configured pacing window.
+func (w *World) PaceWindow() int64 { return w.opts.PaceWindowNs }
+
+func (w *World) paceMin() int64 {
+	min := int64(1) << 62
+	for r := 0; r < w.opts.Ranks; r++ {
+		if c := atomic.LoadInt64(i64at(w.m, w.lay.rankOff(r)+rnPaceClock)); c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// Pace blocks rank while its clock runs more than the window ahead of the
+// slowest published clock, sleeping with backoff between folds (worlds are
+// at most MaxRanks wide, so a fold is one short scan). The stall valve
+// matches the in-process discipline: a minimum that stays frozen across two
+// heartbeats releases the rank for one operation.
+func (w *World) Pace(rank int, t timing.Time) {
+	if w.opts.PaceWindowNs == 0 {
+		return
+	}
+	w.PublishClock(rank, t)
+	me := int64(t)
+	last, idle, d := int64(-1), 0, paceSleepMin
+	for {
+		min := w.paceMin()
+		if me <= min+w.opts.PaceWindowNs || w.Aborted() {
+			return
+		}
+		if min == last {
+			if idle++; idle >= 2 {
+				return
+			}
+		} else {
+			last, idle = min, 0
+		}
+		time.Sleep(d)
+		if d < paceSleepMax {
+			d *= 2
+		}
+	}
+}
+
+// RingDoorbell bumps rank's doorbell generation and pokes every rank
+// currently registered as waiting on it (one datagram each; a full socket
+// buffer means wakeups are already pending, so send errors are ignored).
+func (w *World) RingDoorbell(rank int) {
+	ro := w.lay.rankOff(rank)
+	atomic.AddUint64(u64at(w.m, ro+rnDoorGen), 1)
+	mask := atomic.LoadUint64(u64at(w.m, ro+rnDoorWaiters))
+	for mask != 0 {
+		r := bits.TrailingZeros64(mask)
+		mask &^= 1 << r
+		w.sendDoor(r)
+	}
+}
+
+var doorByte = []byte{1}
+
+func (w *World) sendDoor(r int) {
+	c := w.peers[r]
+	if c == nil {
+		var err error
+		c, err = net.DialUnix("unixgram", nil, &net.UnixAddr{Name: doorPath(w.dir, r), Net: "unixgram"})
+		if err != nil {
+			return // not bound yet or gone; the waiter's heartbeat covers it
+		}
+		w.peers[r] = c
+	}
+	c.SetWriteDeadline(time.Now().Add(2 * time.Millisecond))
+	c.Write(doorByte)
+}
+
+// DoorGen samples rank's doorbell generation.
+func (w *World) DoorGen(rank int) uint64 {
+	return atomic.LoadUint64(u64at(w.m, w.lay.rankOff(rank)+rnDoorGen))
+}
+
+// WaitDoor blocks until rank's doorbell generation exceeds gen. The waiter
+// registers itself in the watched rank's waiter mask before re-checking the
+// generation — the store/load pairing with RingDoorbell's bump-then-read
+// makes lost wakeups impossible — then sleeps on its own doorbell socket
+// with a heartbeat deadline (dropped datagrams and aborts are caught by the
+// heartbeat re-check).
+func (w *World) WaitDoor(rank int, gen uint64) uint64 {
+	ro := w.lay.rankOff(rank)
+	genp := u64at(w.m, ro+rnDoorGen)
+	if g := atomic.LoadUint64(genp); g != gen {
+		return g
+	}
+	wp := u64at(w.m, ro+rnDoorWaiters)
+	bit := uint64(1) << uint(w.rank)
+	for {
+		old := atomic.LoadUint64(wp)
+		if atomic.CompareAndSwapUint64(wp, old, old|bit) {
+			break
+		}
+	}
+	defer func() {
+		for {
+			old := atomic.LoadUint64(wp)
+			if atomic.CompareAndSwapUint64(wp, old, old&^bit) {
+				break
+			}
+		}
+	}()
+	var scratch [8]byte
+	d := doorWaitMin
+	for {
+		if g := atomic.LoadUint64(genp); g != gen {
+			return g
+		}
+		if w.Aborted() {
+			panic(simnet.ErrAborted)
+		}
+		w.door.SetReadDeadline(time.Now().Add(d))
+		w.door.Read(scratch[:])
+		if d < doorWaitMax {
+			d *= 2
+		}
+	}
+}
+
+// Abort marks the world dead and wakes every blocked waiter in every process.
+func (w *World) Abort() { w.abortWorld() }
+
+// Aborted reports whether the world has been torn down.
+func (w *World) Aborted() bool { return atomic.LoadUint32(u32at(w.m, hdrAbort)) != 0 }
+
+// Done returns a channel closed when this process observes the abort flag.
+func (w *World) Done() <-chan struct{} { return w.done }
+
+// OnAbort registers fn to run when this process observes the abort flag; if
+// the world already aborted, fn runs immediately.
+func (w *World) OnAbort(fn func()) {
+	w.hookMu.Lock()
+	w.hooks = append(w.hooks, fn)
+	w.hookMu.Unlock()
+	if w.Aborted() {
+		w.localAbort()
+	}
+}

@@ -34,7 +34,7 @@ type Lang struct {
 
 // dial allocates the symmetric shared segment collectively.
 func dial(name string, p *spmd.Proc, model *simnet.CostModel, userBytes int) *Lang {
-	l := &Lang{name: name, p: p, ep: p.Fabric().Endpoint(p.Rank(), model)}
+	l := &Lang{name: name, p: p, ep: simnet.NewEndpoint(p.Fabric(), p.Rank(), model)}
 	l.reg = l.ep.Register(hdrBytes + userBytes)
 	l.key = l.reg.Key()
 	lo := p.Allreduce8(spmd.OpMin, uint64(l.key))

@@ -56,6 +56,25 @@ func Put(s *Seg) {
 // stamp discipline.
 type Range struct{ Lo, Hi int }
 
+// Scrub wipes a stamp-disciplined segment back to the all-zero state: the
+// stamped blocks (clamped to the buffer, which may be shorter than the
+// 8-byte-rounded extent the stamps cover) plus the declared extra ranges,
+// then resets the stamps. Both backends' recyclers — the pool below and the
+// multi-process arena free lists — share it. The caller must guarantee no
+// concurrent writers.
+func Scrub(s *Seg, extra ...Range) {
+	s.St.DirtyBlocks(func(lo, hi int) {
+		if hi > len(s.Buf) {
+			hi = len(s.Buf)
+		}
+		clear(s.Buf[lo:hi])
+	})
+	for _, r := range extra {
+		clear(s.Buf[r.Lo:r.Hi])
+	}
+	s.St.Reset()
+}
+
 // PutScrubbed recycles a segment whose buffer writes are tracked: every
 // write either went through a stamping fabric operation (put, AMO, store,
 // notification delivery) or lies inside one of the declared extra ranges
@@ -66,10 +85,6 @@ type Range struct{ Lo, Hi int }
 // Callers whose buffers receive untracked writes (user-held window memory)
 // must use Put.
 func PutScrubbed(s *Seg, extra ...Range) {
-	s.St.DirtyBlocks(func(lo, hi int) { clear(s.Buf[lo:hi]) })
-	for _, r := range extra {
-		clear(s.Buf[r.Lo:r.Hi])
-	}
-	s.St.Reset()
+	Scrub(s, extra...)
 	poolFor(len(s.Buf)).Put(s)
 }

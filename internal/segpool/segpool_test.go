@@ -58,3 +58,21 @@ func TestPutScrubbedCoversZeroStampedWrites(t *testing.T) {
 		}
 	}
 }
+
+// TestScrubbedOddSize recycles a segment whose byte length is not a multiple
+// of 8: the stamp summaries cover the 8-byte-rounded extent, and the scrub's
+// wipe must clamp to the real buffer instead of running past it.
+func TestScrubbedOddSize(t *testing.T) {
+	s := Get(1001)
+	s.St.Set(996, 5) // stamps the final, partially-covered word
+	PutScrubbed(s)   // must not panic
+	s2 := Get(1001)
+	for i, b := range s2.Buf {
+		if b != 0 {
+			t.Fatalf("recycled odd-size buffer dirty at %d", i)
+		}
+	}
+	if s2.St.MaxRange(0, 1001) != 0 {
+		t.Fatal("recycled odd-size stamps not reset")
+	}
+}

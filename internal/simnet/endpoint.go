@@ -2,6 +2,7 @@ package simnet
 
 import (
 	"fompi/internal/hostatomic"
+	"fompi/internal/segpool"
 	"fompi/internal/timing"
 )
 
@@ -11,7 +12,7 @@ import (
 // model and virtual clock. An Endpoint is owned by its rank's goroutine and
 // must not be shared across goroutines.
 type Endpoint struct {
-	fab  *Fabric
+	fab  Transport
 	rank int
 	node int // cached fab.NodeOf(rank): intra/inter decisions are one division
 	cm   *CostModel
@@ -50,12 +51,19 @@ type regMemoEnt struct {
 // known virtual time.
 type Handle struct{ comp timing.Time }
 
-// Endpoint creates an endpoint for rank with the layer cost model cm.
-func (f *Fabric) Endpoint(rank int, cm *CostModel) *Endpoint {
-	if rank < 0 || rank >= f.n {
+// NewEndpoint creates an endpoint for rank over any transport backend with
+// the layer cost model cm. All timing logic lives here, above the Transport
+// line, so layers driving different backends share one cost engine.
+func NewEndpoint(t Transport, rank int, cm *CostModel) *Endpoint {
+	if rank < 0 || rank >= t.Size() {
 		panic("simnet: endpoint rank out of range")
 	}
-	return &Endpoint{fab: f, rank: rank, node: f.NodeOf(rank), cm: cm}
+	return &Endpoint{fab: t, rank: rank, node: t.NodeOf(rank), cm: cm}
+}
+
+// Endpoint creates an endpoint for rank with the layer cost model cm.
+func (f *Fabric) Endpoint(rank int, cm *CostModel) *Endpoint {
+	return NewEndpoint(f, rank, cm)
 }
 
 // Endpoints creates one endpoint per rank with a shared cost model, in a
@@ -72,8 +80,8 @@ func (f *Fabric) Endpoints(cm *CostModel) []Endpoint {
 // Rank returns the owning rank.
 func (ep *Endpoint) Rank() int { return ep.rank }
 
-// Fabric returns the underlying fabric.
-func (ep *Endpoint) Fabric() *Fabric { return ep.fab }
+// Transport returns the underlying transport backend.
+func (ep *Endpoint) Transport() Transport { return ep.fab }
 
 // Model returns the endpoint's cost model.
 func (ep *Endpoint) Model() *CostModel { return ep.cm }
@@ -93,7 +101,7 @@ func (ep *Endpoint) AdvanceTo(t timing.Time) {
 func (ep *Endpoint) Compute(ns int64) {
 	ep.clock += timing.Time(ns)
 	if ep.batchDepth == 0 {
-		ep.fab.publishClock(ep.rank, ep.clock)
+		ep.fab.PublishClock(ep.rank, ep.clock)
 	}
 }
 
@@ -139,7 +147,7 @@ func (ep *Endpoint) EndBatch() {
 		return
 	}
 	ep.flushBatchNotifies()
-	ep.fab.pace(ep.rank, ep.clock)
+	ep.fab.Pace(ep.rank, ep.clock)
 }
 
 // InBatch reports whether a batched issue scope is open.
@@ -160,7 +168,7 @@ func (ep *Endpoint) nextBatchGen() {
 // dedup marks so later writes in the same batch re-arm their destinations.
 func (ep *Endpoint) flushBatchNotifies() {
 	for _, r := range ep.pendDst {
-		ep.fab.nodes[r].notify()
+		ep.fab.RingDoorbell(r)
 	}
 	ep.pendDst = ep.pendDst[:0]
 	ep.nextBatchGen()
@@ -175,18 +183,18 @@ func (ep *Endpoint) flushBeforeBlock() {
 		return
 	}
 	ep.flushBatchNotifies()
-	ep.fab.publishClock(ep.rank, ep.clock)
+	ep.fab.PublishClock(ep.rank, ep.clock)
 }
 
 // notifyDst rings dst's doorbell, or defers the ring — deduplicated per
 // destination — while a batch is open.
 func (ep *Endpoint) notifyDst(dst int) {
 	if ep.batchDepth == 0 {
-		ep.fab.nodes[dst].notify()
+		ep.fab.RingDoorbell(dst)
 		return
 	}
 	if ep.dstMark == nil {
-		ep.dstMark = make([]uint32, ep.fab.n)
+		ep.dstMark = make([]uint32, ep.fab.Size())
 	}
 	if ep.dstMark[dst] == ep.batchGen {
 		return
@@ -199,7 +207,7 @@ func (ep *Endpoint) notifyDst(dst int) {
 // deferred to EndBatch (one check per batch instead of one per op).
 func (ep *Endpoint) paceOp() {
 	if ep.batchDepth == 0 {
-		ep.fab.pace(ep.rank, ep.clock)
+		ep.fab.Pace(ep.rank, ep.clock)
 	}
 }
 
@@ -214,19 +222,41 @@ func (ep *Endpoint) region(a Addr) *Region {
 				return e.reg
 			}
 		}
-		reg := ep.fab.region(a)
+		reg := ep.fab.LookupRegion(a)
 		if ep.regMemoN < regMemoSize {
 			ep.regMemo[ep.regMemoN] = regMemoEnt{rank: int32(a.Rank), key: a.Key, reg: reg}
 			ep.regMemoN++
 		}
 		return reg
 	}
-	return ep.fab.region(a)
+	return ep.fab.LookupRegion(a)
 }
 
-// Register allocates and registers size bytes of fresh memory.
+// Register allocates and registers size bytes of transport-reachable memory
+// from the backend's segment allocator (pooled heap in process, the rank's
+// shared-memory arena on the multi-process backend).
 func (ep *Endpoint) Register(size int) *Region {
-	return ep.RegisterBuf(make([]byte, size))
+	seg := ep.fab.AllocSeg(ep.rank, size)
+	return ep.RegisterBufStamps(seg.Buf, seg.St)
+}
+
+// AllocSeg returns a zeroed registrable segment of transport-reachable
+// memory for this rank (see Transport.AllocSeg).
+func (ep *Endpoint) AllocSeg(size int) *segpool.Seg {
+	return ep.fab.AllocSeg(ep.rank, size)
+}
+
+// RecycleSeg returns a stamp-disciplined segment to the backend allocator,
+// wiping only the stamped blocks plus the declared extra extents (see
+// segpool.PutScrubbed for the caller obligations).
+func (ep *Endpoint) RecycleSeg(s *segpool.Seg, extra ...segpool.Range) {
+	ep.fab.RecycleSeg(ep.rank, s, true, extra...)
+}
+
+// RecycleSegWiped returns a segment with untracked writes to the backend
+// allocator, wiping it fully.
+func (ep *Endpoint) RecycleSegWiped(s *segpool.Seg) {
+	ep.fab.RecycleSeg(ep.rank, s, false)
 }
 
 // RegisterBuf registers caller-provided memory (traditional windows expose
@@ -254,11 +284,11 @@ func (ep *Endpoint) RegisterBufStampsInto(reg *Region, buf []byte, st *timing.St
 		panic("simnet: stamps do not cover the registered buffer")
 	}
 	*reg = Region{owner: ep.rank, buf: buf, stamps: st}
-	ep.fab.register(ep.rank, reg)
+	reg.key = ep.fab.RegisterRegion(ep.rank, reg)
 }
 
 // Unregister removes a registration; later remote accesses fault.
-func (ep *Endpoint) Unregister(reg *Region) { ep.fab.unregister(ep.rank, reg.key) }
+func (ep *Endpoint) Unregister(reg *Region) { ep.fab.UnregisterRegion(ep.rank, reg.key) }
 
 // profileFor picks the intra/inter profile for a peer rank.
 func (ep *Endpoint) profileFor(peer int) *Profile {
@@ -286,7 +316,7 @@ func (ep *Endpoint) schedXferOn(same bool, dst int, depart timing.Time, lat, xfe
 		depart = ep.nicFree
 	}
 	ep.nicFree = depart + timing.Time(xfer)
-	return ep.fab.reserveNIC(dst, depart+timing.Time(lat), xfer)
+	return ep.fab.ReserveNIC(dst, depart+timing.Time(lat), xfer)
 }
 
 // sameNodeTo reports whether peer shares this endpoint's node, using the
@@ -353,7 +383,7 @@ func (ep *Endpoint) getCommon(dst []byte, src Addr) timing.Time {
 	}
 	xfer := pr.xferNs(len(dst))
 	arrive := base + timing.Time(pr.GetLatNs+pr.knee(len(dst)))
-	comp := ep.fab.reserveNIC(src.Rank, arrive, xfer) // data leaves the target NIC
+	comp := ep.fab.ReserveNIC(src.Rank, arrive, xfer) // data leaves the target NIC
 	ep.ctr.Gets++
 	ep.ctr.BytesGot += int64(len(dst))
 	return comp
@@ -513,9 +543,9 @@ func (ep *Endpoint) Test(h Handle) bool { return h.comp <= ep.clock }
 // (MergeStamp) — polls charge PollNs once on success.
 func (ep *Endpoint) WaitLocal(pred func() bool) {
 	ep.flushBeforeBlock()
-	gen := ep.fab.doorGenOf(ep.rank)
+	gen := ep.fab.DoorGen(ep.rank)
 	for !pred() {
-		gen = ep.fab.waitDoor(ep.rank, gen)
+		gen = ep.fab.WaitDoor(ep.rank, gen)
 		ep.ctr.Polls++
 	}
 	ep.clock += timing.Time(ep.cm.Intra.PollNs)
@@ -534,7 +564,7 @@ func (ep *Endpoint) PollRemoteWord(a Addr, pred func(uint64) bool) uint64 {
 	pr := ep.profileFor(a.Rank)
 	reg := ep.region(a)
 	reg.check(a.Off, 8)
-	gen := ep.fab.doorGenOf(a.Rank)
+	gen := ep.fab.DoorGen(a.Rank)
 	for {
 		v := reg.atomicLoad(a.Off)
 		if pred(v) {
@@ -545,7 +575,7 @@ func (ep *Endpoint) PollRemoteWord(a Addr, pred func(uint64) bool) uint64 {
 			return v
 		}
 		ep.ctr.Polls++
-		gen = ep.fab.waitDoor(a.Rank, gen)
+		gen = ep.fab.WaitDoor(a.Rank, gen)
 	}
 }
 

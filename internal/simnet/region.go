@@ -17,8 +17,19 @@ type Region struct {
 	stamps *timing.Stamps
 }
 
+// MakeRegion initializes a registration handle over transport-owned memory.
+// Backends use it to materialize local views of regions registered by other
+// processes (the owner's handle is built by Endpoint.RegisterBufStampsInto);
+// key must be the key the owner's registration was assigned.
+func MakeRegion(owner int, key Key, buf []byte, st *timing.Stamps) Region {
+	return Region{owner: owner, key: key, buf: buf, stamps: st}
+}
+
 // Owner returns the owning rank.
 func (r *Region) Owner() int { return r.owner }
+
+// Stamps exposes the region's shadow timestamps (backend plumbing).
+func (r *Region) Stamps() *timing.Stamps { return r.stamps }
 
 // Key returns the fabric key other ranks use to address this region.
 func (r *Region) Key() Key { return r.key }

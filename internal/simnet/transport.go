@@ -1,0 +1,125 @@
+package simnet
+
+import (
+	"fompi/internal/segpool"
+	"fompi/internal/timing"
+)
+
+// Transport is the substrate contract an Endpoint drives: the services of
+// foMPI's interchangeable fabrics (the paper's DMAPP and XPMEM) that involve
+// memory or state shared between ranks. Everything above this line — cost
+// models, virtual clocks, stamps arithmetic, batching — lives in Endpoint
+// and is byte-identical across backends; a Transport only moves bytes,
+// resolves registrations, books NIC occupancy, rings doorbells, and carries
+// the published clocks that pacing folds. Two implementations exist: the
+// in-process *Fabric below (ranks are goroutines in one address space) and
+// internal/mprun's multi-process world (ranks are OS processes, regions live
+// in one mmap-shared segment, doorbells travel over Unix sockets). A third
+// backend drops in by implementing this interface and passing the
+// conformance suite in internal/transporttest.
+//
+// Contracts a backend must honor, in the terms the conformance suite checks:
+//
+//   - Registered memory is byte-addressable by (rank, key, offset) from every
+//     rank; keys are assigned per owner in registration order starting at 0
+//     and never reused. A region's stamps share the registration's lifetime.
+//   - AllocSeg returns zeroed memory that RegisterRegion accepts; backends
+//     whose remote ranks cannot reach arbitrary host memory (mprun) may
+//     reject RegisterRegion calls on buffers they did not allocate.
+//   - RingDoorbell(r) wakes every WaitDoor(r, gen) waiter whose gen is stale,
+//     with no lost wakeups (a waiter re-checks its predicate after every
+//     return). Waiters may be woken spuriously.
+//   - PublishClock/Pace implement the conservative pacing discipline of
+//     DESIGN.md §6.1; with PaceWindow() == 0 both may be no-ops.
+//   - Abort wakes every blocked waiter; WaitDoor panics with ErrAborted when
+//     the world died while it slept.
+type Transport interface {
+	// Topology.
+	Size() int
+	RanksPerNode() int
+	NodeOf(rank int) int
+	SameNode(a, b int) bool
+
+	// Registered memory. RegisterRegion installs reg (whose owner, buffer and
+	// stamps the caller has initialized) and returns its key; LookupRegion
+	// resolves an address on the hot path of every remote operation.
+	RegisterRegion(rank int, reg *Region) Key
+	UnregisterRegion(rank int, key Key)
+	LookupRegion(a Addr) *Region
+
+	// Segment allocation: registrable backing memory plus shadow stamps, in
+	// the all-zero state. RecycleSeg returns a segment after its registration
+	// is gone and every rank that could address it has synchronized; scrubbed
+	// recycling wipes only stamped blocks plus the declared extra extents
+	// (see segpool.PutScrubbed), non-scrubbed recycling wipes everything.
+	AllocSeg(rank, size int) *segpool.Seg
+	RecycleSeg(rank int, s *segpool.Seg, scrubbed bool, extra ...segpool.Range)
+
+	// Virtual-time services. ReserveNIC serializes transfers into one
+	// target's NIC (incast); PublishClock and Pace carry the pacing
+	// discipline (no-ops when PaceWindow is 0).
+	ReserveNIC(rank int, arrival timing.Time, xfer int64) timing.Time
+	PublishClock(rank int, t timing.Time)
+	Pace(rank int, t timing.Time)
+	PaceWindow() int64
+
+	// Doorbells: the generation-counted wakeup channel of WaitLocal,
+	// PollRemoteWord and the notification rings.
+	RingDoorbell(rank int)
+	DoorGen(rank int) uint64
+	WaitDoor(rank int, gen uint64) uint64
+
+	// Lifecycle.
+	Abort()
+	Aborted() bool
+	Done() <-chan struct{}
+	OnAbort(fn func())
+}
+
+// Fabric implements Transport; the exported wrappers below are the carve
+// line between the in-process fabric's internals and the backend-neutral
+// Endpoint layer.
+var _ Transport = (*Fabric)(nil)
+
+// RegisterRegion installs a region owned by rank and returns its key.
+func (f *Fabric) RegisterRegion(rank int, reg *Region) Key { return f.register(rank, reg) }
+
+// UnregisterRegion removes a registration; later remote accesses fault.
+func (f *Fabric) UnregisterRegion(rank int, k Key) { f.unregister(rank, k) }
+
+// LookupRegion resolves an address to its registered region.
+func (f *Fabric) LookupRegion(a Addr) *Region { return f.region(a) }
+
+// AllocSeg returns a zeroed registrable segment from the process-wide pool.
+// The in-process fabric has one address space, so rank only names the future
+// owner and every segment comes from the same pool.
+func (f *Fabric) AllocSeg(rank, size int) *segpool.Seg { return segpool.Get(size) }
+
+// RecycleSeg returns a segment to the pool (see Transport).
+func (f *Fabric) RecycleSeg(rank int, s *segpool.Seg, scrubbed bool, extra ...segpool.Range) {
+	if scrubbed {
+		segpool.PutScrubbed(s, extra...)
+		return
+	}
+	segpool.Put(s)
+}
+
+// ReserveNIC books the target rank's NIC (see reserveNIC).
+func (f *Fabric) ReserveNIC(rank int, arrival timing.Time, xfer int64) timing.Time {
+	return f.reserveNIC(rank, arrival, xfer)
+}
+
+// PublishClock records a rank's virtual clock for pacing.
+func (f *Fabric) PublishClock(rank int, t timing.Time) { f.publishClock(rank, t) }
+
+// Pace blocks rank while it runs ahead of the pacing window.
+func (f *Fabric) Pace(rank int, t timing.Time) { f.pace(rank, t) }
+
+// RingDoorbell rings rank's doorbell, waking its waiters.
+func (f *Fabric) RingDoorbell(rank int) { f.nodes[rank].notify() }
+
+// DoorGen samples rank's doorbell generation.
+func (f *Fabric) DoorGen(rank int) uint64 { return f.doorGenOf(rank) }
+
+// WaitDoor blocks until rank's doorbell generation exceeds gen.
+func (f *Fabric) WaitDoor(rank int, gen uint64) uint64 { return f.waitDoor(rank, gen) }

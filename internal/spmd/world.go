@@ -1,20 +1,40 @@
-// Package spmd runs single-program-multiple-data rank programs over the
-// simulated fabric: the stand-in for the job launcher plus the process
-// runtime that foMPI inherits from Cray MPI. Each rank is a goroutine with a
-// fabric endpoint, a scratch region for the built-in collectives, and its
-// own virtual clock. Collectives (dissemination barrier, binomial broadcast,
-// recursive-doubling allreduce, ring allgather, ...) are implemented with
-// one-sided fabric operations so their virtual cost is whatever the executed
-// communication pattern costs — O(log p) rounds, not a formula.
+// Package spmd runs single-program-multiple-data rank programs over a
+// transport backend: the stand-in for the job launcher plus the process
+// runtime that foMPI inherits from Cray MPI. Two backends exist, selected by
+// Config.Backend: the default in-process fabric (each rank is a goroutine
+// over internal/simnet's Fabric) and the multi-process runtime (each rank is
+// an OS process over internal/mprun's shared-memory/Unix-socket world).
+// Each rank receives a fabric endpoint, a scratch region for the built-in
+// collectives, and its own virtual clock. Collectives (dissemination
+// barrier, binomial broadcast, recursive-doubling allreduce, ring allgather,
+// ...) are implemented with one-sided fabric operations so their virtual
+// cost is whatever the executed communication pattern costs — O(log p)
+// rounds, not a formula — and is bit-identical across backends.
 package spmd
 
 import (
 	"fmt"
+	"os"
 	"sync"
 
+	"fompi/internal/mprun"
 	"fompi/internal/segpool"
 	"fompi/internal/simnet"
 	"fompi/internal/timing"
+)
+
+// Backend selects the transport substrate of a world.
+type Backend string
+
+const (
+	// BackendInProc runs ranks as goroutines over the in-process simnet
+	// fabric: the default, and the only backend the perf harness measures.
+	BackendInProc Backend = "proc"
+	// BackendMP runs each rank as an OS process: registered memory lives in
+	// one mmap-shared segment (the XPMEM-style fast path made real) and
+	// control/doorbell traffic travels over Unix sockets. Virtual time stays
+	// in the timing layer, so results are bit-identical to BackendInProc.
+	BackendMP Backend = "mp"
 )
 
 // Config describes a world: the rank count, node width, the cost model of
@@ -28,6 +48,18 @@ type Config struct {
 	// PaceWindowNs bounds virtual-clock divergence between ranks (see
 	// simnet.Fabric.SetPacing); 0 disables pacing.
 	PaceWindowNs int64
+
+	// Backend selects the transport substrate; empty means BackendInProc.
+	Backend Backend
+	// MPArenaBytes sizes each rank's registered-memory arena on the
+	// multi-process backend (default 16 MiB; ignored in process).
+	MPArenaBytes int
+	// MPRelaunch is the argv the multi-process launcher re-executes as
+	// worker ranks; nil re-executes this process's own command line, which
+	// is correct for SPMD programs whose main reaches the same Run call.
+	// Test harnesses set it to target one test (e.g. os.Args[0] plus a
+	// -test.run pattern).
+	MPRelaunch []string
 }
 
 func (c Config) withDefaults() Config {
@@ -51,31 +83,40 @@ func (c Config) withDefaults() Config {
 			c.ScratchBytes = need
 		}
 	}
+	if c.Backend == "" {
+		c.Backend = BackendInProc
+	}
+	if c.MPArenaBytes <= 0 {
+		c.MPArenaBytes = 16 << 20
+	}
 	return c
 }
 
 // World is the shared state of one SPMD run. Per-rank collective scratch —
-// registered bytes plus shadow stamps — comes from the shared segment pool
-// (internal/segpool), and the per-rank handles (procs, endpoints, scratch
-// regions) are slab-allocated: worlds are created per experiment repetition
-// in the bench sweeps, so NewWorld costs a handful of allocations, not a
-// handful per rank.
+// registered bytes plus shadow stamps — comes from the transport's segment
+// allocator (the shared pool in process, the rank's shared-memory arena on
+// the multi-process backend), and the per-rank handles (procs, endpoints,
+// scratch regions) are slab-allocated: worlds are created per experiment
+// repetition in the bench sweeps, so NewWorld costs a handful of
+// allocations, not a handful per rank.
 type World struct {
 	cfg     Config
-	fab     *simnet.Fabric
+	fab     simnet.Transport
 	scratch []simnet.Region // per-rank collective scratch, fabric key 0
-	segs    []*segpool.Seg  // pooled backing of scratch, recycled on exit
+	segs    []*segpool.Seg  // backing of scratch, recycled on exit
 }
 
-// recycle returns the world's scratch segments to the pool. Only safe after
-// every rank goroutine has exited cleanly (an aborted world may still have
-// unwinding goroutines holding region references, so it is not recycled).
-// Scratch is written exclusively by stamping fabric operations (collective
-// flags and payloads), so the scrubbed recycle wipes only the parts a run
-// actually touched.
+// recycle returns the world's scratch segments to the transport allocator.
+// Only safe after every rank goroutine has exited cleanly (an aborted world
+// may still have unwinding goroutines holding region references, so it is
+// not recycled). Scratch is written exclusively by stamping fabric
+// operations (collective flags and payloads), so the scrubbed recycle wipes
+// only the parts a run actually touched.
 func (w *World) recycle() {
-	for _, s := range w.segs {
-		segpool.PutScrubbed(s)
+	for r, s := range w.segs {
+		if s != nil {
+			w.fab.RecycleSeg(r, s, true)
+		}
 	}
 	w.segs = nil
 }
@@ -89,15 +130,53 @@ type Proc struct {
 	seq   uint64 // collective invocation number; identical across ranks
 }
 
-// Run launches cfg.Ranks rank goroutines executing body and waits for all of
-// them. If any rank panics, the fabric is aborted (unblocking the others)
-// and the first panic is returned as an error.
+// Run launches cfg.Ranks ranks executing body and waits for all of them.
+// On the default in-process backend the ranks are goroutines; if any rank
+// panics, the fabric is aborted (unblocking the others) and the first panic
+// is returned as an error.
 //
-// On clean exit the per-rank scratch segments are recycled into a
-// process-wide pool and may back an unrelated future world: body must not
-// leak goroutines that touch the world after returning, and callers must
-// not retain ScratchRegion (or fabric addresses into it) past Run.
+// On the multi-process backend (cfg.Backend == BackendMP) the calling
+// process becomes the launcher: it re-executes itself (or cfg.MPRelaunch)
+// once per rank, waits for the worker processes, and returns their collected
+// status. In a worker process — a BackendMP Run that finds the launcher
+// environment — Run executes body for the worker's single rank and then
+// calls os.Exit, so code after a BackendMP Run executes only in the
+// launcher. BackendInProc runs are unaffected by the environment, so worker
+// bodies may still create nested in-process worlds. Programs meant to be
+// launched by cmd/fompi-run therefore select BackendMP themselves,
+// conventionally via fompi.BackendFromEnv (the launcher exports
+// FOMPI_BACKEND=mp), as the examples do.
+//
+// On clean exit the per-rank scratch segments are recycled into the
+// transport's segment allocator and may back an unrelated future world: body
+// must not leak goroutines that touch the world after returning, and callers
+// must not retain ScratchRegion (or fabric addresses into it) past Run.
 func Run(cfg Config, body func(*Proc)) error {
+	cfg = cfg.withDefaults()
+	switch cfg.Backend {
+	case BackendInProc:
+		return runInProc(cfg, body)
+	case BackendMP:
+		if mprun.IsWorker() {
+			runMPWorker(cfg, body) // calls os.Exit; never returns
+		}
+		return mprun.Launch(mpOptions(cfg))
+	default:
+		return fmt.Errorf("spmd: unknown backend %q", cfg.Backend)
+	}
+}
+
+func mpOptions(cfg Config) mprun.Options {
+	return mprun.Options{
+		Ranks:        cfg.Ranks,
+		RanksPerNode: cfg.RanksPerNode,
+		PaceWindowNs: cfg.PaceWindowNs,
+		ArenaBytes:   cfg.MPArenaBytes,
+		Relaunch:     cfg.MPRelaunch,
+	}
+}
+
+func runInProc(cfg Config, body func(*Proc)) error {
 	w, procs := NewWorld(cfg)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -126,6 +205,44 @@ func Run(cfg Config, body func(*Proc)) error {
 	return firstErr
 }
 
+// runMPWorker executes body as this process's single rank of a multi-process
+// world and exits the process: status 0 after a clean run, nonzero after a
+// panic (reported to the launcher over the control socket first).
+func runMPWorker(cfg Config, body func(*Proc)) {
+	mw, err := mprun.Join(mpOptions(cfg))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spmd: worker failed to join multi-process world: %v\n", err)
+		os.Exit(1)
+	}
+	rank := mw.Rank()
+	w := &World{cfg: cfg, fab: mw, scratch: make([]simnet.Region, cfg.Ranks)}
+	p := &Proc{world: w, rank: rank, ep: simnet.NewEndpoint(mw, rank, cfg.Model)}
+	// The scratch registration must be this process's first so its key is 0
+	// on every rank, the symmetric-key property the collectives assume.
+	seg := mw.AllocSeg(rank, hdrBytes+cfg.ScratchBytes)
+	p.ep.RegisterBufStampsInto(&w.scratch[rank], seg.Buf, seg.St)
+	mw.Ready() // barrier: every rank's scratch is addressable
+	ok := func() (ok bool) {
+		defer func() {
+			if e := recover(); e != nil {
+				if e == simnet.ErrAborted {
+					mw.Fail("aborted by peer rank")
+				} else {
+					mw.Fail(fmt.Sprintf("rank %d panicked: %v", rank, e))
+				}
+				ok = false
+			}
+		}()
+		body(p)
+		return true
+	}()
+	if !ok {
+		os.Exit(1)
+	}
+	mw.Finish()
+	os.Exit(0)
+}
+
 // MustRun is Run but panics on error; benchmarks and examples use it.
 func MustRun(cfg Config, body func(*Proc)) {
 	if err := Run(cfg, body); err != nil {
@@ -133,21 +250,23 @@ func MustRun(cfg Config, body func(*Proc)) {
 	}
 }
 
-// NewWorld builds the fabric and per-rank procs without spawning goroutines;
-// tests that need direct control use it.
+// NewWorld builds the in-process fabric and per-rank procs without spawning
+// goroutines; tests that need direct control use it. Multi-process worlds
+// cannot be built this way — they exist only inside Run.
 func NewWorld(cfg Config) (*World, []*Proc) {
 	cfg = cfg.withDefaults()
-	w := &World{cfg: cfg, fab: simnet.NewFabric(cfg.Ranks, cfg.RanksPerNode)}
-	w.fab.SetPacing(cfg.PaceWindowNs)
+	fab := simnet.NewFabric(cfg.Ranks, cfg.RanksPerNode)
+	fab.SetPacing(cfg.PaceWindowNs)
+	w := &World{cfg: cfg, fab: fab}
 	w.scratch = make([]simnet.Region, cfg.Ranks)
 	w.segs = make([]*segpool.Seg, cfg.Ranks)
 	procs := make([]*Proc, cfg.Ranks)
 	procSlab := make([]Proc, cfg.Ranks)
-	eps := w.fab.Endpoints(cfg.Model)
+	eps := fab.Endpoints(cfg.Model)
 	for r := 0; r < cfg.Ranks; r++ {
 		p := &procSlab[r]
 		*p = Proc{world: w, rank: r, ep: &eps[r]}
-		seg := segpool.Get(hdrBytes + cfg.ScratchBytes)
+		seg := w.fab.AllocSeg(r, hdrBytes+cfg.ScratchBytes)
 		w.segs[r] = seg
 		p.ep.RegisterBufStampsInto(&w.scratch[r], seg.Buf, seg.St)
 		procs[r] = p
@@ -170,9 +289,9 @@ func (p *Proc) SameNode(peer int) bool { return p.world.fab.SameNode(p.rank, pee
 // EP exposes the rank's fabric endpoint to protocol layers.
 func (p *Proc) EP() *simnet.Endpoint { return p.ep }
 
-// Fabric returns the shared fabric (for layers that open extra endpoints,
-// e.g. baselines measured over the same hardware).
-func (p *Proc) Fabric() *simnet.Fabric { return p.world.fab }
+// Fabric returns the world's transport backend (for layers that open extra
+// endpoints, e.g. baselines measured over the same hardware).
+func (p *Proc) Fabric() simnet.Transport { return p.world.fab }
 
 // Now returns the rank's virtual clock.
 func (p *Proc) Now() timing.Time { return p.ep.Now() }
@@ -180,7 +299,10 @@ func (p *Proc) Now() timing.Time { return p.ep.Now() }
 // Compute charges ns nanoseconds of local computation.
 func (p *Proc) Compute(ns int64) { p.ep.Compute(ns) }
 
-// scratchOf returns the collective scratch region of rank r.
+// scratchOf returns the collective scratch region of rank r. Only the
+// caller's own rank's region may be dereferenced (on the multi-process
+// backend other ranks' handles are zero); remote scratch is addressed by
+// (rank, key 0) fabric addresses.
 func (p *Proc) scratchOf(r int) *simnet.Region { return &p.world.scratch[r] }
 
 // ScratchRegion exposes the rank's collective scratch region

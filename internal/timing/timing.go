@@ -74,27 +74,53 @@ type Stamps struct {
 	blockMax   []int64  // per-block monotone upper bound of all stamps written
 	blockEpoch []uint32 // per-block max epoch of single-word writes
 
-	epoch atomic.Uint32 // fill-epoch source; single-word writes sample it
+	// epoch is the fill-epoch source; single-word writes sample it. It lives
+	// in the uint32 slab (not the struct) so that stamps laid over a shared
+	// memory segment share one counter across the processes of a
+	// multi-process world.
+	epoch *uint32
 
-	// zeroStamped records that some write carried stamp 0 (an op issued at
-	// virtual time 0, e.g. a local store during world setup): such a write
-	// raises no block summary, so the summary-guided Reset/DirtyBlocks fast
-	// paths would miss the block — they fall back to treating everything
-	// dirty instead.
-	zeroStamped atomic.Bool
+	// zeroStamped (0/1, same slab as epoch) records that some write carried
+	// stamp 0 (an op issued at virtual time 0, e.g. a local store during
+	// world setup): such a write raises no block summary, so the
+	// summary-guided Reset/DirtyBlocks fast paths would miss the block —
+	// they fall back to treating everything dirty instead.
+	zeroStamped *uint32
+}
+
+// StampSlabLens returns the lengths of the two backing slabs — int64 words
+// and uint32 words — that shadow stamps covering size bytes occupy. Backends
+// that place stamps in shared memory carve slabs of exactly these lengths.
+func StampSlabLens(size int) (n64, n32 int) {
+	nw := (size + 7) / 8
+	nb := (nw + BlockWords - 1) / BlockWords
+	return nw + 2*nb, nw + 2*nb + 2 // +2: the shared epoch and zeroStamped words
 }
 
 // NewStamps creates shadow timestamps covering size bytes. The six arrays
 // are views into two backing slabs (one per element width) so a region's
 // shadow state costs two allocations, not six.
 func NewStamps(size int) *Stamps {
+	n64, n32 := StampSlabLens(size)
+	return NewStampsOver(make([]int64, n64), make([]uint32, n32), size)
+}
+
+// NewStampsOver lays shadow timestamps covering size bytes over caller-
+// provided backing slabs, which must have exactly the StampSlabLens lengths
+// and be all zero (or hold a previous layout's state: every process of a
+// multi-process world builds its own view over the same shared slabs). The
+// int64 slab must be 8-byte aligned, as atomic int64 access requires.
+func NewStampsOver(i64 []int64, u32 []uint32, size int) *Stamps {
+	n64, n32 := StampSlabLens(size)
+	if len(i64) != n64 || len(u32) != n32 {
+		panic("timing: stamp slab lengths do not match StampSlabLens")
+	}
 	nw := (size + 7) / 8
 	nb := (nw + BlockWords - 1) / BlockWords
-	i64 := make([]int64, nw+2*nb)
-	u32 := make([]uint32, nw+2*nb)
 	return &Stamps{
-		words: i64[:nw:nw], fill: i64[nw : nw+nb : nw+nb], blockMax: i64[nw+nb:],
-		wEpoch: u32[:nw:nw], fEpoch: u32[nw : nw+nb : nw+nb], blockEpoch: u32[nw+nb:],
+		words: i64[:nw:nw], fill: i64[nw : nw+nb : nw+nb], blockMax: i64[nw+nb : nw+2*nb],
+		wEpoch: u32[:nw:nw], fEpoch: u32[nw : nw+nb : nw+nb], blockEpoch: u32[nw+nb : nw+2*nb],
+		epoch: &u32[nw+2*nb], zeroStamped: &u32[nw+2*nb+1],
 	}
 }
 
@@ -106,15 +132,15 @@ func NewStamps(size int) *Stamps {
 // still zero and are skipped. The caller must guarantee no concurrent
 // writers, as with any recycling.
 func (s *Stamps) Reset() {
-	if s.zeroStamped.Load() {
+	if atomic.LoadUint32(s.zeroStamped) != 0 {
 		clear(s.words)
 		clear(s.wEpoch)
 		clear(s.fill)
 		clear(s.fEpoch)
 		clear(s.blockMax)
 		clear(s.blockEpoch)
-		s.epoch.Store(0)
-		s.zeroStamped.Store(false)
+		atomic.StoreUint32(s.epoch, 0)
+		atomic.StoreUint32(s.zeroStamped, 0)
 		return
 	}
 	for b := range s.fill {
@@ -131,7 +157,7 @@ func (s *Stamps) Reset() {
 		s.fill[b], s.fEpoch[b] = 0, 0
 		s.blockMax[b], s.blockEpoch[b] = 0, 0
 	}
-	s.epoch.Store(0)
+	atomic.StoreUint32(s.epoch, 0)
 }
 
 // DirtyBlocks calls fn for each block that may have been stamped since the
@@ -139,7 +165,7 @@ func (s *Stamps) Reset() {
 // region. Recyclers use it to wipe only the written parts of a backing
 // buffer whose writers all follow the stamp discipline.
 func (s *Stamps) DirtyBlocks(fn func(lo, hi int)) {
-	if s.zeroStamped.Load() {
+	if atomic.LoadUint32(s.zeroStamped) != 0 {
 		// A stamp-0 write is invisible to the summaries: everything may be
 		// dirty.
 		fn(0, len(s.words)*8)
@@ -165,11 +191,11 @@ func (s *Stamps) Bytes() int { return len(s.words) * 8 }
 // operation completing at t.
 func (s *Stamps) Set(off int, t Time) {
 	if t == 0 {
-		s.zeroStamped.Store(true)
+		atomic.StoreUint32(s.zeroStamped, 1)
 	}
 	i := off / 8
 	b := i / BlockWords
-	e := s.epoch.Load()
+	e := atomic.LoadUint32(s.epoch)
 	hostatomic.MaxI64(&s.blockMax[b], int64(t))
 	hostatomic.MaxU32(&s.blockEpoch[b], e)
 	// Stamp before epoch: a reader that observes the new epoch observes the
@@ -186,7 +212,7 @@ func (s *Stamps) SetRange(off, n int, t Time) {
 		return
 	}
 	if t == 0 {
-		s.zeroStamped.Store(true)
+		atomic.StoreUint32(s.zeroStamped, 1)
 	}
 	v := int64(t)
 	first, last := off/8, (off+n-1)/8
@@ -204,11 +230,11 @@ func (s *Stamps) SetRange(off, n int, t Time) {
 		// Exhausting the 32-bit counter would make old word epochs compare
 		// as current again (silently stale stamps), so fault loudly first —
 		// it takes 2^32 covering fills on one registration to get here.
-		if fillEpoch = s.epoch.Add(1); fillEpoch == 0 {
+		if fillEpoch = atomic.AddUint32(s.epoch, 1); fillEpoch == 0 {
 			panic("timing: stamp fill-epoch counter exhausted; re-register the region")
 		}
 	}
-	edgeEpoch := s.epoch.Load()
+	edgeEpoch := atomic.LoadUint32(s.epoch)
 	for b := fb; b <= lb; b++ {
 		lo := b * BlockWords
 		hi := lo + BlockWords - 1

@@ -1,0 +1,309 @@
+// Package transporttest is the Transport conformance suite: every backend
+// must pass the same ordering, notification-delivery, atomicity, doorbell-
+// wakeup, and virtual-time-identity checks, so a third backend can be
+// dropped in behind simnet.Transport and validated by running this package.
+//
+// Each test runs its body twice: over the in-process fabric and over the
+// multi-process backend. The multi-process run re-executes this test binary
+// as the worker ranks (spmd.Config.MPRelaunch targets the one test by name),
+// so the body literally runs in separate OS processes against the
+// shared-memory world; assertions panic, which aborts the world and fails
+// the launcher-side test on either backend.
+package transporttest
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"fompi/internal/simnet"
+	"fompi/internal/spmd"
+	"fompi/internal/timing"
+)
+
+// check panics with a formatted message; the suite's assertion primitive
+// (bodies run in worker processes where *testing.T does not reach).
+func check(cond bool, format string, args ...any) {
+	if !cond {
+		panic(fmt.Sprintf(format, args...))
+	}
+}
+
+// runBoth executes body over both backends. name must be the calling test's
+// exact function name: the multi-process launcher re-executes the test
+// binary with -test.run anchored to it, and the re-run must reach the same
+// spmd.Run call (which is also why each conformance test contains exactly
+// one multi-process run).
+func runBoth(t *testing.T, name string, cfg spmd.Config, body func(p *spmd.Proc)) {
+	t.Helper()
+	if err := spmd.Run(cfg, body); err != nil {
+		t.Fatalf("in-process backend: %v", err)
+	}
+	if runtime.GOOS == "windows" {
+		t.Skip("multi-process backend needs mmap + unix sockets")
+	}
+	cfg.Backend = spmd.BackendMP
+	cfg.MPRelaunch = []string{os.Args[0], "-test.run=^" + name + "$"}
+	if err := spmd.Run(cfg, body); err != nil {
+		t.Fatalf("multi-process backend: %v", err)
+	}
+}
+
+// setupRegion registers a dedicated conformance region (the same size and
+// program order on every rank, so its key is symmetric) and barriers so
+// every rank's region is addressable.
+func setupRegion(p *spmd.Proc, size int) (*simnet.Region, simnet.Key) {
+	reg := p.EP().Register(size)
+	k := reg.Key()
+	lo := p.Allreduce8(spmd.OpMin, uint64(k))
+	hi := p.Allreduce8(spmd.OpMax, uint64(k))
+	check(lo == hi, "conformance region key not symmetric: %d..%d", lo, hi)
+	p.Barrier()
+	return reg, k
+}
+
+// TestConformanceOrdering checks put-then-flag ordering: once a poller has
+// observed the flag and merged its stamp, the payload bytes are present and
+// no payload word's stamp exceeds the poller's merged clock (data lands
+// causally before the flag that announces it).
+func TestConformanceOrdering(t *testing.T) {
+	const rounds = 8
+	cfg := spmd.Config{Ranks: 2, RanksPerNode: 1} // inter-node: the NIC path
+	runBoth(t, "TestConformanceOrdering", cfg, func(p *spmd.Proc) {
+		const payloadOff, flagOff, payloadLen = 0, 1024, 996 // odd length: edge blocks
+		reg, key := setupRegion(p, 2048)
+		ep := p.EP()
+		if p.Rank() == 0 {
+			for r := 1; r <= rounds; r++ {
+				buf := make([]byte, payloadLen)
+				for i := range buf {
+					buf[i] = byte(r + i)
+				}
+				ep.BeginBatch()
+				ep.PutNBI(simnet.Addr{Rank: 1, Key: key, Off: payloadOff}, buf)
+				ep.StoreW(simnet.Addr{Rank: 1, Key: key, Off: flagOff}, uint64(r))
+				ep.EndBatch()
+				// Wait for the consumer's ack before reusing the payload area.
+				ep.WaitLocal(func() bool { return reg.LocalWord(flagOff) >= uint64(r) })
+			}
+		} else {
+			for r := 1; r <= rounds; r++ {
+				ep.WaitLocal(func() bool { return reg.LocalWord(flagOff) >= uint64(r) })
+				ep.MergeStamp(reg, flagOff, 8)
+				for i := 0; i < payloadLen; i++ {
+					check(reg.Bytes()[payloadOff+i] == byte(r+i),
+						"round %d: payload byte %d corrupt", r, i)
+				}
+				check(reg.StampMax(payloadOff, payloadLen) <= ep.Now(),
+					"round %d: payload stamped after the flag that announced it", r)
+				ep.StoreW(simnet.Addr{Rank: 0, Key: key, Off: flagOff}, uint64(r))
+			}
+		}
+		p.Barrier()
+	})
+}
+
+// TestConformanceAtomics checks cross-rank atomicity: a fetch-add counter
+// accumulates exactly, fetch-add tickets are unique, and a CAS spinlock
+// provides mutual exclusion around a non-atomic read-modify-write.
+func TestConformanceAtomics(t *testing.T) {
+	const perRank = 200
+	cfg := spmd.Config{Ranks: 4, RanksPerNode: 2}
+	runBoth(t, "TestConformanceAtomics", cfg, func(p *spmd.Proc) {
+		const ctrOff, lockOff, cellOff = 0, 8, 16
+		reg, key := setupRegion(p, 64)
+		ep := p.EP()
+		ctr := simnet.Addr{Rank: 0, Key: key, Off: ctrOff}
+		seen := map[uint64]bool{}
+		for i := 0; i < perRank; i++ {
+			old := ep.FetchAdd(ctr, 1)
+			check(!seen[old], "fetch-add ticket %d seen twice by rank %d", old, p.Rank())
+			seen[old] = true
+		}
+		lock := simnet.Addr{Rank: 0, Key: key, Off: lockOff}
+		cell := simnet.Addr{Rank: 0, Key: key, Off: cellOff}
+		for i := 0; i < 32; i++ {
+			for ep.CompareSwap(lock, 0, uint64(p.Rank())+1) != 0 {
+			}
+			v := ep.LoadW(cell)
+			ep.StoreW(cell, v+1)
+			ep.Gsync()
+			check(ep.Swap(lock, 0) == uint64(p.Rank())+1, "lock stolen from rank %d", p.Rank())
+		}
+		p.Barrier()
+		if p.Rank() == 0 {
+			check(reg.LocalWord(ctrOff) == uint64(p.Size()*perRank),
+				"fetch-add counter %d, want %d", reg.LocalWord(ctrOff), p.Size()*perRank)
+			check(reg.LocalWord(cellOff) == uint64(p.Size()*32),
+				"CAS-locked counter %d, want %d (mutual exclusion violated)",
+				reg.LocalWord(cellOff), p.Size()*32)
+		}
+		p.Barrier()
+	})
+}
+
+// TestConformanceNotify checks notified-access delivery: the notification
+// word arrives intact, after its data, and with a stamp no earlier than the
+// data's (the data-before-notification contract rings are built on).
+func TestConformanceNotify(t *testing.T) {
+	const rounds = 6
+	cfg := spmd.Config{Ranks: 2, RanksPerNode: 2} // intra-node fast path
+	runBoth(t, "TestConformanceNotify", cfg, func(p *spmd.Proc) {
+		ringBytes := simnet.NotifyRingBytes(8)
+		reg, key := setupRegion(p, 512+ringBytes)
+		ep := p.EP()
+		ring := simnet.BindNotifyRing(reg, 512, 8)
+		p.Barrier()
+		if p.Rank() == 0 {
+			for r := 1; r <= rounds; r++ {
+				buf := []byte(fmt.Sprintf("payload %02d", r))
+				ep.PutNotify(simnet.Addr{Rank: 1, Key: key, Off: 0}, buf,
+					simnet.Addr{Rank: 1, Key: key, Off: 512}, uint64(r))
+				ep.Gsync()
+				w := ring.Pop(ep) // credit back from the consumer
+				check(w == uint64(r)+100, "credit %d, want %d", w, r+100)
+			}
+		} else {
+			for r := 1; r <= rounds; r++ {
+				w, stamp, okPop := popBlocking(ep, ring)
+				check(okPop && w == uint64(r), "notification %d, want %d", w, r)
+				want := fmt.Sprintf("payload %02d", r)
+				check(string(reg.Bytes()[:len(want)]) == want, "round %d: data missing at notify time", r)
+				check(stamp >= reg.StampMax(0, len(want)),
+					"round %d: notification stamped before its data", r)
+				ep.AdvanceTo(stamp)
+				ep.Notify(simnet.Addr{Rank: 0, Key: key, Off: 512}, uint64(r)+100)
+			}
+		}
+		p.Barrier()
+	})
+}
+
+// popBlocking waits for one notification and returns it with its stamp.
+func popBlocking(ep *simnet.Endpoint, ring *simnet.NotifyRing) (uint64, timing.Time, bool) {
+	var w uint64
+	var st timing.Time
+	var ok bool
+	ep.WaitLocal(func() bool {
+		w, st, ok = ring.TryPopStamped(ep)
+		return ok
+	})
+	return w, st, ok
+}
+
+// TestConformanceDoorbell checks that a parked waiter is woken by a remote
+// write — no lost wakeups, no reliance on the waiter polling fast — by
+// making the writer sleep in real time while the waiter is parked.
+func TestConformanceDoorbell(t *testing.T) {
+	cfg := spmd.Config{Ranks: 2, RanksPerNode: 1}
+	runBoth(t, "TestConformanceDoorbell", cfg, func(p *spmd.Proc) {
+		reg, key := setupRegion(p, 64)
+		ep := p.EP()
+		if p.Rank() == 0 {
+			time.Sleep(250 * time.Millisecond) // let the waiter park for real
+			ep.StoreW(simnet.Addr{Rank: 1, Key: key, Off: 0}, 42)
+			ep.PollRemoteWord(simnet.Addr{Rank: 1, Key: key, Off: 8},
+				func(v uint64) bool { return v == 43 })
+		} else {
+			t0 := time.Now()
+			ep.WaitLocal(func() bool { return reg.LocalWord(0) == 42 })
+			check(time.Since(t0) < 30*time.Second, "doorbell wait hung")
+			reg.LocalWordStore(8, 43, ep.Now())
+			p.EP().Transport().RingDoorbell(p.Rank()) // announce the local store
+		}
+		p.Barrier()
+	})
+}
+
+// vtimeWorkload is a token-serialized tour of every endpoint operation:
+// the token hand-off imposes a total order on all remote operations, so
+// clocks and stamps are fully protocol-ordered and the final per-rank
+// virtual times are deterministic — across runs and across backends.
+func vtimeWorkload(p *spmd.Proc, key simnet.Key, reg *simnet.Region) timing.Time {
+	ep := p.EP()
+	n := p.Size()
+	const tokOff, dataOff = 0, 64
+	payload := make([]byte, 700) // crosses stamp-block edges
+	for lap := 0; lap < 3; lap++ {
+		turn := uint64(lap*n) + 1
+		if p.Rank() == 0 && lap == 0 {
+			// Kick off the ring.
+			ep.StoreW(simnet.Addr{Rank: 0, Key: key, Off: tokOff}, turn)
+		}
+		myTurn := turn + uint64(p.Rank())
+		ep.WaitLocal(func() bool { return reg.LocalWord(tokOff) >= myTurn })
+		ep.MergeStamp(reg, tokOff, 8)
+		next := (p.Rank() + 1) % n
+		for i := range payload {
+			payload[i] = byte(lap + i + p.Rank())
+		}
+		ep.Put(simnet.Addr{Rank: next, Key: key, Off: dataOff}, payload)
+		got := make([]byte, 256)
+		ep.Get(got, simnet.Addr{Rank: next, Key: key, Off: dataOff})
+		ep.FetchAdd(simnet.Addr{Rank: next, Key: key, Off: 32}, 7)
+		ep.CompareSwap(simnet.Addr{Rank: next, Key: key, Off: 40}, 0, uint64(lap))
+		ep.AddNBI(simnet.Addr{Rank: next, Key: key, Off: 48}, 1)
+		ep.GetNBI(got, simnet.Addr{Rank: next, Key: key, Off: dataOff})
+		ep.Gsync()
+		ep.Compute(500)
+		// Pass the token.
+		ep.StoreW(simnet.Addr{Rank: next, Key: key, Off: tokOff}, myTurn+1)
+	}
+	if p.Rank() == 0 {
+		// The ring closes at rank 0: absorb the final hand-off before the
+		// barrier so every hand-off stamp is merged somewhere.
+		ep.WaitLocal(func() bool { return reg.LocalWord(tokOff) >= uint64(3*n)+1 })
+		ep.MergeStamp(reg, tokOff, 8)
+	}
+	p.Barrier()
+	return p.Now()
+}
+
+// TestConformanceVirtualTime pins the tentpole claim: a protocol-ordered
+// workload yields bit-identical per-rank virtual times on every backend.
+// The expected clocks are computed by two in-process runs (which also guards
+// run-to-run determinism); the multi-process run then re-derives them inside
+// each worker process and compares its own rank's clock exactly.
+func TestConformanceVirtualTime(t *testing.T) {
+	cfg := spmd.Config{Ranks: 4, RanksPerNode: 2} // both intra- and inter-node hops
+	clocksOnce := func() []timing.Time {
+		clocks := make([]timing.Time, cfg.Ranks)
+		if err := spmd.Run(cfg, func(p *spmd.Proc) {
+			reg, key := setupRegion(p, 1024)
+			clocks[p.Rank()] = vtimeWorkload(p, key, reg)
+		}); err != nil {
+			t.Fatalf("in-process reference run: %v", err)
+		}
+		return clocks
+	}
+	want := clocksOnce()
+	again := clocksOnce()
+	for r := range want {
+		if want[r] != again[r] {
+			t.Fatalf("in-process workload is not run-deterministic at rank %d: %d vs %d — the cross-backend comparison below would be meaningless", r, want[r], again[r])
+		}
+		if want[r] == 0 {
+			t.Fatalf("rank %d clock stayed 0; workload did not run", r)
+		}
+	}
+	if runtime.GOOS == "windows" {
+		t.Skip("multi-process backend needs mmap + unix sockets")
+	}
+	mpCfg := cfg
+	mpCfg.Backend = spmd.BackendMP
+	mpCfg.MPRelaunch = []string{os.Args[0], "-test.run=^TestConformanceVirtualTime$"}
+	// Worker processes re-execute this test: they recompute `want` with their
+	// own in-process runs above, then reach this Run as workers and assert
+	// their rank's multi-process clock matches it bit for bit.
+	if err := spmd.Run(mpCfg, func(p *spmd.Proc) {
+		reg, key := setupRegion(p, 1024)
+		got := vtimeWorkload(p, key, reg)
+		check(got == want[p.Rank()],
+			"rank %d virtual time %d on the multi-process backend, %d in process",
+			p.Rank(), got, want[p.Rank()])
+	}); err != nil {
+		t.Fatalf("multi-process backend: %v", err)
+	}
+}

@@ -1,0 +1,36 @@
+#!/bin/sh
+# bench_check.sh — the CI perf-regression guard. Runs the quick host-bench
+# (one iteration over the full scenario set) and compares it against the
+# committed BENCH_host.json record:
+#
+#   - allocs/op must stay under 3x the recorded value (+1 absolute slack for
+#     the near-zero-allocation hot paths); a breach fails the script.
+#   - wall-clock ns/op ratios are printed but never fail: shared CI runners
+#     make wall time advisory.
+#
+# The fresh report is left at $OUT (default bench_current.json) for the
+# workflow to upload as an artifact. Pure POSIX sh; temporaries live under
+# the repo, not $TMPDIR. Malformed bench JSON — recorded or fresh — exits
+# nonzero via hostperf -check/-guard.
+#
+#   sh scripts/bench_check.sh
+#   OUT=out.json ITERS=2 FACTOR=4 sh scripts/bench_check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="${OUT:-bench_current.json}"
+ITERS="${ITERS:-1}"
+FACTOR="${FACTOR:-3}"
+RECORD="${RECORD:-BENCH_host.json}"
+
+BIN="scripts/.hostperf.bin.$$"
+trap 'rm -f "$BIN"' EXIT INT TERM
+
+# Build first, then run the binary: a `go run` compile immediately before
+# the timed loops throttles the first scenarios on CPU-quota-limited hosts.
+go build -o "$BIN" ./cmd/hostperf
+
+"./$BIN" -iters "$ITERS" -o "$OUT"
+"./$BIN" -check "$OUT"
+"./$BIN" -guard "$RECORD" -against "$OUT" -allocs-factor "$FACTOR"

@@ -21,15 +21,17 @@ BASELINE="scripts/bench_host_baseline.json"
 
 # Build first, then run the binary: on CPU-quota-limited hosts a `go run`
 # compile immediately before the timed loops throttles the first scenarios.
-BIN="$(mktemp)"
+# The binary lives under the repo: CI runners promise no writable $TMPDIR.
+BIN="scripts/.hostperf.bin.$$"
+trap 'rm -f "$BIN"' EXIT INT TERM
 go build -o "$BIN" ./cmd/hostperf
-trap 'rm -f "$BIN"' EXIT
 
 if [ -f "$BASELINE" ]; then
-	"$BIN" -iters "$ITERS" -o "$OUT" -baseline "$BASELINE" "$@"
+	"./$BIN" -iters "$ITERS" -o "$OUT" -baseline "$BASELINE" "$@"
 else
-	"$BIN" -iters "$ITERS" -o "$OUT" "$@"
+	"./$BIN" -iters "$ITERS" -o "$OUT" "$@"
 fi
 
-# The report must parse back as well-formed JSON with at least one result.
-"$BIN" -check "$OUT"
+# The report must parse back as well-formed JSON with at least one result;
+# a malformed report exits nonzero here, failing the caller.
+"./$BIN" -check "$OUT"
