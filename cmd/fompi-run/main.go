@@ -1,31 +1,49 @@
-// Command fompi-run launches an SPMD program on the multi-process backend:
-// the mpirun/srun equivalent of the simulated toolchain. It creates the
-// shared-memory world and executes the target binary once per rank with the
-// worker environment set.
+// Command fompi-run launches an SPMD program on a cross-process backend:
+// the mpirun/srun equivalent of the simulated toolchain.
 //
-//	fompi-run -np 4 -ppn 2 ./myprog args...
+//	fompi-run -np 4 -ppn 2 ./myprog args...                    # shared memory (mp)
+//	fompi-run -np 4 -backend net ./myprog args...              # TCP, loopback spawn
+//	fompi-run -np 4 -backend net -hosts a,b -listen :7077 ./myprog
 //
-// The launcher exports FOMPI_BACKEND=mp, so a program that selects its
-// backend from the environment (fompi.BackendFromEnv, as the examples do)
-// reaches its fompi.Run call with BackendMP and joins the world the
+// With -backend mp (the default) it creates the shared-memory world and
+// executes the target binary once per rank; with -backend net it runs the
+// inter-node TCP coordinator, spawning the ranks locally (loopback mode) or
+// — when -hosts is given (or FOMPI_HOSTS is set) — waiting for workers the
+// operator starts on each listed machine with FOMPI_NET_COORD pointing back
+// at the coordinator.
+//
+// The launcher exports FOMPI_BACKEND, so a program that selects its backend
+// from the environment (fompi.BackendFromEnv, as the examples do) reaches
+// its fompi.Run call with the matching backend and joins the world the
 // launcher created. The flags must match the program's fompi.Config (ranks,
 // ranks per node, pacing window, arena size): the workers validate their
 // config against the world and fail loudly on a mismatch.
+//
+// Each rank's stdout/stderr is prefixed "[rank N]" (disable with -tag=false)
+// and the launcher exits with the first failing rank's exit code.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"fompi/internal/mprun"
+	"fompi/internal/netrun"
+	"fompi/internal/rankio"
 )
 
 func main() {
 	np := flag.Int("np", 2, "number of ranks (one OS process each)")
-	ppn := flag.Int("ppn", 1, "ranks per node (intra-node pairs use the XPMEM-style fast path)")
+	ppn := flag.Int("ppn", 1, "ranks per (virtual) node; same-node pairs use the intra-node cost profile")
 	pace := flag.Int64("pace", 0, "pacing window in virtual ns (0 disables; must match the program's PaceWindowNs)")
-	arena := flag.Int("arena", 0, "per-rank registered-memory arena bytes (0 = the 16 MiB default)")
+	arena := flag.Int("arena", 0, "per-rank registered-memory arena bytes (mp backend; 0 = the 16 MiB default)")
+	backend := flag.String("backend", "mp", "cross-process backend: mp (shared memory, one machine) or net (TCP, inter-node)")
+	hosts := flag.String("hosts", os.Getenv("FOMPI_HOSTS"),
+		"comma-separated machines for the net backend; non-empty switches to host-list mode, where the operator starts one worker per rank remotely (default from FOMPI_HOSTS)")
+	listen := flag.String("listen", "", "net coordinator listen address (host-list mode defaults to :7077, loopback to 127.0.0.1:0)")
+	tag := flag.Bool("tag", true, "prefix each spawned rank's stdout/stderr with [rank N]")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: fompi-run [flags] program [args...]\n")
 		flag.PrintDefaults()
@@ -35,20 +53,48 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if mprun.IsWorker() {
-		fmt.Fprintln(os.Stderr, "fompi-run: refusing to nest inside a multi-process world")
+	if mprun.IsWorker() || netrun.IsWorker() {
+		fmt.Fprintln(os.Stderr, "fompi-run: refusing to nest inside a cross-process world")
 		os.Exit(2)
 	}
-	os.Setenv("FOMPI_BACKEND", "mp")
-	err := mprun.Launch(mprun.Options{
-		Ranks:        *np,
-		RanksPerNode: *ppn,
-		PaceWindowNs: *pace,
-		ArenaBytes:   *arena,
-		Relaunch:     flag.Args(),
-	})
+
+	var hostList []string
+	if *hosts != "" {
+		hostList = strings.Split(*hosts, ",")
+	}
+	var err error
+	switch *backend {
+	case "mp":
+		if hostList != nil {
+			fmt.Fprintln(os.Stderr, "fompi-run: -hosts requires -backend net (shared memory is one machine)")
+			os.Exit(2)
+		}
+		os.Setenv("FOMPI_BACKEND", "mp")
+		err = mprun.Launch(mprun.Options{
+			Ranks:        *np,
+			RanksPerNode: *ppn,
+			PaceWindowNs: *pace,
+			ArenaBytes:   *arena,
+			Relaunch:     flag.Args(),
+			TagOutput:    *tag,
+		})
+	case "net":
+		os.Setenv("FOMPI_BACKEND", "net")
+		err = netrun.Launch(netrun.Options{
+			Ranks:        *np,
+			RanksPerNode: *ppn,
+			PaceWindowNs: *pace,
+			Listen:       *listen,
+			Hosts:        hostList,
+			Relaunch:     flag.Args(),
+			TagOutput:    *tag,
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "fompi-run: unknown backend %q (want mp or net)\n", *backend)
+		os.Exit(2)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fompi-run: %v\n", err)
-		os.Exit(1)
+		os.Exit(rankio.ExitCode(err))
 	}
 }

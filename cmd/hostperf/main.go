@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"fompi/internal/hostperf"
+	"fompi/internal/spmd"
 )
 
 // Schema identifies the report layout; bump on incompatible change.
@@ -168,6 +169,8 @@ func main() {
 	against := flag.String("against", "", "fresh report compared to -guard's record")
 	factor := flag.Float64("allocs-factor", 3, "allowed allocs/op growth factor for -guard")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the timed runs")
+	backend := flag.String("backend", "proc",
+		"transport backend to measure: proc runs the full in-process suite; mp or net run the cross-process transport-latency subset (advisory — never guarded). Cross-process runs re-execute this binary as the worker ranks, so it must be a real file on disk")
 	flag.Parse()
 
 	if *checkPath != "" {
@@ -210,7 +213,16 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	for _, sc := range hostperf.Scenarios() {
+	scenarios := hostperf.Scenarios()
+	if *backend != "proc" && *backend != "" {
+		// In a worker rank, this same loop reaches the one scenario the
+		// launcher anchored -only to, whose spmd world executes the worker
+		// body and exits the process.
+		scenarios = hostperf.CrossScenarios(spmd.Backend(*backend), func(name string) []string {
+			return []string{os.Args[0], "-backend", *backend, "-only", "^" + name + "$"}
+		})
+	}
+	for _, sc := range scenarios {
 		if filter != nil && !filter.MatchString(sc.Name) {
 			continue
 		}

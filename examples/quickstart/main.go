@@ -17,7 +17,7 @@ import (
 
 func main() {
 	backend := flag.String("backend", string(fompi.BackendFromEnv()),
-		"transport backend: proc (in-process, default) or mp (multi-process)")
+		"transport backend: proc (in-process, default), mp (multi-process) or net (inter-node TCP)")
 	flag.Parse()
 	cfg := fompi.Config{Ranks: 4, RanksPerNode: 2, Backend: fompi.Backend(*backend)}
 	fompi.MustRun(cfg, func(p *fompi.Proc) {

@@ -26,9 +26,9 @@ import (
 
 func main() {
 	backend := flag.String("backend", string(fompi.BackendFromEnv()),
-		"transport backend: proc (in-process, default) or mp (multi-process)")
+		"transport backend: proc (in-process, default), mp (multi-process) or net (inter-node TCP)")
 	rmaOnly := flag.Bool("rma-only", false,
-		"run only the backend-portable RMA variants (implied by -backend=mp)")
+		"run only the backend-portable RMA variants (implied by the cross-process backends)")
 	ppn := flag.Int("ppn", 4, "ranks per node; 8 puts the whole world on one node, "+
 		"whose virtual times are fully deterministic (no cross-node NIC incast races)")
 	check := flag.Bool("check", false,
@@ -40,7 +40,7 @@ func main() {
 		"cross-rank clock divergence so real scheduling noise cannot reorder stamp merges")
 	flag.Parse()
 	be := fompi.Backend(*backend)
-	portable := *rmaOnly || *check || be == fompi.BackendMP
+	portable := *rmaOnly || *check || be == fompi.BackendMP || be == fompi.BackendNet
 
 	const ranks = 8
 	prm := milc.Params{Local: [4]int{4, 4, 4, 8}, Grid: [4]int{1, 1, 2, 4}, Iters: 25}

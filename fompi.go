@@ -56,8 +56,10 @@ type Config = spmd.Config
 // Backend selects the transport substrate of a world: BackendInProc runs
 // ranks as goroutines over the in-process fabric, BackendMP runs each rank
 // as an OS process with RMA through a mmap-shared segment and doorbells over
-// Unix sockets (see internal/mprun and cmd/fompi-run). Virtual time lives
-// above the transport line, so checksums and virtual-time figures are
+// Unix sockets, and BackendNet runs each rank as an OS process on
+// (potentially) a different machine with RMA as framed messages over TCP
+// (see internal/mprun, internal/netrun and cmd/fompi-run). Virtual time
+// lives above the transport line, so checksums and virtual-time figures are
 // bit-identical across backends.
 type Backend = spmd.Backend
 
@@ -65,11 +67,12 @@ type Backend = spmd.Backend
 const (
 	BackendInProc = spmd.BackendInProc
 	BackendMP     = spmd.BackendMP
+	BackendNet    = spmd.BackendNet
 )
 
-// BackendFromEnv reads the FOMPI_BACKEND environment variable ("proc" or
-// "mp"; empty means in-process), the convention the cmd/fompi-run launcher
-// and the examples use to select a backend without code changes.
+// BackendFromEnv reads the FOMPI_BACKEND environment variable ("proc",
+// "mp" or "net"; empty means in-process), the convention the cmd/fompi-run
+// launcher and the examples use to select a backend without code changes.
 func BackendFromEnv() Backend {
 	return Backend(os.Getenv("FOMPI_BACKEND"))
 }

@@ -16,6 +16,7 @@ import (
 	"fompi/internal/apps/hashtable"
 	"fompi/internal/apps/stencil"
 	"fompi/internal/core"
+	"fompi/internal/simnet"
 	"fompi/internal/spmd"
 )
 
@@ -161,5 +162,67 @@ func Scenarios() []Scenario {
 		{Name: "coll_p256", Unit: "round", Ops: collReps, Run: collAt(256, collReps)},
 		{Name: "hashtable_p64", Unit: "insert", Ops: 64 * htInserts, Run: hashtableAt(64, htInserts)},
 		{Name: "stencil_p16", Unit: "iter", Ops: stencilIters, Run: stencilAt(16, stencilIters)},
+	}
+}
+
+// Cross-process scenario constants (see the baseline-invalidation note above).
+const (
+	pingpongRounds = 400
+	crossPutReps   = 200
+	crossPutBytes  = 32 << 10
+)
+
+// CrossScenarios returns the host-perf subset that measures a cross-process
+// backend's transport overhead: the wire (or shared-memory) round-trip cost
+// the protocol layers pay per operation, reported advisory alongside the
+// in-process suite (cmd/hostperf -backend; never guarded — these numbers
+// measure sockets and schedulers, not the simulator's own hot paths).
+// relaunch(name) must produce an argv that re-executes this program so that
+// its worker ranks reach exactly the named scenario's world (cmd/hostperf
+// passes -backend and an anchored -only).
+func CrossScenarios(backend spmd.Backend, relaunch func(name string) []string) []Scenario {
+	cfg2 := func(name string) spmd.Config {
+		return spmd.Config{Ranks: 2, RanksPerNode: 1, Backend: backend,
+			MPRelaunch: relaunch(name), MPArenaBytes: 4 << 20}
+	}
+	return []Scenario{
+		// One flag put each way per round: the transport's doorbell + small
+		// message latency floor (loopback TCP RTT on the net backend).
+		{Name: "x_pingpong", Unit: "rtt", Ops: pingpongRounds, Run: func() {
+			spmd.MustRun(cfg2("x_pingpong"), func(p *spmd.Proc) {
+				reg := p.EP().Register(64)
+				key := reg.Key()
+				p.Barrier()
+				ep := p.EP()
+				peer := 1 - p.Rank()
+				for r := uint64(1); r <= pingpongRounds; r++ {
+					if p.Rank() == 0 {
+						ep.StoreW(simnet.Addr{Rank: peer, Key: key, Off: 0}, r)
+						ep.WaitLocal(func() bool { return reg.LocalWord(0) >= r })
+					} else {
+						ep.WaitLocal(func() bool { return reg.LocalWord(0) >= r })
+						ep.StoreW(simnet.Addr{Rank: peer, Key: key, Off: 0}, r)
+					}
+				}
+				p.Barrier()
+			})
+		}},
+		// Bulk puts with per-op flush: wire bandwidth plus stamp shipping.
+		{Name: "x_put32k", Unit: "put", Ops: crossPutReps, Run: func() {
+			spmd.MustRun(cfg2("x_put32k"), func(p *spmd.Proc) {
+				w, _ := core.Allocate(p, crossPutBytes, core.Config{})
+				if p.Rank() == 0 {
+					buf := make([]byte, crossPutBytes)
+					w.Lock(core.LockExclusive, 1)
+					for r := 0; r < crossPutReps; r++ {
+						w.Put(buf, 1, 0)
+						w.Flush(1)
+					}
+					w.Unlock(1)
+				}
+				p.Barrier()
+				w.Free()
+			})
+		}},
 	}
 }

@@ -10,8 +10,13 @@ import (
 // and every worker process, holds everything two ranks ever both touch:
 //
 //	header   (1 page)   world parameters + the abort flag
-//	rank[i]  (128 B)    doorbell generation, doorbell waiter mask, published
-//	                    pace clock, NIC busy interval + its spinlock
+//	rank[i]  (128 B)    doorbell generation, published pace clock, NIC busy
+//	                    interval + its spinlock
+//	wait[i]  (ceil(ranks/64) × 8 B per rank)
+//	                    the doorbell waiter bitset: bit r of rank i's words
+//	                    is set while rank r is blocked in WaitDoor on i (a
+//	                    multi-word mask, so worlds are not capped at 64
+//	                    ranks by the waiter bookkeeping)
 //	dir[i]   (32 B × maxRegions per rank)
 //	                    the region directory: each owner publishes its
 //	                    registrations here in key order
@@ -27,7 +32,7 @@ import (
 // goroutines. DESIGN.md §8 documents the layout and its ordering contracts.
 const (
 	shmMagic   = 0x666f4d50_72756e31 // "foMPrun1"
-	shmVersion = 1
+	shmVersion = 2                   // v2: waiter masks widened to a bitset section
 
 	hdrMagic      = 0  // u64
 	hdrVersion    = 8  // u64
@@ -39,13 +44,12 @@ const (
 	hdrAbort      = 56 // u32
 	hdrBytes      = 4096
 
-	rankStride    = 128
-	rnDoorGen     = 0  // u64
-	rnDoorWaiters = 8  // u64 bitmask: ranks blocked in WaitDoor on this rank
-	rnPaceClock   = 16 // i64
-	rnNicLock     = 24 // u32 spinlock
-	rnNicStart    = 32 // i64
-	rnNicBusy     = 40 // i64
+	rankStride  = 128
+	rnDoorGen   = 0  // u64
+	rnPaceClock = 16 // i64
+	rnNicLock   = 24 // u32 spinlock
+	rnNicStart  = 32 // i64
+	rnNicBusy   = 40 // i64
 
 	entryStride = 32
 	enState     = 0  // u32: entryEmpty/entryLive/entryDead
@@ -61,10 +65,12 @@ const (
 	// window; 1024 is two orders of magnitude of headroom.
 	maxRegions = 1024
 
-	// MaxRanks bounds a multi-process world: the doorbell waiter set is one
-	// 64-bit mask per rank. Worlds of OS processes are launcher-scale, not
-	// simulation-scale (the in-process backend runs p=4096).
-	MaxRanks = 64
+	// MaxRanks bounds a multi-process world. The waiter bitset scales with
+	// the rank count, so the cap is no longer the mask width; what remains
+	// is a sanity bound on how many OS processes one launcher should drive
+	// (the in-process backend is the one that runs simulation-scale worlds,
+	// p=4096).
+	MaxRanks = 1024
 
 	pageAlign = 4096
 )
@@ -75,20 +81,27 @@ func alignUp(n, a int) int { return (n + a - 1) &^ (a - 1) }
 type layout struct {
 	ranks      int
 	arenaBytes int
+	maskWords  int // 64-bit words per waiter bitset: ceil(ranks/64)
+	waitOff    int
 	dirOff     int
 	arenaOff   int
 	total      int
 }
 
 func layoutFor(ranks, arenaBytes int) layout {
-	l := layout{ranks: ranks, arenaBytes: arenaBytes}
-	l.dirOff = hdrBytes + ranks*rankStride
+	l := layout{ranks: ranks, arenaBytes: arenaBytes, maskWords: (ranks + 63) / 64}
+	l.waitOff = hdrBytes + ranks*rankStride
+	l.dirOff = l.waitOff + ranks*l.maskWords*8
 	l.arenaOff = alignUp(l.dirOff+ranks*maxRegions*entryStride, pageAlign)
 	l.total = l.arenaOff + ranks*arenaBytes
 	return l
 }
 
-func (l layout) rankOff(r int) int     { return hdrBytes + r*rankStride }
+func (l layout) rankOff(r int) int { return hdrBytes + r*rankStride }
+
+// waiterOff returns the offset of word w of rank r's doorbell waiter bitset.
+func (l layout) waiterOff(r, w int) int { return l.waitOff + (r*l.maskWords+w)*8 }
+
 func (l layout) entryOff(r, k int) int { return l.dirOff + (r*maxRegions+k)*entryStride }
 func (l layout) arenaBase(r int) int   { return l.arenaOff + r*l.arenaBytes }
 func (l layout) arena(m []byte, r int) []byte {

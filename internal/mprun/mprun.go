@@ -26,7 +26,6 @@ import (
 	"math/bits"
 	"net"
 	"os"
-	"os/exec"
 	"path/filepath"
 	"runtime"
 	"strings"
@@ -35,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"fompi/internal/rankio"
 	"fompi/internal/segpool"
 	"fompi/internal/simnet"
 	"fompi/internal/timing"
@@ -63,6 +63,9 @@ type Options struct {
 	ArenaBytes int
 	// Relaunch is the worker argv; nil re-executes os.Args.
 	Relaunch []string
+	// TagOutput prefixes each worker's stdout/stderr with "[rank N]"
+	// (cmd/fompi-run sets it).
+	TagOutput bool
 }
 
 func (o Options) withDefaults() Options {
@@ -196,15 +199,14 @@ func Launch(o Options) error {
 	}
 	defer ln.Close()
 
-	cmds := make([]*exec.Cmd, o.Ranks)
+	cmds := make([]*rankio.Cmd, o.Ranks)
 	for r := 0; r < o.Ranks; r++ {
-		cmd := exec.Command(argv[0], argv[1:]...)
-		cmd.Env = append(os.Environ(),
-			envDir+"="+dir, fmt.Sprintf("%s=%d", envRank, r))
-		cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
-		if err := cmd.Start(); err != nil {
+		env := []string{envDir + "=" + dir, fmt.Sprintf("%s=%d", envRank, r)}
+		cmd, err := rankio.Start(argv, env, r, o.TagOutput)
+		if err != nil {
 			w.abortWorld()
-			killAll(cmds[:r])
+			rankio.KillAll(cmds[:r])
+			rankio.ReapAll(cmds[:r])
 			return fmt.Errorf("mprun: spawn rank %d (%s): %w", r, argv[0], err)
 		}
 		cmds[r] = cmd
@@ -220,14 +222,16 @@ func Launch(o Options) error {
 		c, err := ln.AcceptUnix()
 		if err != nil {
 			w.abortWorld()
-			killAll(cmds)
+			rankio.KillAll(cmds)
+			rankio.ReapAll(cmds)
 			return fmt.Errorf("mprun: worker bootstrap timed out (%d of %d connected): %w", i, o.Ranks, err)
 		}
 		c.SetReadDeadline(deadline)
 		var r int
 		if _, err := fmt.Fscanf(bufio.NewReader(c), "READY %d\n", &r); err != nil || r < 0 || r >= o.Ranks || conns[r] != nil {
 			w.abortWorld()
-			killAll(cmds)
+			rankio.KillAll(cmds)
+			rankio.ReapAll(cmds)
 			return fmt.Errorf("mprun: bad READY handshake from a worker: %v", err)
 		}
 		c.SetReadDeadline(time.Time{})
@@ -236,38 +240,42 @@ func Launch(o Options) error {
 	for _, c := range conns {
 		if _, err := c.Write([]byte("GO\n")); err != nil {
 			w.abortWorld()
-			killAll(cmds)
+			rankio.KillAll(cmds)
+			rankio.ReapAll(cmds)
 			return fmt.Errorf("mprun: release workers: %w", err)
 		}
 	}
 
 	// Collect final status lines and process exits. On the first failure,
 	// abort the world so blocked peers unwind, give them a grace period, and
-	// kill whatever is left.
+	// kill whatever is left. The first non-zero worker exit code rides the
+	// returned error (rankio.RankError) so launchers can propagate it.
 	type status struct {
 		rank int
 		msg  string // "" = clean
+		code int
 	}
 	results := make(chan status, o.Ranks)
 	for r := range conns {
 		go func(r int, c *net.UnixConn) {
 			line, err := bufio.NewReader(c).ReadString('\n')
 			line = strings.TrimSpace(line)
-			exitErr := cmds[r].Wait()
+			code := cmds[r].Wait()
 			switch {
 			case strings.HasPrefix(line, "FAIL "):
 				msg := strings.TrimSpace(strings.TrimPrefix(line, fmt.Sprintf("FAIL %d", r)))
-				results <- status{r, msg}
-			case strings.HasPrefix(line, "DONE ") && exitErr == nil:
-				results <- status{r, ""}
-			case err != nil && exitErr == nil:
-				results <- status{r, fmt.Sprintf("control channel closed early: %v", err)}
+				results <- status{r, msg, code}
+			case strings.HasPrefix(line, "DONE ") && code == 0:
+				results <- status{r, "", 0}
+			case err != nil && code == 0:
+				results <- status{r, fmt.Sprintf("control channel closed early: %v", err), 0}
 			default:
-				results <- status{r, fmt.Sprintf("exited without DONE: %v", exitErr)}
+				results <- status{r, fmt.Sprintf("exited with status %d without DONE", code), code}
 			}
 		}(r, conns[r])
 	}
 	var firstErr error
+	firstCode := 0
 	killed := false
 	for i := 0; i < o.Ranks; i++ {
 		var st status
@@ -278,7 +286,7 @@ func Launch(o Options) error {
 			case st = <-results:
 			case <-time.After(abortGrace):
 				if !killed {
-					killAll(cmds)
+					rankio.KillAll(cmds)
 					killed = true
 				}
 				st = <-results
@@ -291,18 +299,19 @@ func Launch(o Options) error {
 					firstErr = err
 				}
 			}
+			if firstCode == 0 && st.code != 0 {
+				firstCode = st.code
+			}
 			w.abortWorld()
 		}
 	}
-	return firstErr
-}
-
-func killAll(cmds []*exec.Cmd) {
-	for _, c := range cmds {
-		if c != nil && c.Process != nil {
-			c.Process.Kill()
+	if firstErr != nil {
+		if firstCode == 0 {
+			firstCode = 1
 		}
+		return &rankio.RankError{Err: firstErr, Code: firstCode}
 	}
+	return nil
 }
 
 // Join attaches a worker process (spawned by Launch) to its world and
@@ -640,14 +649,18 @@ func (w *World) Pace(rank int, t timing.Time) {
 // RingDoorbell bumps rank's doorbell generation and pokes every rank
 // currently registered as waiting on it (one datagram each; a full socket
 // buffer means wakeups are already pending, so send errors are ignored).
+// The waiter set is a multi-word bitset — ceil(ranks/64) words — so worlds
+// wider than 64 ranks ring exactly the parked ranks, wherever their bit
+// lives; the common no-waiter case stays one atomic load per word.
 func (w *World) RingDoorbell(rank int) {
-	ro := w.lay.rankOff(rank)
-	atomic.AddUint64(u64at(w.m, ro+rnDoorGen), 1)
-	mask := atomic.LoadUint64(u64at(w.m, ro+rnDoorWaiters))
-	for mask != 0 {
-		r := bits.TrailingZeros64(mask)
-		mask &^= 1 << r
-		w.sendDoor(r)
+	atomic.AddUint64(u64at(w.m, w.lay.rankOff(rank)+rnDoorGen), 1)
+	for wd := 0; wd < w.lay.maskWords; wd++ {
+		mask := atomic.LoadUint64(u64at(w.m, w.lay.waiterOff(rank, wd)))
+		for mask != 0 {
+			r := bits.TrailingZeros64(mask)
+			mask &^= 1 << r
+			w.sendDoor(wd*64 + r)
+		}
 	}
 }
 
@@ -673,19 +686,19 @@ func (w *World) DoorGen(rank int) uint64 {
 }
 
 // WaitDoor blocks until rank's doorbell generation exceeds gen. The waiter
-// registers itself in the watched rank's waiter mask before re-checking the
-// generation — the store/load pairing with RingDoorbell's bump-then-read
-// makes lost wakeups impossible — then sleeps on its own doorbell socket
-// with a heartbeat deadline (dropped datagrams and aborts are caught by the
-// heartbeat re-check).
+// registers itself in the watched rank's waiter bitset (its rank's bit in
+// word rank/64) before re-checking the generation — the store/load pairing
+// with RingDoorbell's bump-then-read makes lost wakeups impossible — then
+// sleeps on its own doorbell socket with a heartbeat deadline (dropped
+// datagrams and aborts are caught by the heartbeat re-check).
 func (w *World) WaitDoor(rank int, gen uint64) uint64 {
 	ro := w.lay.rankOff(rank)
 	genp := u64at(w.m, ro+rnDoorGen)
 	if g := atomic.LoadUint64(genp); g != gen {
 		return g
 	}
-	wp := u64at(w.m, ro+rnDoorWaiters)
-	bit := uint64(1) << uint(w.rank)
+	wp := u64at(w.m, w.lay.waiterOff(rank, w.rank/64))
+	bit := uint64(1) << uint(w.rank%64)
 	for {
 		old := atomic.LoadUint64(wp)
 		if atomic.CompareAndSwapUint64(wp, old, old|bit) {

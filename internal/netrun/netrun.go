@@ -1,0 +1,919 @@
+// Package netrun is the inter-node transport backend: each rank of an SPMD
+// world is an OS process on (potentially) a different machine, and every
+// remote-memory operation — put, get, atomics, notified access — travels as
+// a length-prefixed message over TCP to a per-rank service loop that
+// executes it against locally owned segments (simnet.RegionExec). It is the
+// backend that removes the single-machine ceiling of internal/mprun: the
+// same simnet.Transport contract, with the shared mmap replaced by a wire
+// protocol (DESIGN.md §9).
+//
+// A world bootstraps through one coordinator socket. In loopback mode (the
+// CI mode) the launcher spawns the worker processes itself, exactly like
+// mprun; in host-list mode the launcher only listens, and the operator
+// starts one worker per rank on each machine with FOMPI_NET_COORD pointing
+// at it. Workers JOIN with their data-listener address, the coordinator
+// broadcasts the rank/address catalog, and after a READY/GO barrier the
+// ranks dial each other lazily as traffic demands.
+//
+// Everything virtual-time stays above the Transport line: the requester-side
+// halves of each operation (cost-model charges, source-NIC serialization)
+// run in simnet.Endpoint, the owner-side halves (byte movement, stamps,
+// target-NIC booking) replay through simnet.RegionExec, and the conformance
+// suite in internal/transporttest pins the results bit-identical to the
+// in-process and multi-process backends.
+package netrun
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fompi/internal/rankio"
+	"fompi/internal/segpool"
+	"fompi/internal/simnet"
+	"fompi/internal/timing"
+)
+
+const (
+	envCoord = "FOMPI_NET_COORD"
+	envRank  = "FOMPI_NET_RANK"
+
+	bootTimeout = 60 * time.Second
+	abortGrace  = 20 * time.Second
+	// byeTimeout is a failsafe only: a finished rank must keep serving its
+	// memory until every rank is done (coordinator death is caught by the
+	// control-stream watcher), so this bounds nothing but a wedged-alive
+	// coordinator and is deliberately generous.
+	byeTimeout    = 10 * time.Minute
+	doorWaitSlice = 100 * time.Millisecond
+	paceSleepMin  = 50 * time.Microsecond
+	paceSleepMax  = 2 * time.Millisecond
+)
+
+// Options describes an inter-node world. Launcher and workers must agree on
+// the world-shape fields (the JOIN handshake validates them).
+type Options struct {
+	Ranks        int
+	RanksPerNode int
+	PaceWindowNs int64
+	// Listen is the coordinator's listen address. Empty means loopback
+	// spawn mode: listen on 127.0.0.1:0 and re-execute the worker argv once
+	// per rank locally.
+	Listen string
+	// Hosts, when non-empty, selects host-list mode: the coordinator does
+	// not spawn anything and instead waits for Ranks workers — started on
+	// the listed machines with FOMPI_NET_COORD set — to join. The list is
+	// advisory placement documentation (rank assignment follows explicit
+	// FOMPI_NET_RANK values, then join order); it mainly sizes the
+	// operator's expectations and the launch banner.
+	Hosts []string
+	// Relaunch is the worker argv for loopback spawn mode; nil re-executes
+	// os.Args.
+	Relaunch []string
+	// TagOutput prefixes each spawned rank's stdout/stderr with "[rank N]"
+	// (loopback spawn mode only; remote workers own their streams).
+	TagOutput bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Ranks <= 0 {
+		o.Ranks = 1
+	}
+	if o.RanksPerNode <= 0 {
+		o.RanksPerNode = 1
+	}
+	return o
+}
+
+// IsWorker reports whether this process was launched as a worker rank of an
+// inter-node world (the coordinator environment is present).
+func IsWorker() bool { return os.Getenv(envCoord) != "" }
+
+// World is one process's attachment to an inter-node world; in a worker it
+// implements simnet.Transport for that worker's rank.
+type World struct {
+	opts Options
+	rank int // -1 in the launcher
+
+	ctl   net.Conn // stream to the coordinator (workers only)
+	ctlRd *bufio.Reader
+	ctlWr sync.Mutex // serializes status lines against the abort sender
+
+	ln    net.Listener // this rank's data listener
+	addrs []string     // rank -> data address
+
+	// peers are this rank's requester connections, dialed lazily; guarded
+	// by peerMu only against the abort path's close-all (requests
+	// themselves are confined to the rank's goroutine).
+	peerMu sync.Mutex
+	peers  []*peerConn
+
+	// mine is this rank's region directory (index = key; slots are nilled
+	// on unregister, never reused). proxies caches materialized remote
+	// views per (rank, key); it is touched only by the rank's goroutine.
+	mineMu  sync.RWMutex
+	mine    []*simnet.Region
+	proxies [][]*simnet.Region
+
+	// Owner-side virtual-hardware state served to peers: NIC busy interval,
+	// doorbell, published pace clocks. reserveFn is the bound method value,
+	// made once so the per-request executor carries no allocation.
+	nicMu     sync.Mutex
+	nicStart  int64
+	nicBusy   int64
+	reserveFn func(timing.Time, int64) timing.Time
+	door      doorbell
+	clocks    []int64 // atomically accessed; clocks[r] = last known clock of r
+
+	aborted   atomic.Bool
+	done      chan struct{}
+	bye       chan struct{}
+	finished  atomic.Bool
+	abortOnce sync.Once
+	hookMu    sync.Mutex
+	hooks     []func()
+}
+
+// doorbell is the generation-counted wakeup channel of one rank, shared by
+// its local waiter and the service handlers parking remote DoorWait
+// requests: ring closes the current channel, waking everyone at once.
+type doorbell struct {
+	mu  sync.Mutex
+	gen atomic.Uint64
+	ch  chan struct{}
+}
+
+func (d *doorbell) init() { d.ch = make(chan struct{}) }
+
+func (d *doorbell) ring() {
+	d.mu.Lock()
+	d.gen.Add(1)
+	close(d.ch)
+	d.ch = make(chan struct{})
+	d.mu.Unlock()
+}
+
+// waitCh returns the channel to park on, or ok=false when gen is already
+// stale (no park needed).
+func (d *doorbell) waitCh(gen uint64) (<-chan struct{}, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.gen.Load() != gen {
+		return nil, false
+	}
+	return d.ch, true
+}
+
+// Launch creates an inter-node world. In loopback spawn mode it re-executes
+// the worker argv once per rank on this machine and blocks until every
+// worker exits; in host-list mode (Options.Hosts) it waits for the workers
+// the operator starts remotely. It returns nil only if every rank finished
+// cleanly; the first failure is reported as a *rankio.RankError carrying the
+// first non-zero worker exit code observed.
+func Launch(o Options) error {
+	o = o.withDefaults()
+	spawn := len(o.Hosts) == 0
+	listen := o.Listen
+	if listen == "" {
+		if !spawn {
+			listen = ":7077"
+		} else {
+			listen = "127.0.0.1:0"
+		}
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return fmt.Errorf("netrun: listen coordinator socket %s: %w", listen, err)
+	}
+	defer ln.Close()
+	coordAddr := ln.Addr().String()
+
+	var cmds []*rankio.Cmd
+	if spawn {
+		argv := o.Relaunch
+		if len(argv) == 0 {
+			argv = os.Args
+		}
+		cmds = make([]*rankio.Cmd, o.Ranks)
+		for r := 0; r < o.Ranks; r++ {
+			env := []string{
+				envCoord + "=" + coordAddr,
+				fmt.Sprintf("%s=%d", envRank, r),
+			}
+			c, err := rankio.Start(argv, env, r, o.TagOutput)
+			if err != nil {
+				rankio.KillAll(cmds[:r])
+				return fmt.Errorf("netrun: spawn rank %d (%s): %w", r, argv[0], err)
+			}
+			cmds[r] = c
+		}
+	} else {
+		// A wildcard bind address is not dialable from another machine;
+		// tell the operator to substitute this host's name.
+		dial := coordAddr
+		if host, port, err := net.SplitHostPort(coordAddr); err == nil {
+			if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+				dial = net.JoinHostPort("<this-host>", port)
+			}
+		}
+		fmt.Fprintf(os.Stderr,
+			"netrun: coordinator listening on %s; start %d workers across {%s} with\n"+
+				"  %s=%s [%s=<rank>] <program> ...\n",
+			coordAddr, o.Ranks, strings.Join(o.Hosts, ", "), envCoord, dial, envRank)
+	}
+
+	err = coordinate(ln, o, cmds)
+	if err != nil {
+		// Redundant after a completed status phase (everyone has exited),
+		// load-bearing after a bootstrap failure: don't leave orphans.
+		rankio.KillAll(cmds)
+		rankio.ReapAll(cmds)
+	}
+	return err
+}
+
+// worker is the coordinator's view of one joined rank.
+type worker struct {
+	conn net.Conn
+	rd   *bufio.Reader
+	rank int
+	addr string
+}
+
+// wkEvent is one line (or stream end) of a worker's control conversation
+// after GO, funneled to coordinate's single-threaded status loop.
+type wkEvent struct {
+	rank int
+	kind uint8  // 'D'one, 'F'ail, 'A'bort request, 'X' stream ended
+	msg  string // FAIL message
+	code int    // process exit status ('X' in spawn mode)
+}
+
+// coordinate runs the rendezvous, barrier, and status collection of one
+// world from the coordinator side.
+func coordinate(ln net.Listener, o Options, cmds []*rankio.Cmd) error {
+	deadline := time.Now().Add(bootTimeout)
+	workers := make([]*worker, o.Ranks)
+	var unassigned []*worker
+
+	// Phase 1 — JOIN: collect one connection per rank and its data address.
+	for i := 0; i < o.Ranks; i++ {
+		if tl, ok := ln.(*net.TCPListener); ok {
+			tl.SetDeadline(deadline)
+		}
+		c, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("netrun: worker bootstrap timed out (%d of %d joined): %w", i, o.Ranks, err)
+		}
+		c.SetDeadline(deadline)
+		w := &worker{conn: c, rd: bufio.NewReader(c)}
+		line, err := w.rd.ReadString('\n')
+		if err != nil {
+			// Not a worker: a liveness probe, a port scan, or a connection
+			// dropped mid-handshake. Ignore it without consuming a rank slot
+			// (the boot deadline still bounds the wait).
+			c.Close()
+			i--
+			continue
+		}
+		var rank, ranks, rpn, proto int
+		var pace int64
+		if _, err := fmt.Sscanf(line, "JOIN %d %s %d %d %d %d", &rank, &w.addr, &ranks, &rpn, &pace, &proto); err != nil {
+			c.Close()
+			i--
+			continue
+		}
+		switch {
+		case proto != protoVersion:
+			return fmt.Errorf("netrun: worker speaks wire protocol %d, coordinator %d (mixed binaries?)", proto, protoVersion)
+		case ranks != o.Ranks || rpn != o.RanksPerNode || pace != o.PaceWindowNs:
+			return fmt.Errorf("netrun: worker config (ranks %d, ppn %d, pace %d) does not match the coordinator's (ranks %d, ppn %d, pace %d); launcher and workers must run the same configuration",
+				ranks, rpn, pace, o.Ranks, o.RanksPerNode, o.PaceWindowNs)
+		case rank >= o.Ranks:
+			return fmt.Errorf("netrun: worker claims rank %d outside world of %d", rank, o.Ranks)
+		}
+		w.rank = rank
+		if rank >= 0 {
+			if workers[rank] != nil {
+				return fmt.Errorf("netrun: two workers claim rank %d", rank)
+			}
+			workers[rank] = w
+		} else {
+			unassigned = append(unassigned, w)
+		}
+		w.conn.SetDeadline(time.Time{})
+	}
+	// Assign join-order workers to the free slots, lowest rank first.
+	next := 0
+	for _, w := range unassigned {
+		for workers[next] != nil {
+			next++
+		}
+		w.rank = next
+		workers[next] = w
+	}
+	addrs := make([]string, o.Ranks)
+	for r, w := range workers {
+		addrs[r] = w.addr
+	}
+
+	// Phase 2 — WORLD broadcast, then the READY/GO barrier.
+	catalog := strings.Join(addrs, ",")
+	for r, w := range workers {
+		if _, err := fmt.Fprintf(w.conn, "WORLD %d %s\n", r, catalog); err != nil {
+			return fmt.Errorf("netrun: send world catalog to rank %d: %w", r, err)
+		}
+	}
+	for r, w := range workers {
+		w.conn.SetReadDeadline(deadline)
+		var rr int
+		if _, err := fmt.Fscanf(w.rd, "READY %d\n", &rr); err != nil || rr != r {
+			return fmt.Errorf("netrun: rank %d READY handshake failed: %v", r, err)
+		}
+		w.conn.SetReadDeadline(time.Time{})
+	}
+	for _, w := range workers {
+		if _, err := w.conn.Write([]byte("GO\n")); err != nil {
+			return fmt.Errorf("netrun: release workers: %w", err)
+		}
+	}
+
+	// Phase 3 — status collection. The first FAIL/ABORT/early-exit
+	// broadcasts ABORT to every rank; once every rank has reported DONE the
+	// coordinator broadcasts BYE — a finished rank keeps serving its memory
+	// until then, matching the shared-segment lifetime of the mmap backend.
+	events := make(chan wkEvent, 4*o.Ranks)
+	for r := range workers {
+		go func(r int, w *worker) {
+			for {
+				line, err := w.rd.ReadString('\n')
+				line = strings.TrimSpace(line)
+				switch {
+				case strings.HasPrefix(line, "DONE "):
+					events <- wkEvent{rank: r, kind: 'D'}
+					continue
+				case strings.HasPrefix(line, "FAIL "):
+					msg := strings.TrimSpace(strings.TrimPrefix(line, fmt.Sprintf("FAIL %d", r)))
+					events <- wkEvent{rank: r, kind: 'F', msg: msg}
+					continue
+				case strings.HasPrefix(line, "ABORT "):
+					events <- wkEvent{rank: r, kind: 'A'}
+					continue
+				}
+				code := 0
+				if cmds != nil {
+					code = cmds[r].Wait()
+				}
+				events <- wkEvent{rank: r, kind: 'X', code: code, msg: fmt.Sprint(err)}
+				return
+			}
+		}(r, workers[r])
+	}
+
+	broadcast := func(line string) {
+		for _, w := range workers {
+			w.conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+			w.conn.Write([]byte(line))
+			w.conn.SetWriteDeadline(time.Time{})
+		}
+	}
+	var firstErr error
+	firstCode := 0
+	fail := func(rank int, msg string, code int) {
+		peerAbort := strings.Contains(msg, "aborted by peer")
+		err := fmt.Errorf("netrun: rank %d: %s", rank, msg)
+		if firstErr == nil || (strings.Contains(firstErr.Error(), "aborted by peer") && !peerAbort) {
+			firstErr = err
+		}
+		if firstCode == 0 && code != 0 {
+			firstCode = code
+		}
+	}
+	doneSet := make([]bool, o.Ranks)
+	doneCount, exited := 0, 0
+	aborting, byeSent := false, false
+	grace := time.NewTimer(24 * time.Hour)
+	defer grace.Stop()
+	for exited < o.Ranks {
+		select {
+		case ev := <-events:
+			switch ev.kind {
+			case 'D':
+				if !doneSet[ev.rank] {
+					doneSet[ev.rank] = true
+					doneCount++
+				}
+				if doneCount == o.Ranks && !aborting && !byeSent {
+					broadcast("BYE\n")
+					byeSent = true
+				}
+			case 'F':
+				fail(ev.rank, ev.msg, 0)
+				if !aborting {
+					broadcast("ABORT\n")
+					aborting = true
+					grace.Reset(abortGrace)
+				}
+			case 'A':
+				if firstErr == nil {
+					fail(ev.rank, "aborted the world", 0)
+				}
+				if !aborting {
+					broadcast("ABORT\n")
+					aborting = true
+					grace.Reset(abortGrace)
+				}
+			case 'X':
+				exited++
+				if !doneSet[ev.rank] && ev.msg != "" && firstErr == nil && !aborting {
+					// Crashed without a FAIL line (e.g. killed): report the
+					// exit and abort the survivors.
+					msg := fmt.Sprintf("control channel closed before DONE: %s", ev.msg)
+					if ev.code != 0 {
+						msg = fmt.Sprintf("exited with status %d before DONE", ev.code)
+					}
+					fail(ev.rank, msg, ev.code)
+					broadcast("ABORT\n")
+					aborting = true
+					grace.Reset(abortGrace)
+				} else if ev.code != 0 && firstCode == 0 {
+					firstCode = ev.code
+				}
+			}
+		case <-grace.C:
+			// The grace period after an abort expired with ranks still
+			// unaccounted for. Kill local processes and drop every control
+			// connection — in host-list mode there is nothing to kill, and
+			// closing the conns is what forces the per-worker readers to
+			// deliver their final events so the loop can drain.
+			rankio.KillAll(cmds)
+			for _, w := range workers {
+				w.conn.Close()
+			}
+		}
+	}
+	if firstErr != nil {
+		if firstCode == 0 {
+			firstCode = 1
+		}
+		return &rankio.RankError{Err: firstErr, Code: firstCode}
+	}
+	if !byeSent {
+		broadcast("BYE\n")
+	}
+	return nil
+}
+
+// Join attaches a worker process to its world: it dials the coordinator,
+// starts this rank's data service, runs the JOIN/WORLD handshake, and
+// returns the Transport for the assigned rank. The caller registers its
+// setup regions and then calls Ready to enter the bootstrap barrier.
+func Join(o Options) (*World, error) {
+	o = o.withDefaults()
+	coord := os.Getenv(envCoord)
+	if coord == "" {
+		return nil, fmt.Errorf("netrun: not a worker process (%s unset)", envCoord)
+	}
+	rank := -1
+	if s := os.Getenv(envRank); s != "" {
+		if _, err := fmt.Sscanf(s, "%d", &rank); err != nil || rank < 0 || rank >= o.Ranks {
+			return nil, fmt.Errorf("netrun: bad %s=%q for world of %d ranks", envRank, s, o.Ranks)
+		}
+	}
+	ctl, err := net.DialTimeout("tcp", coord, bootTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("netrun: dial coordinator %s: %w", coord, err)
+	}
+	// Listen for peers on the interface that reaches the coordinator: the
+	// address peers can reach this process at, on loopback and multi-machine
+	// deployments alike.
+	ip := ctl.LocalAddr().(*net.TCPAddr).IP
+	ln, err := net.Listen("tcp", net.JoinHostPort(ip.String(), "0"))
+	if err != nil {
+		ctl.Close()
+		return nil, fmt.Errorf("netrun: listen data socket: %w", err)
+	}
+
+	w := &World{
+		opts: o, rank: rank, ctl: ctl, ctlRd: bufio.NewReader(ctl), ln: ln,
+		peers:   make([]*peerConn, o.Ranks),
+		proxies: make([][]*simnet.Region, o.Ranks),
+		clocks:  make([]int64, o.Ranks),
+		done:    make(chan struct{}),
+		bye:     make(chan struct{}),
+	}
+	w.door.init()
+	w.reserveFn = w.reserveLocalNIC
+	go w.acceptLoop()
+
+	if _, err := fmt.Fprintf(ctl, "JOIN %d %s %d %d %d %d\n",
+		rank, ln.Addr().String(), o.Ranks, o.RanksPerNode, o.PaceWindowNs, protoVersion); err != nil {
+		w.teardown()
+		return nil, fmt.Errorf("netrun: send JOIN: %w", err)
+	}
+	ctl.SetReadDeadline(time.Now().Add(bootTimeout))
+	var catalog string
+	if _, err := fmt.Fscanf(w.ctlRd, "WORLD %d %s\n", &w.rank, &catalog); err != nil {
+		w.teardown()
+		return nil, fmt.Errorf("netrun: world catalog handshake: %w", err)
+	}
+	ctl.SetReadDeadline(time.Time{})
+	w.addrs = strings.Split(catalog, ",")
+	if len(w.addrs) != o.Ranks || w.rank < 0 || w.rank >= o.Ranks {
+		w.teardown()
+		return nil, fmt.Errorf("netrun: malformed world catalog (%d addrs, rank %d)", len(w.addrs), w.rank)
+	}
+	return w, nil
+}
+
+// teardown closes a partially joined world's sockets.
+func (w *World) teardown() {
+	w.ln.Close()
+	w.ctl.Close()
+}
+
+// Rank returns this process's rank (-1 in the launcher).
+func (w *World) Rank() int { return w.rank }
+
+// Ready enters the bootstrap barrier: it tells the coordinator this rank's
+// setup registrations are addressable and blocks until every rank's are,
+// then starts watching the control stream for aborts.
+func (w *World) Ready() {
+	if _, err := fmt.Fprintf(w.ctl, "READY %d\n", w.rank); err != nil {
+		panic(fmt.Sprintf("netrun: report READY: %v", err))
+	}
+	w.ctl.SetReadDeadline(time.Now().Add(bootTimeout))
+	line, err := w.ctlRd.ReadString('\n')
+	w.ctl.SetReadDeadline(time.Time{})
+	if err != nil || strings.TrimSpace(line) != "GO" {
+		panic(fmt.Sprintf("netrun: bootstrap barrier failed (%q, %v)", line, err))
+	}
+	go w.watchCtl()
+}
+
+// watchCtl surfaces coordinator-pushed events after GO: ABORT aborts this
+// process, BYE releases Finish, and a dead coordinator (read error before
+// either) aborts so no rank hangs on a vanished world.
+func (w *World) watchCtl() {
+	for {
+		line, err := w.ctlRd.ReadString('\n')
+		switch strings.TrimSpace(line) {
+		case "ABORT":
+			w.localAbort()
+			return
+		case "BYE":
+			close(w.bye)
+			return
+		}
+		if err != nil {
+			if !w.finished.Load() || !w.Aborted() {
+				w.localAbort()
+			}
+			return
+		}
+	}
+}
+
+// Finish reports clean completion and blocks until the coordinator releases
+// the world (BYE): this rank's memory stays remotely addressable until every
+// rank is done, matching the shared-segment lifetime of the mmap backend.
+func (w *World) Finish() {
+	w.finished.Store(true)
+	w.ctlWr.Lock()
+	fmt.Fprintf(w.ctl, "DONE %d\n", w.rank)
+	w.ctlWr.Unlock()
+	select {
+	case <-w.bye:
+	case <-w.done:
+	case <-time.After(byeTimeout):
+	}
+	w.ctl.Close()
+}
+
+// Fail aborts the world and reports msg to the coordinator; the caller exits
+// nonzero afterwards.
+func (w *World) Fail(msg string) {
+	w.finished.Store(true)
+	msg = strings.ReplaceAll(msg, "\n", " ")
+	w.ctlWr.Lock()
+	fmt.Fprintf(w.ctl, "FAIL %d %s\n", w.rank, msg)
+	w.ctlWr.Unlock()
+	w.localAbort()
+	w.ctl.Close()
+}
+
+// localAbort runs this process's abort consequences exactly once: waiters
+// wake, in-flight requests fail fast, service connections drop.
+func (w *World) localAbort() {
+	w.abortOnce.Do(func() {
+		w.aborted.Store(true)
+		close(w.done)
+		w.door.ring()
+		w.ln.Close()
+		w.peerMu.Lock()
+		for _, p := range w.peers {
+			if p != nil {
+				p.c.Close()
+			}
+		}
+		w.peerMu.Unlock()
+		w.hookMu.Lock()
+		hooks := append([]func(){}, w.hooks...)
+		w.hookMu.Unlock()
+		for _, fn := range hooks {
+			fn()
+		}
+	})
+}
+
+// Abort marks the world dead: this process unwinds immediately and the
+// coordinator broadcasts the abort to every other rank.
+func (w *World) Abort() {
+	if w.aborted.Load() {
+		return
+	}
+	w.ctlWr.Lock()
+	w.ctl.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	fmt.Fprintf(w.ctl, "ABORT %d\n", w.rank)
+	w.ctl.SetWriteDeadline(time.Time{})
+	w.ctlWr.Unlock()
+	w.localAbort()
+}
+
+// Aborted reports whether the world has been torn down.
+func (w *World) Aborted() bool { return w.aborted.Load() }
+
+// Done returns a channel closed when this process observes the abort.
+func (w *World) Done() <-chan struct{} { return w.done }
+
+// OnAbort registers fn to run when this process observes the abort; if the
+// world already aborted, fn runs immediately.
+func (w *World) OnAbort(fn func()) {
+	w.hookMu.Lock()
+	w.hooks = append(w.hooks, fn)
+	w.hookMu.Unlock()
+	if w.Aborted() {
+		fn()
+	}
+}
+
+// ---- simnet.Transport: topology, segments, regions ----
+
+var _ simnet.Transport = (*World)(nil)
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.opts.Ranks }
+
+// RanksPerNode returns the node width.
+func (w *World) RanksPerNode() int { return w.opts.RanksPerNode }
+
+// NodeOf returns the node index hosting rank r. The mapping is virtual —
+// rank/RanksPerNode, identical on every backend — so the cost model (and
+// with it every virtual time) does not depend on physical placement.
+func (w *World) NodeOf(r int) int { return r / w.opts.RanksPerNode }
+
+// SameNode reports whether ranks a and b share a (virtual) node.
+func (w *World) SameNode(a, b int) bool { return w.NodeOf(a) == w.NodeOf(b) }
+
+// AllocSeg returns a zeroed registrable segment from this process's heap:
+// remote ranks reach it through the service loop, so any local memory is
+// registrable and the process-wide pool serves directly (as on the
+// in-process fabric — only the mmap backend needs a private arena).
+func (w *World) AllocSeg(rank, size int) *segpool.Seg {
+	if rank != w.rank {
+		panic("netrun: AllocSeg for a foreign rank")
+	}
+	return segpool.Get(size)
+}
+
+// RecycleSeg returns a segment to the pool (see Transport).
+func (w *World) RecycleSeg(rank int, s *segpool.Seg, scrubbed bool, extra ...segpool.Range) {
+	if rank != w.rank {
+		panic("netrun: RecycleSeg for a foreign rank")
+	}
+	if scrubbed {
+		segpool.PutScrubbed(s, extra...)
+		return
+	}
+	segpool.Put(s)
+}
+
+// RegisterRegion installs a registration in this rank's directory and
+// returns its key. Peers resolve it lazily over the wire (opRegQuery), so
+// no broadcast is needed; programs synchronize registration before
+// distributing addresses, exactly as on the other backends.
+func (w *World) RegisterRegion(rank int, reg *simnet.Region) simnet.Key {
+	if rank != w.rank {
+		panic("netrun: RegisterRegion for a foreign rank")
+	}
+	w.mineMu.Lock()
+	defer w.mineMu.Unlock()
+	k := simnet.Key(len(w.mine))
+	w.mine = append(w.mine, reg)
+	return k
+}
+
+// UnregisterRegion marks a registration dead; later remote accesses fault.
+func (w *World) UnregisterRegion(rank int, k simnet.Key) {
+	if rank != w.rank {
+		panic("netrun: UnregisterRegion for a foreign rank")
+	}
+	w.mineMu.Lock()
+	defer w.mineMu.Unlock()
+	if int(k) < len(w.mine) {
+		w.mine[k] = nil
+	}
+}
+
+// ownRegion resolves one of this rank's own keys for the service loop.
+func (w *World) ownRegion(k simnet.Key) *simnet.Region {
+	w.mineMu.RLock()
+	defer w.mineMu.RUnlock()
+	if int(k) >= len(w.mine) || w.mine[k] == nil {
+		return nil
+	}
+	return w.mine[k]
+}
+
+// LookupRegion resolves an address: this rank's own registrations resolve
+// locally; foreign ranks' resolve to cached proxy regions whose data plane
+// is the wire protocol. A cached proxy may outlive the owner's
+// unregistration — the staleness contract of the other backends' lookup
+// caches — in which case its operations fault at the owner.
+func (w *World) LookupRegion(a simnet.Addr) *simnet.Region {
+	if a.Rank < 0 || a.Rank >= w.opts.Ranks {
+		panic(fmt.Sprintf("simnet: address names rank %d outside fabric of %d", a.Rank, w.opts.Ranks))
+	}
+	if a.Rank == w.rank {
+		if reg := w.ownRegion(a.Key); reg != nil {
+			return reg
+		}
+		panic(fmt.Sprintf("simnet: access to unregistered region (rank %d key %d)", a.Rank, a.Key))
+	}
+	regs := w.proxies[a.Rank]
+	if int(a.Key) < len(regs) && regs[a.Key] != nil {
+		return regs[a.Key]
+	}
+	state, size := w.queryRegion(a.Rank, a.Key)
+	if state != regLive {
+		panic(fmt.Sprintf("simnet: access to unregistered region (rank %d key %d)", a.Rank, a.Key))
+	}
+	reg := simnet.MakeRemoteRegion(a.Rank, a.Key, &remoteMem{w: w, rank: a.Rank, key: a.Key, size: size})
+	for int(a.Key) >= len(w.proxies[a.Rank]) {
+		w.proxies[a.Rank] = append(w.proxies[a.Rank], nil)
+	}
+	w.proxies[a.Rank][a.Key] = &reg
+	return &reg
+}
+
+// ---- simnet.Transport: virtual-hardware services ----
+
+// reserveLocalNIC books this rank's NIC busy interval; the interval logic is
+// identical to the in-process fabric's (including hole service for tardy
+// bookings — see Fabric.reserveNIC).
+func (w *World) reserveLocalNIC(arrival timing.Time, xfer int64) timing.Time {
+	a := int64(arrival)
+	w.nicMu.Lock()
+	defer w.nicMu.Unlock()
+	switch {
+	case a >= w.nicBusy:
+		w.nicStart, w.nicBusy = a, a+xfer
+	case a+xfer <= w.nicStart:
+		return timing.Time(a + xfer)
+	default:
+		w.nicBusy += xfer
+	}
+	return timing.Time(w.nicBusy)
+}
+
+// ReserveNIC books the target rank's NIC: locally for this rank, over the
+// wire for peers. (Endpoint operations on proxy regions reserve the owner
+// NIC inside their fused message instead; this direct path serves layers
+// that book NICs explicitly.)
+func (w *World) ReserveNIC(rank int, arrival timing.Time, xfer int64) timing.Time {
+	if rank == w.rank {
+		return w.reserveLocalNIC(arrival, xfer)
+	}
+	return w.rpcNicReserve(rank, arrival, xfer)
+}
+
+// PublishClock records this rank's virtual clock; peers learn it from the
+// piggybacked clock on every request and from opClock heartbeats.
+func (w *World) PublishClock(rank int, t timing.Time) {
+	if w.opts.PaceWindowNs == 0 {
+		return
+	}
+	atomic.StoreInt64(&w.clocks[rank], int64(t))
+}
+
+// PaceWindow returns the configured pacing window.
+func (w *World) PaceWindow() int64 { return w.opts.PaceWindowNs }
+
+// Pace blocks rank while its clock runs more than the window ahead of the
+// slowest known clock. Peer clocks arrive as piggybacks on data traffic; a
+// pace-blocked rank refreshes the laggards' entries with opClock heartbeats
+// between backoff sleeps. The stall valve matches the other backends: a
+// minimum frozen across two heartbeats releases the rank for one operation.
+func (w *World) Pace(rank int, t timing.Time) {
+	if w.opts.PaceWindowNs == 0 {
+		return
+	}
+	w.PublishClock(rank, t)
+	me := int64(t)
+	last, idle, d := int64(-1), 0, paceSleepMin
+	for {
+		min := w.paceMinRefresh(me)
+		if me <= min+w.opts.PaceWindowNs || w.Aborted() {
+			return
+		}
+		if min == last {
+			if idle++; idle >= 2 {
+				return
+			}
+		} else {
+			last, idle = min, 0
+		}
+		time.Sleep(d)
+		if d < paceSleepMax {
+			d *= 2
+		}
+	}
+}
+
+// paceMinRefresh folds the local clock table, refreshing over the wire the
+// entries stale enough to be the ones blocking us (cached clock below our
+// window threshold). Clocks are monotone, so a cached value is always a
+// safe (conservative) lower bound.
+func (w *World) paceMinRefresh(me int64) int64 {
+	min := int64(1) << 62
+	for r := 0; r < w.opts.Ranks; r++ {
+		c := atomic.LoadInt64(&w.clocks[r])
+		if r != w.rank && me > c+w.opts.PaceWindowNs && !w.Aborted() {
+			if got, ok := w.rpcClock(r); ok {
+				c = got
+			}
+		}
+		if c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// RingDoorbell bumps rank's doorbell generation, waking its waiters: local
+// waiters directly, the owner's waiters through a fire-and-forget message
+// that the owner applies after every operation already sent on that stream.
+func (w *World) RingDoorbell(rank int) {
+	if rank == w.rank {
+		w.door.ring()
+		return
+	}
+	w.sendRing(rank)
+}
+
+// DoorGen samples rank's doorbell generation.
+func (w *World) DoorGen(rank int) uint64 {
+	if rank == w.rank {
+		return w.door.gen.Load()
+	}
+	return w.rpcDoorGen(rank)
+}
+
+// WaitDoor blocks until rank's doorbell generation exceeds gen. Local waits
+// park on the doorbell channel; remote waits park inside the owner's
+// service loop in time slices, so a dropped connection or an abort can
+// never strand the waiter (spurious returns are allowed by the contract).
+func (w *World) WaitDoor(rank int, gen uint64) uint64 {
+	if rank != w.rank {
+		for {
+			g := w.rpcDoorWait(rank, gen, doorWaitSlice)
+			if g != gen {
+				return g
+			}
+			if w.Aborted() {
+				panic(simnet.ErrAborted)
+			}
+		}
+	}
+	for {
+		if g := w.door.gen.Load(); g != gen {
+			return g
+		}
+		ch, ok := w.door.waitCh(gen)
+		if !ok {
+			return w.door.gen.Load()
+		}
+		select {
+		case <-ch:
+		case <-w.done:
+			if w.door.gen.Load() == gen {
+				panic(simnet.ErrAborted)
+			}
+		}
+	}
+}

@@ -1,0 +1,323 @@
+package netrun
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"fompi/internal/simnet"
+	"fompi/internal/timing"
+)
+
+// Requester side of the wire protocol: every Endpoint operation on a region
+// owned by another rank becomes one request frame on this rank's connection
+// to the owner, and blocks for the reply (whose virtual times the Endpoint
+// folds into its clock). Requests are confined to the rank's goroutine —
+// the Endpoint confinement contract — so a connection carries at most one
+// outstanding request and replies match by order.
+
+// peerConn is one lazily dialed requester connection.
+type peerConn struct {
+	c    net.Conn
+	rd   *bufio.Reader
+	buf  []byte // request frame scratch, reused across requests
+	rbuf []byte // reply frame scratch
+}
+
+// peer returns the connection to rank r, dialing it on first use.
+func (w *World) peer(r int) *peerConn {
+	w.peerMu.Lock()
+	p := w.peers[r]
+	w.peerMu.Unlock()
+	if p != nil {
+		return p
+	}
+	if w.Aborted() {
+		panic(simnet.ErrAborted)
+	}
+	c, err := net.DialTimeout("tcp", w.addrs[r], bootTimeout)
+	if err != nil {
+		if w.Aborted() {
+			panic(simnet.ErrAborted)
+		}
+		panic(fmt.Sprintf("netrun: rank %d cannot reach rank %d at %s: %v", w.rank, r, w.addrs[r], err))
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // requests are latency-bound RPCs, not bulk streams
+	}
+	p = &peerConn{c: c, rd: bufio.NewReader(c)}
+	e := newEnc(nil)
+	e.u8(opHello)
+	e.i64(0)
+	e.u32(uint32(w.rank))
+	if _, err := c.Write(e.finish()); err != nil {
+		panic(w.netFault(r, err))
+	}
+	w.peerMu.Lock()
+	if w.peers[r] == nil {
+		w.peers[r] = p
+	} else {
+		c.Close()
+		p = w.peers[r]
+	}
+	w.peerMu.Unlock()
+	return p
+}
+
+// req starts a request frame to rank r with the piggybacked clock.
+func (w *World) req(p *peerConn, op uint8) enc {
+	e := newEnc(p.buf)
+	e.u8(op)
+	e.i64(atomic.LoadInt64(&w.clocks[w.rank]))
+	return e
+}
+
+// call sends the built frame and returns the reply payload (past the status
+// byte). Faults reported by the owner re-panic here with the owner's
+// message; transport failures panic ErrAborted once the world is dead.
+func (w *World) call(r int, p *peerConn, e enc) dec {
+	frame := e.finish()
+	if _, err := p.c.Write(frame); err != nil {
+		panic(w.netFault(r, err))
+	}
+	p.buf = frame[:0]
+	reply, err := readFrame(p.rd, p.rbuf)
+	if err != nil {
+		panic(w.netFault(r, err))
+	}
+	p.rbuf = reply
+	if len(reply) == 0 {
+		panic(w.netFault(r, fmt.Errorf("empty reply")))
+	}
+	if reply[0] == stFault {
+		panic(string(reply[1:]))
+	}
+	return dec{b: reply, pos: 1}
+}
+
+// netFault classifies a connection failure: after an abort every blocked
+// requester unwinds with ErrAborted (the Transport contract); otherwise the
+// world is broken and the fault says so.
+func (w *World) netFault(r int, err error) any {
+	// A failure often races the abort broadcast: give the control stream a
+	// moment to deliver the verdict so unwinding keeps the right reason.
+	for i := 0; i < 100 && !w.Aborted(); i++ {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if w.Aborted() {
+		return simnet.ErrAborted
+	}
+	return fmt.Sprintf("netrun: rank %d lost rank %d (%v); world is broken", w.rank, r, err)
+}
+
+// sendRing delivers a fire-and-forget doorbell ring to rank r's owner loop.
+// Send errors are swallowed — a vanished peer either finished cleanly (its
+// waiters are gone) or crashed (the abort broadcast is on its way) — but
+// the connection is dropped: a deadline can tear a frame mid-write, and a
+// torn frame desyncs the stream for every later request, so the next use
+// must redial with a fresh HELLO.
+func (w *World) sendRing(r int) {
+	defer func() { recover() }()
+	p := w.peer(r)
+	e := w.req(p, opRing)
+	frame := e.finish()
+	p.c.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	_, err := p.c.Write(frame)
+	p.c.SetWriteDeadline(time.Time{})
+	if err != nil {
+		w.peerMu.Lock()
+		if w.peers[r] == p {
+			w.peers[r] = nil
+		}
+		w.peerMu.Unlock()
+		p.c.Close()
+		return
+	}
+	p.buf = frame[:0]
+}
+
+// queryRegion resolves a foreign registration's liveness and size.
+func (w *World) queryRegion(r int, k simnet.Key) (uint8, int) {
+	p := w.peer(r)
+	e := w.req(p, opRegQuery)
+	e.u32(uint32(k))
+	d := w.call(r, p, e)
+	state := d.u8()
+	size := int(d.u64())
+	return state, size
+}
+
+// rpcNicReserve books rank r's NIC over the wire (Transport.ReserveNIC).
+func (w *World) rpcNicReserve(r int, arrival timing.Time, xfer int64) timing.Time {
+	p := w.peer(r)
+	e := w.req(p, opNicReserve)
+	e.i64(int64(arrival))
+	e.i64(xfer)
+	d := w.call(r, p, e)
+	return timing.Time(d.i64())
+}
+
+// rpcDoorGen samples rank r's doorbell generation over the wire.
+func (w *World) rpcDoorGen(r int) uint64 {
+	p := w.peer(r)
+	e := w.req(p, opDoorGen)
+	d := w.call(r, p, e)
+	return d.u64()
+}
+
+// rpcDoorWait parks at rank r's doorbell for at most slice and returns the
+// generation current when the owner answered.
+func (w *World) rpcDoorWait(r int, gen uint64, slice time.Duration) uint64 {
+	p := w.peer(r)
+	e := w.req(p, opDoorWait)
+	e.u64(gen)
+	e.u32(uint32(slice / time.Microsecond))
+	d := w.call(r, p, e)
+	return d.u64()
+}
+
+// rpcClock exchanges clocks with rank r (the pacing heartbeat); ok=false
+// when the peer is unreachable while the world is still alive (the caller's
+// cached value stands and the abort, if any, surfaces on the next fold).
+func (w *World) rpcClock(r int) (clock int64, ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	p := w.peer(r)
+	e := w.req(p, opClock)
+	d := w.call(r, p, e)
+	c := d.i64()
+	if old := atomic.LoadInt64(&w.clocks[r]); c > old {
+		atomic.StoreInt64(&w.clocks[r], c)
+	}
+	return c, true
+}
+
+// remoteMem is the simnet.RemoteMem proxy for one foreign registration: the
+// requester-side stub whose methods are single wire round trips executed by
+// the owner's RegionExec.
+type remoteMem struct {
+	w    *World
+	rank int
+	key  simnet.Key
+	size int
+}
+
+var _ simnet.RemoteMem = (*remoteMem)(nil)
+
+// Size returns the registered length learned at materialization.
+func (m *remoteMem) Size() int { return m.size }
+
+// addrHdr appends the (key, off) prefix shared by all data-plane ops.
+func (m *remoteMem) addrHdr(e *enc, off int) {
+	e.u32(uint32(m.key))
+	e.u64(uint64(off))
+}
+
+// Put ships the bytes and stamp work to the owner (see simnet.RemoteMem).
+func (m *remoteMem) Put(off int, src []byte, reserve bool, arrival timing.Time, xfer int64) timing.Time {
+	p := m.w.peer(m.rank)
+	e := m.w.req(p, opPut)
+	m.addrHdr(&e, off)
+	e.i64(int64(arrival))
+	e.i64(xfer)
+	e.boolByte(reserve)
+	e.bytes(src)
+	d := m.w.call(m.rank, p, e)
+	return timing.Time(d.i64())
+}
+
+// Get fetches the bytes and their completion time.
+func (m *remoteMem) Get(dst []byte, off int, clockIn timing.Time, reserve bool, tail, xfer int64) timing.Time {
+	p := m.w.peer(m.rank)
+	e := m.w.req(p, opGet)
+	m.addrHdr(&e, off)
+	e.u64(uint64(len(dst)))
+	e.i64(int64(clockIn))
+	e.i64(tail)
+	e.i64(xfer)
+	e.boolByte(reserve)
+	d := m.w.call(m.rank, p, e)
+	comp := timing.Time(d.i64())
+	copy(dst, d.rest())
+	return comp
+}
+
+// StoreWord ships one word store (see simnet.RemoteMem).
+func (m *remoteMem) StoreWord(off int, v uint64, reserve bool, arrival timing.Time, xfer int64) timing.Time {
+	p := m.w.peer(m.rank)
+	e := m.w.req(p, opStoreW)
+	m.addrHdr(&e, off)
+	e.u64(v)
+	e.i64(int64(arrival))
+	e.i64(xfer)
+	e.boolByte(reserve)
+	d := m.w.call(m.rank, p, e)
+	return timing.Time(d.i64())
+}
+
+// LoadWord reads one word and its stamp in one round trip.
+func (m *remoteMem) LoadWord(off int) (uint64, timing.Time) {
+	p := m.w.peer(m.rank)
+	e := m.w.req(p, opLoadW)
+	m.addrHdr(&e, off)
+	d := m.w.call(m.rank, p, e)
+	v := d.u64()
+	return v, timing.Time(d.i64())
+}
+
+// WordAmo ships one word atomic (see simnet.RemoteMem).
+func (m *remoteMem) WordAmo(op simnet.WordOp, off int, o1, o2 uint64, clockIn, srcFree timing.Time, reserve bool, lat, xfer int64) (old uint64, land, base, newFree timing.Time) {
+	p := m.w.peer(m.rank)
+	e := m.w.req(p, opWordAmo)
+	m.addrHdr(&e, off)
+	e.u8(uint8(op))
+	e.u64(o1)
+	e.u64(o2)
+	e.i64(int64(clockIn))
+	e.i64(int64(srcFree))
+	e.i64(lat)
+	e.i64(xfer)
+	e.boolByte(reserve)
+	d := m.w.call(m.rank, p, e)
+	old = d.u64()
+	land = timing.Time(d.i64())
+	base = timing.Time(d.i64())
+	newFree = timing.Time(d.i64())
+	return old, land, base, newFree
+}
+
+// BulkAmo ships one chained atomic (see simnet.RemoteMem).
+func (m *remoteMem) BulkAmo(op simnet.AmoOp, off int, src []byte, clockIn, srcFree timing.Time, reserve bool, lat, xfer int64) (comp, newFree timing.Time) {
+	p := m.w.peer(m.rank)
+	e := m.w.req(p, opBulkAmo)
+	m.addrHdr(&e, off)
+	e.u8(uint8(op))
+	e.i64(int64(clockIn))
+	e.i64(int64(srcFree))
+	e.i64(lat)
+	e.i64(xfer)
+	e.boolByte(reserve)
+	e.bytes(src)
+	d := m.w.call(m.rank, p, e)
+	comp = timing.Time(d.i64())
+	newFree = timing.Time(d.i64())
+	return comp, newFree
+}
+
+// Notify ships one ring deposit (see simnet.RemoteMem).
+func (m *remoteMem) Notify(off int, word uint64, reserve bool, arrival timing.Time, xfer int64) timing.Time {
+	p := m.w.peer(m.rank)
+	e := m.w.req(p, opNotify)
+	m.addrHdr(&e, off)
+	e.u64(word)
+	e.i64(int64(arrival))
+	e.i64(xfer)
+	e.boolByte(reserve)
+	d := m.w.call(m.rank, p, e)
+	return timing.Time(d.i64())
+}

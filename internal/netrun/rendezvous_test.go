@@ -1,0 +1,125 @@
+package netrun
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"fompi/internal/simnet"
+)
+
+// TestHostListRendezvous exercises the host-list bootstrap path end to end
+// inside one process: the coordinator runs in wait-join mode (Hosts set, so
+// it spawns nothing), and two worker goroutines Join without FOMPI_NET_RANK
+// — the coordinator must assign ranks in join order, broadcast the catalog,
+// run the READY/GO barrier, and carry one real put-and-flag exchange over
+// loopback TCP before the DONE/BYE teardown.
+func TestHostListRendezvous(t *testing.T) {
+	// Reserve an ephemeral port for the coordinator: workers need a dialable
+	// address before Launch can report the one it bound.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("probe listen: %v", err)
+	}
+	addr := probe.Addr().String()
+	probe.Close()
+
+	o := Options{Ranks: 2, RanksPerNode: 1, Hosts: []string{"localhost"}, Listen: addr}
+	t.Setenv(envCoord, addr)
+	t.Setenv(envRank, "") // unassigned: the coordinator picks join order
+
+	launchErr := make(chan error, 1)
+	go func() { launchErr <- Launch(o) }()
+
+	// Wait for the coordinator's listener before starting workers; the
+	// coordinator ignores connections that send no JOIN line, so probing is
+	// harmless.
+	for i := 0; ; i++ {
+		c, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			c.Close()
+			break
+		}
+		if i > 100 {
+			t.Fatalf("coordinator never started listening: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	workerErr := make(chan error, 2)
+	seen := make(chan int, 2)
+	worker := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				workerErr <- errFromPanic(r)
+			}
+		}()
+		w, err := Join(Options{Ranks: 2, RanksPerNode: 1})
+		if err != nil {
+			workerErr <- err
+			return
+		}
+		ep := simnet.NewEndpoint(w, w.Rank(), simnet.FoMPI())
+		reg := ep.Register(64)
+		w.Ready()
+		seen <- w.Rank()
+		peer := 1 - w.Rank()
+		ep.StoreW(simnet.Addr{Rank: peer, Key: reg.Key(), Off: 0}, uint64(w.Rank())+1)
+		ep.WaitLocal(func() bool { return reg.LocalWord(0) == uint64(peer)+1 })
+		w.Finish()
+		workerErr <- nil
+	}
+	go worker()
+	go worker()
+
+	ranks := map[int]bool{}
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-workerErr:
+			t.Fatalf("worker failed before the barrier: %v", err)
+		case r := <-seen:
+			ranks[r] = true
+		case <-time.After(30 * time.Second):
+			t.Fatalf("rendezvous barrier did not complete")
+		}
+	}
+	if !ranks[0] || !ranks[1] {
+		t.Fatalf("join-order assignment produced ranks %v, want {0, 1}", ranks)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-workerErr:
+			if err != nil {
+				t.Fatalf("worker: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("workers did not finish")
+		}
+	}
+	select {
+	case err := <-launchErr:
+		if err != nil {
+			t.Fatalf("coordinator: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("coordinator did not return after all DONEs")
+	}
+}
+
+func errFromPanic(r any) error {
+	if err, ok := r.(error); ok {
+		return err
+	}
+	return &panicErr{r}
+}
+
+type panicErr struct{ v any }
+
+func (p *panicErr) Error() string { return "panic: " + sprint(p.v) }
+
+func sprint(v any) string {
+	if s, ok := v.(string); ok {
+		return s
+	}
+	return "non-string panic value"
+}

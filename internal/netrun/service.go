@@ -1,0 +1,249 @@
+package netrun
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"slices"
+	"sync/atomic"
+	"time"
+
+	"fompi/internal/hostatomic"
+	"fompi/internal/simnet"
+	"fompi/internal/timing"
+)
+
+// Owner side of the wire protocol: one goroutine per inbound connection
+// reads request frames in order and executes them against this rank's
+// regions through simnet.RegionExec — the paper's "no remote software
+// agent" property necessarily softens to a service loop here, but the loop
+// runs only transport work (byte movement, stamps, NIC booking, doorbells),
+// never protocol logic, and applies each source's operations in that
+// source's issue order (TCP in-order delivery plus blocking requesters).
+// Cross-source interleaving is governed by the same word-atomic primitives
+// the in-process fabric uses, so concurrency semantics match.
+
+// acceptLoop admits peer connections until the listener closes (abort or
+// process exit).
+func (w *World) acceptLoop() {
+	for {
+		c, err := w.ln.Accept()
+		if err != nil {
+			return
+		}
+		if tc, ok := c.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		go w.serveConn(c)
+	}
+}
+
+// serveConn runs one peer's request stream.
+func (w *World) serveConn(c net.Conn) {
+	defer c.Close()
+	rd := bufio.NewReader(c)
+	var inBuf, outBuf []byte
+	src := -1 // rank behind this connection, learned from opHello
+	for {
+		frame, err := readFrame(rd, inBuf)
+		if err != nil {
+			return // EOF: peer finished, died, or the world aborted
+		}
+		inBuf = frame
+		d := dec{b: frame}
+		op := d.u8()
+		clk := d.i64()
+		if w.opts.PaceWindowNs != 0 && src >= 0 {
+			hostatomic.MaxI64(&w.clocks[src], clk)
+		}
+		switch op {
+		case opHello:
+			// Bound the claimed rank: the data listener is reachable by
+			// anything on the network in host-list mode, and a stray
+			// connection must not be able to crash the clock table.
+			if r := int(d.u32()); r >= 0 && r < len(w.clocks) {
+				src = r
+				continue
+			}
+			return
+		case opRing:
+			w.door.ring()
+			continue
+		}
+		reply := w.handle(op, &d, outBuf)
+		if _, err := c.Write(reply); err != nil {
+			return
+		}
+		outBuf = reply[:0]
+	}
+}
+
+// handle executes one request and builds its reply frame. Faults — bounds
+// violations, dead registrations, ring overflow — are the same panics the
+// inline path raises; they are caught here and shipped back for the
+// requester to re-panic, so the fault surfaces in the process that issued
+// the bad operation.
+func (w *World) handle(op uint8, d *dec, scratch []byte) (reply []byte) {
+	e := newEnc(scratch)
+	e.u8(stOK)
+	defer func() {
+		if r := recover(); r != nil {
+			f := newEnc(e.b[:0])
+			f.u8(stFault)
+			f.bytes([]byte(fmt.Sprint(r)))
+			reply = f.finish()
+		}
+	}()
+	switch op {
+	case opPut:
+		x := w.exec(d)
+		off := int(d.u64())
+		arrival := timing.Time(d.i64())
+		xfer := d.i64()
+		reserve := d.boolVal()
+		src := d.rest()
+		d.must()
+		e.i64(int64(x.Put(off, src, reserve, arrival, xfer)))
+	case opGet:
+		x := w.exec(d)
+		off := int(d.u64())
+		n := int(d.u64())
+		clockIn := timing.Time(d.i64())
+		tail := d.i64()
+		xfer := d.i64()
+		reserve := d.boolVal()
+		d.must()
+		if n < 0 || n > maxFrame {
+			panic(fmt.Sprintf("netrun: malformed get length %d", n))
+		}
+		// Copy the bytes straight into the reply frame (comp is patched in
+		// once known): no per-request buffer on the service loop.
+		compAt := len(e.b)
+		e.i64(0)
+		start := len(e.b)
+		e.b = slices.Grow(e.b, n)[:start+n]
+		comp := x.Get(e.b[start:start+n], off, clockIn, reserve, tail, xfer)
+		binary.LittleEndian.PutUint64(e.b[compAt:], uint64(comp))
+	case opStoreW:
+		x := w.exec(d)
+		off := int(d.u64())
+		v := d.u64()
+		arrival := timing.Time(d.i64())
+		xfer := d.i64()
+		reserve := d.boolVal()
+		d.must()
+		e.i64(int64(x.StoreWord(off, v, reserve, arrival, xfer)))
+	case opLoadW:
+		x := w.exec(d)
+		off := int(d.u64())
+		d.must()
+		v, st := x.LoadWord(off)
+		e.u64(v)
+		e.i64(int64(st))
+	case opWordAmo:
+		x := w.exec(d)
+		off := int(d.u64())
+		wop := simnet.WordOp(d.u8())
+		o1, o2 := d.u64(), d.u64()
+		clockIn := timing.Time(d.i64())
+		srcFree := timing.Time(d.i64())
+		lat, xfer := d.i64(), d.i64()
+		reserve := d.boolVal()
+		d.must()
+		old, land, base, free := x.WordAmo(wop, off, o1, o2, clockIn, srcFree, reserve, lat, xfer)
+		e.u64(old)
+		e.i64(int64(land))
+		e.i64(int64(base))
+		e.i64(int64(free))
+	case opBulkAmo:
+		x := w.exec(d)
+		off := int(d.u64())
+		aop := simnet.AmoOp(d.u8())
+		clockIn := timing.Time(d.i64())
+		srcFree := timing.Time(d.i64())
+		lat, xfer := d.i64(), d.i64()
+		reserve := d.boolVal()
+		src := d.rest()
+		d.must()
+		comp, free := x.BulkAmo(aop, off, src, clockIn, srcFree, reserve, lat, xfer)
+		e.i64(int64(comp))
+		e.i64(int64(free))
+	case opNotify:
+		x := w.exec(d)
+		off := int(d.u64())
+		word := d.u64()
+		arrival := timing.Time(d.i64())
+		xfer := d.i64()
+		reserve := d.boolVal()
+		d.must()
+		e.i64(int64(x.Notify(off, word, reserve, arrival, xfer)))
+	case opRegQuery:
+		k := simnet.Key(d.u32())
+		w.mineMu.RLock()
+		var state uint8
+		var size int
+		switch {
+		case int(k) >= len(w.mine):
+			state = regUnknown
+		case w.mine[k] == nil:
+			state = regDead
+		default:
+			state = regLive
+			size = w.mine[k].Size()
+		}
+		w.mineMu.RUnlock()
+		e.u8(state)
+		e.u64(uint64(size))
+	case opNicReserve:
+		arrival := timing.Time(d.i64())
+		xfer := d.i64()
+		d.must()
+		e.i64(int64(w.reserveLocalNIC(arrival, xfer)))
+	case opDoorGen:
+		e.u64(w.door.gen.Load())
+	case opDoorWait:
+		gen := d.u64()
+		slice := time.Duration(d.u32()) * time.Microsecond
+		if slice <= 0 || slice > doorWaitSlice {
+			slice = doorWaitSlice
+		}
+		e.u64(w.doorWaitSliced(gen, slice))
+	case opClock:
+		e.i64(atomic.LoadInt64(&w.clocks[w.rank]))
+	default:
+		panic(fmt.Sprintf("netrun: unknown opcode %d", op))
+	}
+	return e.finish()
+}
+
+// exec resolves the request's region key into an executor over this rank's
+// memory. Dead or unknown keys fault with the unregistered-region message
+// the inline path uses.
+func (w *World) exec(d *dec) simnet.RegionExec {
+	k := simnet.Key(d.u32())
+	reg := w.ownRegion(k)
+	if reg == nil {
+		panic(fmt.Sprintf("simnet: access to unregistered region (rank %d key %d)", w.rank, k))
+	}
+	return simnet.RegionExec{Reg: reg, ReserveNIC: w.reserveFn}
+}
+
+// doorWaitSliced parks a remote waiter at this rank's doorbell for at most
+// slice and returns the then-current generation; spurious (timeout) returns
+// are allowed by the WaitDoor contract, and an abort answers immediately so
+// the requester can unwind.
+func (w *World) doorWaitSliced(gen uint64, slice time.Duration) uint64 {
+	ch, ok := w.door.waitCh(gen)
+	if !ok {
+		return w.door.gen.Load()
+	}
+	t := time.NewTimer(slice)
+	defer t.Stop()
+	select {
+	case <-ch:
+	case <-t.C:
+	case <-w.done:
+	}
+	return w.door.gen.Load()
+}

@@ -1,0 +1,147 @@
+package netrun
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire protocol of the inter-node backend (DESIGN.md §9). Every message is a
+// length-prefixed little-endian frame on a TCP stream:
+//
+//	u32 length   of the payload that follows
+//	payload      request: op byte, src clock i64, op-specific fields
+//	             reply:   status byte, op-specific fields (fault: message)
+//
+// Each rank pair uses one stream per direction: rank A's requests to rank B
+// travel on the connection A dialed to B's data listener, and the replies
+// return on it. A requester issues at most one request at a time (endpoints
+// are confined to their rank's goroutine and block for the reply), so the
+// stream needs no tags: replies match requests by order, and TCP's in-order
+// delivery makes the owner apply A's operations in A's issue order — the
+// property the put-then-flag ordering contract rides on. opRing is the one
+// fire-and-forget message (no reply), which keeps doorbell rings cheap while
+// still ordered behind the data they announce.
+//
+// Every request carries the sender's current virtual clock; the owner folds
+// it into its pacing table, so data traffic doubles as clock gossip (the
+// piggyback half of the pacing discipline; opClock is the heartbeat half).
+const (
+	// protoVersion gates the JOIN handshake; bump on any frame change.
+	protoVersion = 1
+
+	// maxFrame bounds a frame against stream corruption: the largest
+	// legitimate payload is a bulk put of a whole region, and regions are
+	// arena-scale (MBs), not GBs.
+	maxFrame = 1 << 28
+)
+
+// Request opcodes.
+const (
+	opHello      uint8 = iota + 1 // rank u32 (once per connection; no reply)
+	opPut                         // key u32, off u64, arrival i64, xfer i64, reserve u8, bytes
+	opGet                         // key u32, off u64, n u64, clockIn i64, tail i64, xfer i64, reserve u8
+	opStoreW                      // key u32, off u64, val u64, arrival i64, xfer i64, reserve u8
+	opLoadW                       // key u32, off u64
+	opWordAmo                     // key u32, off u64, wop u8, o1 u64, o2 u64, clockIn i64, srcFree i64, lat i64, xfer i64, reserve u8
+	opBulkAmo                     // key u32, off u64, aop u8, clockIn i64, srcFree i64, lat i64, xfer i64, reserve u8, bytes
+	opNotify                      // key u32, off u64, word u64, arrival i64, xfer i64, reserve u8
+	opRegQuery                    // key u32
+	opNicReserve                  // arrival i64, xfer i64
+	opDoorGen                     // -
+	opDoorWait                    // gen u64, timeoutUs u32
+	opRing                        // - (no reply)
+	opClock                       // - (reply: owner's published clock)
+)
+
+// Reply status bytes.
+const (
+	stOK    uint8 = 0
+	stFault uint8 = 1 // payload is the fault message; the requester re-panics it
+)
+
+// Region-query states (opRegQuery replies).
+const (
+	regUnknown uint8 = 0
+	regLive    uint8 = 1
+	regDead    uint8 = 2
+)
+
+// enc is an append-style frame builder. The first 4 bytes are reserved for
+// the length prefix, patched by finish.
+type enc struct{ b []byte }
+
+func newEnc(scratch []byte) enc { return enc{append(scratch[:0], 0, 0, 0, 0)} }
+func (e *enc) u8(v uint8)       { e.b = append(e.b, v) }
+func (e *enc) u32(v uint32)     { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64)     { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) i64(v int64)      { e.b = binary.LittleEndian.AppendUint64(e.b, uint64(v)) }
+func (e *enc) bytes(p []byte)   { e.b = append(e.b, p...) }
+func (e *enc) boolByte(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+func (e *enc) finish() []byte {
+	binary.LittleEndian.PutUint32(e.b[:4], uint32(len(e.b)-4))
+	return e.b
+}
+
+// dec is a cursor over a received frame payload; out-of-bounds reads mark
+// the decoder bad instead of panicking mid-handler.
+type dec struct {
+	b   []byte
+	pos int
+	bad bool
+}
+
+func (d *dec) n(k int) []byte {
+	if d.pos+k > len(d.b) {
+		d.bad = true
+		return make([]byte, k)
+	}
+	p := d.b[d.pos : d.pos+k]
+	d.pos += k
+	return p
+}
+
+// must panics if any read overran the frame. Handlers call it after
+// decoding every field and before executing: a truncated request must fault
+// before any owner state mutates (zero-filled fields would otherwise write
+// real bytes and stamps).
+func (d *dec) must() {
+	if d.bad {
+		panic("netrun: truncated request frame")
+	}
+}
+
+func (d *dec) u8() uint8     { return d.n(1)[0] }
+func (d *dec) u32() uint32   { return binary.LittleEndian.Uint32(d.n(4)) }
+func (d *dec) u64() uint64   { return binary.LittleEndian.Uint64(d.n(8)) }
+func (d *dec) i64() int64    { return int64(d.u64()) }
+func (d *dec) boolVal() bool { return d.u8() != 0 }
+func (d *dec) rest() []byte  { p := d.b[d.pos:]; d.pos = len(d.b); return p }
+
+// readFrame reads one length-prefixed frame into buf (grown as needed) and
+// returns the payload slice.
+func readFrame(r *bufio.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n > maxFrame {
+		return nil, fmt.Errorf("netrun: frame of %d bytes exceeds limit (corrupt stream?)", n)
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

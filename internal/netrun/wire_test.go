@@ -1,0 +1,80 @@
+package netrun
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	e := newEnc(nil)
+	e.u8(opPut)
+	e.i64(-42)
+	e.u32(7)
+	e.u64(1 << 40)
+	e.boolByte(true)
+	e.bytes([]byte("payload"))
+	frame := e.finish()
+
+	rd := bufio.NewReader(bytes.NewReader(frame))
+	payload, err := readFrame(rd, nil)
+	if err != nil {
+		t.Fatalf("readFrame: %v", err)
+	}
+	d := dec{b: payload}
+	if op := d.u8(); op != opPut {
+		t.Errorf("op = %d, want %d", op, opPut)
+	}
+	if v := d.i64(); v != -42 {
+		t.Errorf("i64 = %d, want -42", v)
+	}
+	if v := d.u32(); v != 7 {
+		t.Errorf("u32 = %d, want 7", v)
+	}
+	if v := d.u64(); v != 1<<40 {
+		t.Errorf("u64 = %d, want %d", v, uint64(1)<<40)
+	}
+	if !d.boolVal() {
+		t.Errorf("bool = false, want true")
+	}
+	if got := string(d.rest()); got != "payload" {
+		t.Errorf("rest = %q, want %q", got, "payload")
+	}
+	if d.bad {
+		t.Errorf("decoder marked bad on a well-formed frame")
+	}
+}
+
+func TestDecTruncation(t *testing.T) {
+	d := dec{b: []byte{1, 2}}
+	_ = d.u64()
+	if !d.bad {
+		t.Errorf("reading 8 bytes from a 2-byte frame did not mark the decoder bad")
+	}
+}
+
+func TestReadFrameLimit(t *testing.T) {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], maxFrame+1)
+	rd := bufio.NewReader(bytes.NewReader(hdr[:]))
+	if _, err := readFrame(rd, nil); err == nil {
+		t.Fatalf("oversized frame length accepted")
+	}
+}
+
+// TestEncScratchReuse pins the zero-allocation reuse contract request paths
+// rely on: building into recycled scratch must not grow for same-size frames.
+func TestEncScratchReuse(t *testing.T) {
+	e := newEnc(nil)
+	e.u8(opClock)
+	e.i64(1)
+	first := e.finish()
+	e2 := newEnc(first[:0])
+	e2.u8(opClock)
+	e2.i64(2)
+	second := e2.finish()
+	if &first[0] != &second[0] {
+		t.Errorf("same-size rebuild reallocated the scratch buffer")
+	}
+}

@@ -1,0 +1,130 @@
+// Package rankio holds the launcher-side process plumbing shared by the
+// multi-process transport backends (internal/mprun, internal/netrun): worker
+// spawning with per-rank "[rank N]" output tagging, idempotent exit-status
+// reaping, and the error type that carries a failing worker's exit code up
+// to cmd/fompi-run.
+package rankio
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+)
+
+// RankError reports a failed world launch together with the first non-zero
+// worker exit code observed, so launchers can propagate it as their own
+// exit status instead of a generic 1.
+type RankError struct {
+	Err  error
+	Code int
+}
+
+func (e *RankError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying launch error.
+func (e *RankError) Unwrap() error { return e.Err }
+
+// ExitCode returns the exit status a launcher should propagate for err: the
+// first failing worker's code when known, 1 for any other non-nil error, 0
+// for nil.
+func ExitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	var re *RankError
+	if errors.As(err, &re) && re.Code != 0 {
+		return re.Code
+	}
+	return 1
+}
+
+// Cmd is one spawned worker process with idempotent reaping.
+type Cmd struct {
+	cmd      *exec.Cmd
+	copyWait sync.WaitGroup
+	waitOnce sync.Once
+	code     int
+}
+
+// Start spawns one worker rank executing argv with extraEnv appended to the
+// inherited environment. With tag set, the worker's stdout and stderr are
+// line-buffered through this process and each line is prefixed "[rank N] ";
+// otherwise the streams pass through directly.
+func Start(argv, extraEnv []string, rank int, tag bool) (*Cmd, error) {
+	c := &Cmd{cmd: exec.Command(argv[0], argv[1:]...)}
+	c.cmd.Env = append(os.Environ(), extraEnv...)
+	if !tag {
+		c.cmd.Stdout, c.cmd.Stderr = os.Stdout, os.Stderr
+		return c, c.cmd.Start()
+	}
+	outR, err := c.cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	errR, err := c.cmd.StderrPipe()
+	if err != nil {
+		return nil, err
+	}
+	c.copyWait.Add(2)
+	go c.prefixCopy(os.Stdout, outR, rank)
+	go c.prefixCopy(os.Stderr, errR, rank)
+	return c, c.cmd.Start()
+}
+
+// prefixCopy relays one stream line by line with the rank tag. Lines are the
+// tagging unit, so interleaved ranks stay readable. On a scanner error (a
+// pathological line beyond the buffer cap) it falls back to an untagged
+// drain: the pipe must keep flowing or the worker blocks on a full buffer
+// and the world hangs.
+func (c *Cmd) prefixCopy(dst io.Writer, src io.Reader, rank int) {
+	defer c.copyWait.Done()
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		fmt.Fprintf(dst, "[rank %d] %s\n", rank, sc.Bytes())
+	}
+	if sc.Err() != nil {
+		io.Copy(dst, src)
+	}
+}
+
+// Wait reaps the process (idempotently) and returns its exit code; -1 means
+// it was killed by a signal or never ran.
+func (c *Cmd) Wait() int {
+	c.waitOnce.Do(func() {
+		c.copyWait.Wait() // exec.Cmd.Wait requires the pipes drained first
+		err := c.cmd.Wait()
+		switch e := err.(type) {
+		case nil:
+			c.code = 0
+		case *exec.ExitError:
+			c.code = e.ExitCode()
+		default:
+			c.code = -1
+		}
+	})
+	return c.code
+}
+
+// KillAll force-kills every still-running worker (nil entries are skipped).
+func KillAll(cmds []*Cmd) {
+	for _, c := range cmds {
+		if c != nil && c.cmd.Process != nil {
+			c.cmd.Process.Kill()
+		}
+	}
+}
+
+// ReapAll waits out every worker's exit status (idempotent; safe after
+// KillAll), preventing zombie accumulation in long-lived launchers.
+func ReapAll(cmds []*Cmd) {
+	for _, c := range cmds {
+		if c != nil {
+			c.Wait()
+		}
+	}
+}

@@ -31,11 +31,24 @@ func (ep *Endpoint) AmoBulkNBI(a Addr, op AmoOp, src []byte) {
 		panic("simnet: bulk AMO length must be a multiple of 8")
 	}
 	ep.paceOp()
-	pr := ep.profileFor(a.Rank)
+	same := ep.sameNodeTo(a.Rank)
+	pr := ep.cm.For(same)
 	reg := ep.region(a)
 	reg.check(a.Off, len(src))
 	ep.clock += timing.Time(pr.InjectNs)
 	n := len(src) / 8
+	if rm := reg.rmt; rm != nil {
+		comp, free := rm.BulkAmo(op, a.Off, src, ep.clock, ep.nicFree, !same,
+			pr.AmoNs+int64(n)*pr.AmoPerElNs, pr.xferNs(len(src)))
+		if !same {
+			ep.nicFree = free
+		}
+		ep.implicitMax = timing.Max(ep.implicitMax, comp)
+		ep.ctr.Amos += int64(n)
+		ep.ctr.BytesPut += int64(len(src))
+		ep.notifyDst(a.Rank)
+		return
+	}
 	for i := 0; i < n; i++ {
 		v := binary.LittleEndian.Uint64(src[i*8:])
 		off := a.Off + i*8
@@ -73,6 +86,9 @@ func (ep *Endpoint) Shared(a Addr, n int) []byte {
 		panic("simnet: XPMEM mapping requires same-node ranks")
 	}
 	reg := ep.region(a)
+	if reg.rmt != nil {
+		panic("simnet: XPMEM mapping requires locally mapped memory (in-process or shared-memory backend); the inter-node backend cannot map remote regions")
+	}
 	reg.check(a.Off, n)
 	return reg.buf[a.Off : a.Off+n]
 }

@@ -312,11 +312,31 @@ func (ep *Endpoint) schedXferOn(same bool, dst int, depart timing.Time, lat, xfe
 		// Intra-node (XPMEM): the issuing CPU performs the copy itself.
 		return depart + timing.Time(lat)
 	}
+	depart = ep.srcDepart(depart, xfer)
+	return ep.fab.ReserveNIC(dst, depart+timing.Time(lat), xfer)
+}
+
+// srcDepart serializes a departure through the source NIC (outcast
+// bandwidth) and returns the adjusted departure time.
+func (ep *Endpoint) srcDepart(depart timing.Time, xfer int64) timing.Time {
 	if ep.nicFree > depart {
 		depart = ep.nicFree
 	}
 	ep.nicFree = depart + timing.Time(xfer)
-	return ep.fab.ReserveNIC(dst, depart+timing.Time(lat), xfer)
+	return depart
+}
+
+// xferArrival computes the remote-side arrival time of a transfer departing
+// at the current clock: the requester-local half of schedXferOn (source-NIC
+// serialization for inter-node transfers), used when the remainder — the
+// target-NIC reservation — executes at the region's owner through a
+// RemoteMem proxy. Intra-node the returned time is the final completion.
+func (ep *Endpoint) xferArrival(same bool, lat, xfer int64) timing.Time {
+	depart := ep.clock
+	if !same {
+		depart = ep.srcDepart(depart, xfer)
+	}
+	return depart + timing.Time(lat)
 }
 
 // sameNodeTo reports whether peer shares this endpoint's node, using the
@@ -337,9 +357,16 @@ func (ep *Endpoint) putCommon(dst Addr, src []byte) timing.Time {
 		// XPMEM copy occupies the issuing CPU.
 		ep.clock += timing.Time(pr.xferNs(len(src)))
 	}
-	copy(reg.buf[dst.Off:dst.Off+len(src)], src)
-	comp := ep.schedXferOn(same, dst.Rank, ep.clock, pr.PutLatNs+pr.knee(len(src)), pr.xferNs(len(src)))
-	reg.stamps.SetRange(dst.Off, len(src), comp)
+	var comp timing.Time
+	if rm := reg.rmt; rm != nil {
+		xfer := pr.xferNs(len(src))
+		comp = rm.Put(dst.Off, src, !same,
+			ep.xferArrival(same, pr.PutLatNs+pr.knee(len(src)), xfer), xfer)
+	} else {
+		copy(reg.buf[dst.Off:dst.Off+len(src)], src)
+		comp = ep.schedXferOn(same, dst.Rank, ep.clock, pr.PutLatNs+pr.knee(len(src)), pr.xferNs(len(src)))
+		reg.stamps.SetRange(dst.Off, len(src), comp)
+	}
 	ep.ctr.Puts++
 	ep.ctr.BytesPut += int64(len(src))
 	ep.notifyDst(dst.Rank)
@@ -371,22 +398,29 @@ func (ep *Endpoint) getCommon(dst []byte, src Addr) timing.Time {
 	reg := ep.region(src)
 	reg.check(src.Off, len(dst))
 	ep.clock += timing.Time(pr.InjectNs)
+	ep.ctr.Gets++
+	ep.ctr.BytesGot += int64(len(dst))
+	if rm := reg.rmt; rm != nil {
+		var comp timing.Time
+		if same {
+			comp = rm.Get(dst, src.Off, ep.clock, false, pr.GetLatNs+pr.xferNs(len(dst)), 0)
+			ep.clock = comp
+		} else {
+			comp = rm.Get(dst, src.Off, ep.clock, true, pr.GetLatNs+pr.knee(len(dst)), pr.xferNs(len(dst)))
+		}
+		return comp
+	}
 	copy(dst, reg.buf[src.Off:src.Off+len(dst)])
 	base := timing.Max(ep.clock, reg.stamps.MaxRange(src.Off, len(dst)))
 	if same {
 		// XPMEM read: CPU copies the data itself.
 		comp := base + timing.Time(pr.GetLatNs+pr.xferNs(len(dst)))
 		ep.clock = comp
-		ep.ctr.Gets++
-		ep.ctr.BytesGot += int64(len(dst))
 		return comp
 	}
 	xfer := pr.xferNs(len(dst))
 	arrive := base + timing.Time(pr.GetLatNs+pr.knee(len(dst)))
-	comp := ep.fab.ReserveNIC(src.Rank, arrive, xfer) // data leaves the target NIC
-	ep.ctr.Gets++
-	ep.ctr.BytesGot += int64(len(dst))
-	return comp
+	return ep.fab.ReserveNIC(src.Rank, arrive, xfer) // data leaves the target NIC
 }
 
 // GetNBI issues an implicit-nonblocking get, completed by Gsync.
@@ -405,22 +439,33 @@ func (ep *Endpoint) Get(dst []byte, src Addr) {
 	ep.AdvanceTo(ep.getCommon(dst, src))
 }
 
-// amoCommon performs fn on the addressed word atomically right now. The
-// update becomes visible at the target after a one-way latency (that is the
-// word's stamp); the origin-side completion of a fetching operation takes
-// the full AMO round trip (AmoNs — the paper's P_acc constant).
-func (ep *Endpoint) amoCommon(a Addr, fn func(reg *Region) uint64) (old uint64, comp timing.Time) {
+// amoCommon performs the word operation on the addressed word atomically
+// right now. The update becomes visible at the target after a one-way
+// latency (that is the word's stamp); the origin-side completion of a
+// fetching operation takes the full AMO round trip (AmoNs — the paper's
+// P_acc constant).
+func (ep *Endpoint) amoCommon(a Addr, op WordOp, o1, o2 uint64) (old uint64, comp timing.Time) {
 	ep.paceOp()
 	same := ep.sameNodeTo(a.Rank)
 	pr := ep.cm.For(same)
 	reg := ep.region(a)
 	reg.check(a.Off, 8)
 	ep.clock += timing.Time(pr.InjectNs)
-	prev := reg.stamps.Get(a.Off)
-	old = fn(reg)
-	base := timing.Max(ep.clock, prev)
-	land := ep.schedXferOn(same, a.Rank, base, pr.PutLatNs, pr.xferNs(8))
-	reg.stamps.Set(a.Off, land)
+	var land, base timing.Time
+	if rm := reg.rmt; rm != nil {
+		var free timing.Time
+		old, land, base, free = rm.WordAmo(op, a.Off, o1, o2,
+			ep.clock, ep.nicFree, !same, pr.PutLatNs, pr.xferNs(8))
+		if !same {
+			ep.nicFree = free
+		}
+	} else {
+		prev := reg.stamps.Get(a.Off)
+		old = applyWordOp(reg.buf, a.Off, op, o1, o2)
+		base = timing.Max(ep.clock, prev)
+		land = ep.schedXferOn(same, a.Rank, base, pr.PutLatNs, pr.xferNs(8))
+		reg.stamps.Set(a.Off, land)
+	}
 	comp = timing.Max(land, base+timing.Time(pr.AmoNs))
 	ep.ctr.Amos++
 	ep.notifyDst(a.Rank)
@@ -430,9 +475,7 @@ func (ep *Endpoint) amoCommon(a Addr, fn func(reg *Region) uint64) (old uint64, 
 // FetchAdd atomically adds delta to the remote word and returns the old
 // value (blocking: fetching AMOs return data).
 func (ep *Endpoint) FetchAdd(a Addr, delta uint64) uint64 {
-	old, comp := ep.amoCommon(a, func(r *Region) uint64 {
-		return hostatomic.Add(r.buf, a.Off, delta)
-	})
+	old, comp := ep.amoCommon(a, WordAdd, delta, 0)
 	ep.AdvanceTo(comp)
 	return old
 }
@@ -443,36 +486,28 @@ func (ep *Endpoint) FetchAdd(a Addr, delta uint64) uint64 {
 // pipeline independent fetching AMOs with it (e.g. PSCW post acquires all k
 // matching-list slots in one round trip).
 func (ep *Endpoint) FetchAddNB(a Addr, delta uint64) (uint64, Handle) {
-	old, comp := ep.amoCommon(a, func(r *Region) uint64 {
-		return hostatomic.Add(r.buf, a.Off, delta)
-	})
+	old, comp := ep.amoCommon(a, WordAdd, delta, 0)
 	return old, Handle{comp: comp}
 }
 
 // CompareSwap atomically compares-and-swaps the remote word, returning the
 // value held before the operation.
 func (ep *Endpoint) CompareSwap(a Addr, compare, swap uint64) uint64 {
-	old, comp := ep.amoCommon(a, func(r *Region) uint64 {
-		return hostatomic.Cas(r.buf, a.Off, compare, swap)
-	})
+	old, comp := ep.amoCommon(a, WordCas, compare, swap)
 	ep.AdvanceTo(comp)
 	return old
 }
 
 // Swap atomically replaces the remote word, returning the old value.
 func (ep *Endpoint) Swap(a Addr, v uint64) uint64 {
-	old, comp := ep.amoCommon(a, func(r *Region) uint64 {
-		return hostatomic.Swap(r.buf, a.Off, v)
-	})
+	old, comp := ep.amoCommon(a, WordSwap, v, 0)
 	ep.AdvanceTo(comp)
 	return old
 }
 
 // AddNBI issues a non-fetching atomic add with implicit completion.
 func (ep *Endpoint) AddNBI(a Addr, delta uint64) {
-	_, comp := ep.amoCommon(a, func(r *Region) uint64 {
-		return hostatomic.Add(r.buf, a.Off, delta)
-	})
+	_, comp := ep.amoCommon(a, WordAdd, delta, 0)
 	ep.implicitMax = timing.Max(ep.implicitMax, comp)
 }
 
@@ -485,9 +520,14 @@ func (ep *Endpoint) StoreW(a Addr, v uint64) {
 	reg := ep.region(a)
 	reg.check(a.Off, 8)
 	ep.clock += timing.Time(pr.InjectNs)
-	comp := ep.schedXferOn(same, a.Rank, ep.clock, pr.PutLatNs, pr.xferNs(8))
-	hostatomic.Store(reg.buf, a.Off, v)
-	reg.stamps.Set(a.Off, comp)
+	var comp timing.Time
+	if rm := reg.rmt; rm != nil {
+		comp = rm.StoreWord(a.Off, v, !same, ep.xferArrival(same, pr.PutLatNs, pr.xferNs(8)), pr.xferNs(8))
+	} else {
+		comp = ep.schedXferOn(same, a.Rank, ep.clock, pr.PutLatNs, pr.xferNs(8))
+		hostatomic.Store(reg.buf, a.Off, v)
+		reg.stamps.Set(a.Off, comp)
+	}
 	ep.implicitMax = timing.Max(ep.implicitMax, comp)
 	ep.ctr.Puts++
 	ep.ctr.BytesPut += 8
@@ -502,12 +542,22 @@ func (ep *Endpoint) LoadW(a Addr) uint64 {
 	ep.paceOp()
 	pr := ep.profileFor(a.Rank)
 	reg := ep.region(a)
-	v := reg.atomicLoad(a.Off)
-	ep.clock = timing.Max(ep.clock+timing.Time(pr.InjectNs), reg.stamps.Get(a.Off)) +
+	v, st := ep.loadWordStamped(reg, a.Off)
+	ep.clock = timing.Max(ep.clock+timing.Time(pr.InjectNs), st) +
 		timing.Time(pr.GetLatNs+pr.xferNs(8))
 	ep.ctr.Gets++
 	ep.ctr.BytesGot += 8
 	return v
+}
+
+// loadWordStamped reads a word and its stamp in one snapshot, routing
+// through the proxy on unreachable remote memory.
+func (ep *Endpoint) loadWordStamped(reg *Region, off int) (uint64, timing.Time) {
+	if rm := reg.rmt; rm != nil {
+		reg.check(off, 8)
+		return rm.LoadWord(off)
+	}
+	return reg.atomicLoad(off), reg.stamps.Get(off)
 }
 
 // Gsync completes all implicit-nonblocking operations (DMAPP bulk
@@ -566,9 +616,9 @@ func (ep *Endpoint) PollRemoteWord(a Addr, pred func(uint64) bool) uint64 {
 	reg.check(a.Off, 8)
 	gen := ep.fab.DoorGen(a.Rank)
 	for {
-		v := reg.atomicLoad(a.Off)
+		v, st := ep.loadWordStamped(reg, a.Off)
 		if pred(v) {
-			ep.clock = timing.Max(ep.clock, reg.stamps.Get(a.Off)) +
+			ep.clock = timing.Max(ep.clock, st) +
 				timing.Time(pr.GetLatNs+pr.xferNs(8))
 			ep.ctr.Gets++
 			ep.ctr.BytesGot += 8

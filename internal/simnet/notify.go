@@ -149,6 +149,29 @@ func (ep *Endpoint) deliverNotify(ring Addr, word uint64, after timing.Time, fus
 	pr := ep.profileFor(ring.Rank)
 	reg := ep.region(ring)
 	reg.check(ring.Off, notifyHeaderBytes)
+	if rm := reg.rmt; rm != nil {
+		// Unreachable remote memory: the ring deposit protocol (capacity and
+		// overflow checks, ticket, slot store) executes at the owner; the
+		// clock charges and the source-NIC half of the flag's transfer stay
+		// here, exactly as on the inline path below.
+		if fused {
+			ep.clock += timing.Time(pr.NotifyNs)
+		} else {
+			ep.clock += timing.Time(pr.InjectNs + pr.NotifyNs)
+			ep.ctr.Puts++
+		}
+		base := timing.Max(ep.clock, after)
+		same := ep.sameNodeTo(ring.Rank)
+		depart := base
+		if !same {
+			depart = ep.srcDepart(base, pr.xferNs(8))
+		}
+		comp := rm.Notify(ring.Off, word, !same, depart+timing.Time(pr.PutLatNs), pr.xferNs(8))
+		ep.ctr.Notifies++
+		ep.ctr.BytesPut += 8
+		ep.notifyDst(ring.Rank)
+		return comp
+	}
 	capacity := hostatomic.Load(reg.buf, ring.Off+16)
 	if capacity == 0 {
 		panic(fmt.Sprintf("simnet: notification into unbound ring (rank %d key %d off %d)",

@@ -10,11 +10,15 @@ import (
 // Region is a registered memory segment: the DMAPP/XPMEM equivalent of a
 // memory registration. Remote ranks address it by (owner, key, offset);
 // the owner may also access Bytes directly (its own virtual address space).
+// On backends whose remote memory is not locally addressable, a region
+// resolved for a foreign rank is a proxy: buf and stamps are nil and every
+// data/stamp access routes through rmt (see remote.go).
 type Region struct {
 	owner  int
 	key    Key
 	buf    []byte
 	stamps *timing.Stamps
+	rmt    RemoteMem // non-nil on proxies for unreachable remote memory
 }
 
 // MakeRegion initializes a registration handle over transport-owned memory.
@@ -23,6 +27,15 @@ type Region struct {
 // key must be the key the owner's registration was assigned.
 func MakeRegion(owner int, key Key, buf []byte, st *timing.Stamps) Region {
 	return Region{owner: owner, key: key, buf: buf, stamps: st}
+}
+
+// MakeRemoteRegion initializes a proxy handle for a region registered in a
+// process this one cannot address (inter-node backends): data, stamp, and
+// target-NIC work route through rm. Only Endpoint operations may touch a
+// proxy; the owner-side accessors (Bytes, LocalWord, StampMax...) stay with
+// the owning process.
+func MakeRemoteRegion(owner int, key Key, rm RemoteMem) Region {
+	return Region{owner: owner, key: key, rmt: rm}
 }
 
 // Owner returns the owning rank.
@@ -35,10 +48,16 @@ func (r *Region) Stamps() *timing.Stamps { return r.stamps }
 func (r *Region) Key() Key { return r.key }
 
 // Size returns the registered length in bytes.
-func (r *Region) Size() int { return len(r.buf) }
+func (r *Region) Size() int {
+	if r.rmt != nil {
+		return r.rmt.Size()
+	}
+	return len(r.buf)
+}
 
 // Bytes exposes the backing memory to its owner (local load/store access).
-// Remote ranks must go through Endpoint operations.
+// Remote ranks must go through Endpoint operations; on a proxy region
+// (unreachable remote memory) Bytes is nil.
 func (r *Region) Bytes() []byte { return r.buf }
 
 // Base returns the address of the first byte of the region.
@@ -47,9 +66,9 @@ func (r *Region) Base() Addr { return Addr{Rank: r.owner, Key: r.key} }
 // check panics when [off, off+n) exceeds the registration, modelling a
 // remote-memory protection fault.
 func (r *Region) check(off, n int) {
-	if off < 0 || n < 0 || off+n > len(r.buf) {
+	if off < 0 || n < 0 || off+n > r.Size() {
 		panic(fmt.Sprintf("simnet: access [%d,%d) outside region of %d bytes (rank %d key %d)",
-			off, off+n, len(r.buf), r.owner, r.key))
+			off, off+n, r.Size(), r.owner, r.key))
 	}
 }
 

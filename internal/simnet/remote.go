@@ -1,0 +1,220 @@
+package simnet
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"fompi/internal/hostatomic"
+	"fompi/internal/timing"
+)
+
+// This file is the carve line for backends whose remote memory is NOT
+// addressable from the issuing process (inter-node backends: internal/netrun).
+// The in-process fabric and the mmap-shared multi-process backend hand
+// Endpoint a *Region whose buf and stamps are real local memory, and every
+// operation runs the data/stamp half inline. An inter-node backend instead
+// returns proxy regions (MakeRemoteRegion) carrying a RemoteMem, and Endpoint
+// routes the data/stamp/NIC half of each operation through it as one message
+// to the owner, where a RegionExec replays exactly the arithmetic the inline
+// path would have run. The requester-local half — cost-model charges, source
+// NIC serialization, clock merges — never leaves Endpoint, which is what
+// keeps virtual times bit-identical across all backends (the conformance
+// suite in internal/transporttest pins this).
+
+// WordOp selects the read-modify-write operator of a single-word remote
+// atomic (the AMO set behind Endpoint.FetchAdd/CompareSwap/Swap/AddNBI).
+type WordOp uint8
+
+// Word-atomic operators.
+const (
+	WordAdd WordOp = iota
+	WordCas
+	WordSwap
+)
+
+// applyWordOp performs one word atomic on buf and returns the prior value.
+func applyWordOp(buf []byte, off int, op WordOp, o1, o2 uint64) uint64 {
+	switch op {
+	case WordAdd:
+		return hostatomic.Add(buf, off, o1)
+	case WordCas:
+		return hostatomic.Cas(buf, off, o1, o2)
+	case WordSwap:
+		return hostatomic.Swap(buf, off, o1)
+	}
+	panic("simnet: unknown word-atomic operator")
+}
+
+// RemoteMem executes the owner-side half of Endpoint operations against a
+// region the issuing process cannot address. Times crossing this interface
+// are virtual; the `reserve` flag of each transfer-shaped method selects the
+// inter-node path (completion = owner-NIC reservation of xfer virtual ns
+// starting at arrival, the reserveNIC discipline) versus the intra-node path
+// (completion = arrival, precomputed by the caller). Implementations must
+// apply each call atomically enough that bytes, stamps, and NIC state mutate
+// with the same interleaving guarantees the in-process fabric gives
+// concurrently issuing ranks; RegionExec provides the canonical execution.
+type RemoteMem interface {
+	// Size returns the registered length (bounds checks on the proxy).
+	Size() int
+	// Put copies src into [off,off+len(src)) and stamps the range with the
+	// transfer's completion time, which it returns.
+	Put(off int, src []byte, reserve bool, arrival timing.Time, xfer int64) timing.Time
+	// Get copies [off,off+len(dst)) into dst. base is max(clockIn, the
+	// range's stamp maximum); completion is base+tail intra-node or the NIC
+	// reservation of xfer at base+tail inter-node.
+	Get(dst []byte, off int, clockIn timing.Time, reserve bool, tail, xfer int64) timing.Time
+	// StoreWord atomically stores the 8-byte word and stamps it with the
+	// returned completion time (Put-shaped timing).
+	StoreWord(off int, v uint64, reserve bool, arrival timing.Time, xfer int64) timing.Time
+	// LoadWord atomically reads the 8-byte word and its stamp.
+	LoadWord(off int) (uint64, timing.Time)
+	// WordAmo applies op to the word at off. base = max(clockIn, the word's
+	// prior stamp); the update lands intra-node at base+lat, or inter-node
+	// through source-NIC serialization (srcFree) and an owner-NIC
+	// reservation; the word is stamped with land. newFree is the advanced
+	// source-NIC cursor (meaningful only when reserve is true).
+	WordAmo(op WordOp, off int, o1, o2 uint64, clockIn, srcFree timing.Time, reserve bool, lat, xfer int64) (old uint64, land, base, newFree timing.Time)
+	// BulkAmo applies op element-wise between src and the remote words
+	// (WordAmo-shaped timing over the whole range, stamped with comp).
+	BulkAmo(op AmoOp, off int, src []byte, clockIn, srcFree timing.Time, reserve bool, lat, xfer int64) (comp, newFree timing.Time)
+	// Notify runs the notification-ring deposit protocol at off (capacity
+	// and overflow checks, ticket, slot store) with Put-shaped timing for
+	// the 8-byte flag.
+	Notify(off int, word uint64, reserve bool, arrival timing.Time, xfer int64) timing.Time
+}
+
+// RegionExec executes RemoteMem-shaped operations against a locally
+// addressable region on behalf of a remote requester: the owner-side half of
+// an inter-node backend's service loop. ReserveNIC books the owner rank's
+// NIC busy interval (ignored by calls whose reserve flag is false). Methods
+// panic on faults — out-of-bounds access, ring overflow — with the same
+// messages the inline path produces; the backend forwards the panic to the
+// requester.
+type RegionExec struct {
+	Reg        *Region
+	ReserveNIC func(arrival timing.Time, xfer int64) timing.Time
+}
+
+// Put copies src and stamps the range (see RemoteMem.Put).
+func (x RegionExec) Put(off int, src []byte, reserve bool, arrival timing.Time, xfer int64) timing.Time {
+	x.Reg.check(off, len(src))
+	comp := arrival
+	if reserve {
+		comp = x.ReserveNIC(arrival, xfer)
+	}
+	copy(x.Reg.buf[off:off+len(src)], src)
+	x.Reg.stamps.SetRange(off, len(src), comp)
+	return comp
+}
+
+// Get copies the range out and resolves its completion (see RemoteMem.Get).
+func (x RegionExec) Get(dst []byte, off int, clockIn timing.Time, reserve bool, tail, xfer int64) timing.Time {
+	x.Reg.check(off, len(dst))
+	copy(dst, x.Reg.buf[off:off+len(dst)])
+	base := timing.Max(clockIn, x.Reg.stamps.MaxRange(off, len(dst)))
+	if !reserve {
+		return base + timing.Time(tail)
+	}
+	return x.ReserveNIC(base+timing.Time(tail), xfer)
+}
+
+// StoreWord stores and stamps one word (see RemoteMem.StoreWord).
+func (x RegionExec) StoreWord(off int, v uint64, reserve bool, arrival timing.Time, xfer int64) timing.Time {
+	x.Reg.check(off, 8)
+	comp := arrival
+	if reserve {
+		comp = x.ReserveNIC(arrival, xfer)
+	}
+	hostatomic.Store(x.Reg.buf, off, v)
+	x.Reg.stamps.Set(off, comp)
+	return comp
+}
+
+// LoadWord reads one word and its stamp (see RemoteMem.LoadWord).
+func (x RegionExec) LoadWord(off int) (uint64, timing.Time) {
+	v := x.Reg.atomicLoad(off)
+	return v, x.Reg.stamps.Get(off)
+}
+
+// WordAmo applies one word atomic (see RemoteMem.WordAmo).
+func (x RegionExec) WordAmo(op WordOp, off int, o1, o2 uint64, clockIn, srcFree timing.Time, reserve bool, lat, xfer int64) (old uint64, land, base, newFree timing.Time) {
+	x.Reg.check(off, 8)
+	prev := x.Reg.stamps.Get(off)
+	old = applyWordOp(x.Reg.buf, off, op, o1, o2)
+	base = timing.Max(clockIn, prev)
+	land, newFree = x.landAt(base, srcFree, reserve, lat, xfer)
+	x.Reg.stamps.Set(off, land)
+	return old, land, base, newFree
+}
+
+// BulkAmo applies a chained atomic over the range (see RemoteMem.BulkAmo).
+func (x RegionExec) BulkAmo(op AmoOp, off int, src []byte, clockIn, srcFree timing.Time, reserve bool, lat, xfer int64) (comp, newFree timing.Time) {
+	x.Reg.check(off, len(src))
+	n := len(src) / 8
+	for i := 0; i < n; i++ {
+		v := binary.LittleEndian.Uint64(src[i*8:])
+		o := off + i*8
+		switch op {
+		case AmoSum:
+			hostatomic.Add(x.Reg.buf, o, v)
+		case AmoBand:
+			hostatomic.And(x.Reg.buf, o, v)
+		case AmoBor:
+			hostatomic.Or(x.Reg.buf, o, v)
+		case AmoBxor:
+			hostatomic.Xor(x.Reg.buf, o, v)
+		case AmoReplace:
+			hostatomic.Swap(x.Reg.buf, o, v)
+		default:
+			panic("simnet: unknown bulk AMO op")
+		}
+	}
+	prev := x.Reg.stamps.MaxRange(off, len(src))
+	base := timing.Max(clockIn, prev)
+	comp, newFree = x.landAt(base, srcFree, reserve, lat, xfer)
+	x.Reg.stamps.SetRange(off, len(src), comp)
+	return comp, newFree
+}
+
+// landAt resolves a transfer departing at base: the owner-side replay of
+// Endpoint.schedXferOn when the departure time itself depends on remote
+// stamps (AMO paths), including the requester's source-NIC cursor.
+func (x RegionExec) landAt(base, srcFree timing.Time, reserve bool, lat, xfer int64) (land, newFree timing.Time) {
+	if !reserve {
+		return base + timing.Time(lat), srcFree
+	}
+	depart := base
+	if srcFree > depart {
+		depart = srcFree
+	}
+	newFree = depart + timing.Time(xfer)
+	return x.ReserveNIC(depart+timing.Time(lat), xfer), newFree
+}
+
+// Notify runs the ring deposit protocol (see RemoteMem.Notify and the ring
+// layout in notify.go).
+func (x RegionExec) Notify(off int, word uint64, reserve bool, arrival timing.Time, xfer int64) timing.Time {
+	reg := x.Reg
+	reg.check(off, notifyHeaderBytes)
+	capacity := hostatomic.Load(reg.buf, off+16)
+	if capacity == 0 {
+		panic(fmt.Sprintf("simnet: notification into unbound ring (rank %d key %d off %d)",
+			reg.owner, reg.key, off))
+	}
+	reg.check(off, NotifyRingBytes(int(capacity)))
+	ticket := hostatomic.Add(reg.buf, off, 1)
+	cons := hostatomic.Load(reg.buf, off+8)
+	if ticket-cons >= capacity {
+		panic(fmt.Sprintf("simnet: notification ring of rank %d overflowed (%d in flight, capacity %d)",
+			reg.owner, ticket-cons+1, capacity))
+	}
+	slot := off + notifyHeaderBytes + int(ticket%capacity)*8
+	comp := arrival
+	if reserve {
+		comp = x.ReserveNIC(arrival, xfer)
+	}
+	reg.stamps.Set(slot, comp)
+	hostatomic.Store(reg.buf, slot, word|notifyValid)
+	return comp
+}

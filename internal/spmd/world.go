@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"fompi/internal/mprun"
+	"fompi/internal/netrun"
 	"fompi/internal/segpool"
 	"fompi/internal/simnet"
 	"fompi/internal/timing"
@@ -35,6 +36,12 @@ const (
 	// control/doorbell traffic travels over Unix sockets. Virtual time stays
 	// in the timing layer, so results are bit-identical to BackendInProc.
 	BackendMP Backend = "mp"
+	// BackendNet runs each rank as an OS process on (potentially) a
+	// different machine: every remote-memory operation travels as a framed
+	// message over TCP to the owning rank's service loop (internal/netrun).
+	// Virtual time stays in the timing layer, so results remain
+	// bit-identical to the other backends.
+	BackendNet Backend = "net"
 )
 
 // Config describes a world: the rank count, node width, the cost model of
@@ -52,14 +59,26 @@ type Config struct {
 	// Backend selects the transport substrate; empty means BackendInProc.
 	Backend Backend
 	// MPArenaBytes sizes each rank's registered-memory arena on the
-	// multi-process backend (default 16 MiB; ignored in process).
+	// multi-process backend (default 16 MiB; ignored elsewhere).
 	MPArenaBytes int
-	// MPRelaunch is the argv the multi-process launcher re-executes as
-	// worker ranks; nil re-executes this process's own command line, which
-	// is correct for SPMD programs whose main reaches the same Run call.
-	// Test harnesses set it to target one test (e.g. os.Args[0] plus a
-	// -test.run pattern).
+	// MPRelaunch is the argv the multi-process backends (mp and net
+	// loopback mode) re-execute as worker ranks; nil re-executes this
+	// process's own command line, which is correct for SPMD programs whose
+	// main reaches the same Run call. Test harnesses set it to target one
+	// test (e.g. os.Args[0] plus a -test.run pattern).
 	MPRelaunch []string
+	// NetListen is the inter-node coordinator's listen address (BackendNet
+	// only); empty selects loopback spawn mode, where the launcher
+	// re-executes MPRelaunch once per rank on this machine.
+	NetListen string
+	// NetHosts, when non-empty, puts BackendNet in host-list mode: the
+	// launcher only coordinates, and the operator starts one worker per
+	// rank across the listed machines with FOMPI_NET_COORD set (see
+	// internal/netrun and cmd/fompi-run).
+	NetHosts []string
+	// NetTagOutput prefixes spawned ranks' stdout/stderr with "[rank N]"
+	// (net loopback spawn mode; cmd/fompi-run sets it).
+	NetTagOutput bool
 }
 
 func (c Config) withDefaults() Config {
@@ -161,9 +180,81 @@ func Run(cfg Config, body func(*Proc)) error {
 			runMPWorker(cfg, body) // calls os.Exit; never returns
 		}
 		return mprun.Launch(mpOptions(cfg))
+	case BackendNet:
+		if netrun.IsWorker() {
+			runNetWorker(cfg, body) // calls os.Exit; never returns
+		}
+		return netrun.Launch(netOptions(cfg))
 	default:
 		return fmt.Errorf("spmd: unknown backend %q", cfg.Backend)
 	}
+}
+
+func netOptions(cfg Config) netrun.Options {
+	return netrun.Options{
+		Ranks:        cfg.Ranks,
+		RanksPerNode: cfg.RanksPerNode,
+		PaceWindowNs: cfg.PaceWindowNs,
+		Listen:       cfg.NetListen,
+		Hosts:        cfg.NetHosts,
+		Relaunch:     cfg.MPRelaunch,
+		TagOutput:    cfg.NetTagOutput,
+	}
+}
+
+// runNetWorker executes body as this process's single rank of an inter-node
+// world and exits the process (see runCrossWorker).
+func runNetWorker(cfg Config, body func(*Proc)) {
+	nw, err := netrun.Join(netOptions(cfg))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spmd: worker failed to join inter-node world: %v\n", err)
+		os.Exit(1)
+	}
+	runCrossWorker(cfg, nw, body)
+}
+
+// crossWorld is the worker-side face shared by the cross-process transports
+// (mprun, netrun): the Transport itself plus the launcher protocol.
+type crossWorld interface {
+	simnet.Transport
+	Rank() int
+	Ready()
+	Finish()
+	Fail(msg string)
+}
+
+// runCrossWorker executes body as this process's single rank of a joined
+// cross-process world and exits the process: status 0 after a clean run,
+// nonzero after a panic (reported to the launcher over the control channel
+// first).
+func runCrossWorker(cfg Config, cw crossWorld, body func(*Proc)) {
+	rank := cw.Rank()
+	w := &World{cfg: cfg, fab: cw, scratch: make([]simnet.Region, cfg.Ranks)}
+	p := &Proc{world: w, rank: rank, ep: simnet.NewEndpoint(cw, rank, cfg.Model)}
+	// The scratch registration must be this process's first so its key is 0
+	// on every rank, the symmetric-key property the collectives assume.
+	seg := cw.AllocSeg(rank, hdrBytes+cfg.ScratchBytes)
+	p.ep.RegisterBufStampsInto(&w.scratch[rank], seg.Buf, seg.St)
+	cw.Ready() // barrier: every rank's scratch is addressable
+	ok := func() (ok bool) {
+		defer func() {
+			if e := recover(); e != nil {
+				if e == simnet.ErrAborted {
+					cw.Fail("aborted by peer rank")
+				} else {
+					cw.Fail(fmt.Sprintf("rank %d panicked: %v", rank, e))
+				}
+				ok = false
+			}
+		}()
+		body(p)
+		return true
+	}()
+	if !ok {
+		os.Exit(1)
+	}
+	cw.Finish()
+	os.Exit(0)
 }
 
 func mpOptions(cfg Config) mprun.Options {
@@ -206,41 +297,14 @@ func runInProc(cfg Config, body func(*Proc)) error {
 }
 
 // runMPWorker executes body as this process's single rank of a multi-process
-// world and exits the process: status 0 after a clean run, nonzero after a
-// panic (reported to the launcher over the control socket first).
+// world and exits the process (see runCrossWorker).
 func runMPWorker(cfg Config, body func(*Proc)) {
 	mw, err := mprun.Join(mpOptions(cfg))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "spmd: worker failed to join multi-process world: %v\n", err)
 		os.Exit(1)
 	}
-	rank := mw.Rank()
-	w := &World{cfg: cfg, fab: mw, scratch: make([]simnet.Region, cfg.Ranks)}
-	p := &Proc{world: w, rank: rank, ep: simnet.NewEndpoint(mw, rank, cfg.Model)}
-	// The scratch registration must be this process's first so its key is 0
-	// on every rank, the symmetric-key property the collectives assume.
-	seg := mw.AllocSeg(rank, hdrBytes+cfg.ScratchBytes)
-	p.ep.RegisterBufStampsInto(&w.scratch[rank], seg.Buf, seg.St)
-	mw.Ready() // barrier: every rank's scratch is addressable
-	ok := func() (ok bool) {
-		defer func() {
-			if e := recover(); e != nil {
-				if e == simnet.ErrAborted {
-					mw.Fail("aborted by peer rank")
-				} else {
-					mw.Fail(fmt.Sprintf("rank %d panicked: %v", rank, e))
-				}
-				ok = false
-			}
-		}()
-		body(p)
-		return true
-	}()
-	if !ok {
-		os.Exit(1)
-	}
-	mw.Finish()
-	os.Exit(0)
+	runCrossWorker(cfg, mw, body)
 }
 
 // MustRun is Run but panics on error; benchmarks and examples use it.

@@ -1,23 +1,29 @@
 // Package transporttest is the Transport conformance suite: every backend
 // must pass the same ordering, notification-delivery, atomicity, doorbell-
-// wakeup, and virtual-time-identity checks, so a third backend can be
-// dropped in behind simnet.Transport and validated by running this package.
+// wakeup, abort-propagation, and virtual-time-identity checks, so a new
+// backend can be dropped in behind simnet.Transport and validated by
+// running this package.
 //
-// Each test runs its body twice: over the in-process fabric and over the
-// multi-process backend. The multi-process run re-executes this test binary
-// as the worker ranks (spmd.Config.MPRelaunch targets the one test by name),
-// so the body literally runs in separate OS processes against the
-// shared-memory world; assertions panic, which aborts the world and fails
-// the launcher-side test on either backend.
+// Each test runs its body over every backend: the in-process fabric, the
+// multi-process shared-memory world (internal/mprun), and the inter-node
+// TCP world in loopback mode (internal/netrun). The cross-process runs
+// re-execute this test binary as the worker ranks (spmd.Config.MPRelaunch
+// targets the one test by name), so the body literally runs in separate OS
+// processes; a worker process skips straight to its own backend's run.
+// Assertions panic, which aborts the world and fails the launcher-side test
+// on any backend.
 package transporttest
 
 import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
+	"fompi/internal/mprun"
+	"fompi/internal/netrun"
 	"fompi/internal/simnet"
 	"fompi/internal/spmd"
 	"fompi/internal/timing"
@@ -31,24 +37,47 @@ func check(cond bool, format string, args ...any) {
 	}
 }
 
-// runBoth executes body over both backends. name must be the calling test's
-// exact function name: the multi-process launcher re-executes the test
-// binary with -test.run anchored to it, and the re-run must reach the same
-// spmd.Run call (which is also why each conformance test contains exactly
-// one multi-process run).
-func runBoth(t *testing.T, name string, cfg spmd.Config, body func(p *spmd.Proc)) {
+// eachBackendLeg invokes leg once per backend this process should run: all
+// three in the launcher, only its own in a worker process — a worker's job
+// is to be one rank of the world that re-executed it, never to launch the
+// other backends' worlds. name must be the calling test's exact function
+// name: the cross-process launchers re-execute the test binary with
+// -test.run anchored to it, and the re-run must reach the same spmd.Run
+// call for its backend (which is also why each conformance test contains
+// exactly one run per cross-process backend). The cfg handed to leg is
+// ready to run (backend and relaunch argv set).
+func eachBackendLeg(t *testing.T, name string, cfg spmd.Config, leg func(label string, cfg spmd.Config)) {
 	t.Helper()
-	if err := spmd.Run(cfg, body); err != nil {
-		t.Fatalf("in-process backend: %v", err)
+	if !mprun.IsWorker() && !netrun.IsWorker() {
+		leg("in-process", cfg)
 	}
 	if runtime.GOOS == "windows" {
-		t.Skip("multi-process backend needs mmap + unix sockets")
+		t.Skip("cross-process backends need mmap + unix sockets")
 	}
-	cfg.Backend = spmd.BackendMP
-	cfg.MPRelaunch = []string{os.Args[0], "-test.run=^" + name + "$"}
-	if err := spmd.Run(cfg, body); err != nil {
-		t.Fatalf("multi-process backend: %v", err)
+	relaunch := []string{os.Args[0], "-test.run=^" + name + "$"}
+	if !netrun.IsWorker() {
+		mp := cfg
+		mp.Backend = spmd.BackendMP
+		mp.MPRelaunch = relaunch
+		leg("multi-process", mp)
 	}
+	if !mprun.IsWorker() {
+		nt := cfg
+		nt.Backend = spmd.BackendNet
+		nt.MPRelaunch = relaunch
+		leg("inter-node", nt)
+	}
+}
+
+// runAll executes body over every backend (see eachBackendLeg), failing the
+// test on the first backend whose world errors.
+func runAll(t *testing.T, name string, cfg spmd.Config, body func(p *spmd.Proc)) {
+	t.Helper()
+	eachBackendLeg(t, name, cfg, func(label string, c spmd.Config) {
+		if err := spmd.Run(c, body); err != nil {
+			t.Fatalf("%s backend: %v", label, err)
+		}
+	})
 }
 
 // setupRegion registers a dedicated conformance region (the same size and
@@ -71,7 +100,7 @@ func setupRegion(p *spmd.Proc, size int) (*simnet.Region, simnet.Key) {
 func TestConformanceOrdering(t *testing.T) {
 	const rounds = 8
 	cfg := spmd.Config{Ranks: 2, RanksPerNode: 1} // inter-node: the NIC path
-	runBoth(t, "TestConformanceOrdering", cfg, func(p *spmd.Proc) {
+	runAll(t, "TestConformanceOrdering", cfg, func(p *spmd.Proc) {
 		const payloadOff, flagOff, payloadLen = 0, 1024, 996 // odd length: edge blocks
 		reg, key := setupRegion(p, 2048)
 		ep := p.EP()
@@ -111,7 +140,7 @@ func TestConformanceOrdering(t *testing.T) {
 func TestConformanceAtomics(t *testing.T) {
 	const perRank = 200
 	cfg := spmd.Config{Ranks: 4, RanksPerNode: 2}
-	runBoth(t, "TestConformanceAtomics", cfg, func(p *spmd.Proc) {
+	runAll(t, "TestConformanceAtomics", cfg, func(p *spmd.Proc) {
 		const ctrOff, lockOff, cellOff = 0, 8, 16
 		reg, key := setupRegion(p, 64)
 		ep := p.EP()
@@ -150,7 +179,7 @@ func TestConformanceAtomics(t *testing.T) {
 func TestConformanceNotify(t *testing.T) {
 	const rounds = 6
 	cfg := spmd.Config{Ranks: 2, RanksPerNode: 2} // intra-node fast path
-	runBoth(t, "TestConformanceNotify", cfg, func(p *spmd.Proc) {
+	runAll(t, "TestConformanceNotify", cfg, func(p *spmd.Proc) {
 		ringBytes := simnet.NotifyRingBytes(8)
 		reg, key := setupRegion(p, 512+ringBytes)
 		ep := p.EP()
@@ -198,7 +227,7 @@ func popBlocking(ep *simnet.Endpoint, ring *simnet.NotifyRing) (uint64, timing.T
 // making the writer sleep in real time while the waiter is parked.
 func TestConformanceDoorbell(t *testing.T) {
 	cfg := spmd.Config{Ranks: 2, RanksPerNode: 1}
-	runBoth(t, "TestConformanceDoorbell", cfg, func(p *spmd.Proc) {
+	runAll(t, "TestConformanceDoorbell", cfg, func(p *spmd.Proc) {
 		reg, key := setupRegion(p, 64)
 		ep := p.EP()
 		if p.Rank() == 0 {
@@ -288,22 +317,131 @@ func TestConformanceVirtualTime(t *testing.T) {
 			t.Fatalf("rank %d clock stayed 0; workload did not run", r)
 		}
 	}
-	if runtime.GOOS == "windows" {
-		t.Skip("multi-process backend needs mmap + unix sockets")
+	// Worker processes re-execute this test: they recompute `want` with
+	// their own in-process runs above, then reach their backend's Run below
+	// as workers and assert their rank's clock matches it bit for bit. The
+	// in-process leg re-asserts the reference against a third run for free.
+	eachBackendLeg(t, "TestConformanceVirtualTime", cfg, func(label string, c spmd.Config) {
+		if err := spmd.Run(c, func(p *spmd.Proc) {
+			reg, key := setupRegion(p, 1024)
+			got := vtimeWorkload(p, key, reg)
+			check(got == want[p.Rank()],
+				"rank %d virtual time %d on the %s backend, %d in process",
+				p.Rank(), got, label, want[p.Rank()])
+		}); err != nil {
+			t.Fatalf("%s backend: %v", label, err)
+		}
+	})
+}
+
+// TestConformanceAbortPropagation checks that one rank's failure tears down
+// the whole world on every backend: blocked peers unwind instead of hanging,
+// the launcher-side Run reports the originating failure, and (on the
+// cross-process backends) the worker processes exit. The non-failing ranks
+// park in a doorbell wait that nothing will ever satisfy — only abort
+// propagation can release them.
+func TestConformanceAbortPropagation(t *testing.T) {
+	cfg := spmd.Config{Ranks: 4, RanksPerNode: 2}
+	const failMsg = "deliberate conformance failure"
+	body := func(p *spmd.Proc) {
+		reg, _ := setupRegion(p, 64)
+		if p.Rank() == 1 {
+			p.Compute(100) // let the others park first in real time, sometimes
+			panic(failMsg)
+		}
+		p.EP().WaitLocal(func() bool { return reg.LocalWord(0) == 0xdead })
+		panic("unreachable: the wait above can only end by abort")
 	}
-	mpCfg := cfg
-	mpCfg.Backend = spmd.BackendMP
-	mpCfg.MPRelaunch = []string{os.Args[0], "-test.run=^TestConformanceVirtualTime$"}
-	// Worker processes re-execute this test: they recompute `want` with their
-	// own in-process runs above, then reach this Run as workers and assert
-	// their rank's multi-process clock matches it bit for bit.
-	if err := spmd.Run(mpCfg, func(p *spmd.Proc) {
-		reg, key := setupRegion(p, 1024)
-		got := vtimeWorkload(p, key, reg)
-		check(got == want[p.Rank()],
-			"rank %d virtual time %d on the multi-process backend, %d in process",
-			p.Rank(), got, want[p.Rank()])
-	}); err != nil {
-		t.Fatalf("multi-process backend: %v", err)
+	expectAbort := func(backend string, run func() error) {
+		t.Helper()
+		errc := make(chan error, 1)
+		go func() { errc <- run() }()
+		select {
+		case err := <-errc:
+			if err == nil {
+				t.Fatalf("%s backend: world with a failing rank reported success", backend)
+			}
+			if !strings.Contains(err.Error(), failMsg) {
+				t.Fatalf("%s backend: abort error %q does not carry the originating failure %q",
+					backend, err, failMsg)
+			}
+		case <-time.After(90 * time.Second):
+			t.Fatalf("%s backend: abort did not propagate (launcher still waiting)", backend)
+		}
 	}
+	eachBackendLeg(t, "TestConformanceAbortPropagation", cfg, func(label string, c spmd.Config) {
+		expectAbort(label, func() error { return spmd.Run(c, body) })
+	})
+}
+
+// TestConformanceDoorbellChurn checks doorbell delivery under concurrent
+// waiter churn: several ranks repeatedly register and deregister as waiters
+// on one rank's doorbell (every PollRemoteWord iteration is one
+// register/wait/deregister cycle) while the owner posts a fast sequence of
+// updates. Any lost wakeup deadlocks the test; the per-rank final values
+// prove every waiter observed the full sequence.
+func TestConformanceDoorbellChurn(t *testing.T) {
+	const steps = 200
+	cfg := spmd.Config{Ranks: 5, RanksPerNode: 2}
+	runAll(t, "TestConformanceDoorbellChurn", cfg, func(p *spmd.Proc) {
+		reg, key := setupRegion(p, 128)
+		ep := p.EP()
+		n := p.Size()
+		if p.Rank() == 0 {
+			// ackOff(r) is rank r's private ack word in rank 0's region.
+			for s := 1; s <= steps; s++ {
+				reg.LocalWordStore(0, uint64(s), ep.Now())
+				ep.Transport().RingDoorbell(0)
+				if s%16 == 0 {
+					// Let waiters genuinely park between bursts.
+					time.Sleep(time.Millisecond)
+				}
+			}
+			for r := 1; r < n; r++ {
+				ep.PollRemoteWord(simnet.Addr{Rank: 0, Key: key, Off: 8 * r},
+					func(v uint64) bool { return v == steps })
+			}
+		} else {
+			// Chase the counter one step at a time: maximal churn on rank
+			// 0's waiter set, never skipping a wakeup window.
+			next := uint64(1)
+			for next <= steps {
+				got := ep.PollRemoteWord(simnet.Addr{Rank: 0, Key: key, Off: 0},
+					func(v uint64) bool { return v >= next })
+				next = got + 1
+			}
+			ep.StoreW(simnet.Addr{Rank: 0, Key: key, Off: 8 * p.Rank()}, steps)
+		}
+		p.Barrier()
+	})
+}
+
+// TestConformanceManyRanks is the >64-rank regression test for the doorbell
+// waiter bitsets: a 96-rank neighbor ring where every rank's flag write must
+// wake a parked waiter whose rank index lives beyond the first 64-bit mask
+// word (the multi-process backend's waiter set was one word — and the world
+// capped at 64 ranks — until the bitset widened).
+func TestConformanceManyRanks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("96 worker processes per backend is not -short material")
+	}
+	const p96 = 96
+	cfg := spmd.Config{
+		Ranks: p96, RanksPerNode: 8,
+		// Keep 96 concurrent processes lean: the ring needs only flags.
+		ScratchBytes: 8 << 10, MPArenaBytes: 1 << 20,
+	}
+	runAll(t, "TestConformanceManyRanks", cfg, func(p *spmd.Proc) {
+		reg, key := setupRegion(p, 64)
+		ep := p.EP()
+		n := p.Size()
+		right := (p.Rank() + 1) % n
+		// Two laps so every rank both rings a sleeping waiter and is rung.
+		for lap := uint64(1); lap <= 2; lap++ {
+			ep.StoreW(simnet.Addr{Rank: right, Key: key, Off: 0}, lap)
+			ep.WaitLocal(func() bool { return reg.LocalWord(0) >= lap })
+			ep.MergeStamp(reg, 0, 8)
+		}
+		p.Barrier()
+	})
 }

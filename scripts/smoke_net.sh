@@ -1,0 +1,60 @@
+#!/bin/sh
+# smoke_net.sh — the inter-node (loopback TCP) backend's example smoke: the
+# deterministic examples must produce bit-identical output on the in-process
+# and net backends, directly and through the fompi-run launcher. A focused
+# subset of scripts/verify.sh's three-way diff, for the CI job that
+# exercises netrun in isolation. Pure POSIX sh; temporaries live under the
+# repo (CI runners promise no writable TMPDIR layout).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TMP="scripts/.smoke_net.tmp.$$"
+trap 'rm -rf "$TMP"' EXIT INT TERM
+mkdir -p "$TMP"
+
+echo "== build (quickstart, stencil, fompi-run)"
+go build -o "$TMP/quickstart" ./examples/quickstart
+go build -o "$TMP/stencil" ./examples/stencil
+go build -o "$TMP/fompi-run" ./cmd/fompi-run
+
+# diff_net NAME CMDLINE... : one proc run and one net run, sorted (rank
+# prints interleave arbitrarily), must match bit for bit. One retry absorbs
+# the rare run-to-run stamp-merge jitter host scheduling can produce.
+diff_net() {
+	name=$1
+	shift
+	attempt=1
+	while :; do
+		"$@" -backend=proc >"$TMP/raw.proc"
+		"$@" -backend=net >"$TMP/raw.net"
+		sort "$TMP/raw.proc" >"$TMP/cmp.proc"
+		sort "$TMP/raw.net" >"$TMP/cmp.net"
+		if cmp -s "$TMP/cmp.proc" "$TMP/cmp.net"; then
+			echo "smoke_net: $name OK"
+			return 0
+		fi
+		if [ "$attempt" -ge 2 ]; then
+			echo "smoke_net: $name diverges between proc and net:" >&2
+			diff "$TMP/cmp.proc" "$TMP/cmp.net" >&2 || true
+			return 1
+		fi
+		attempt=$((attempt + 1))
+	done
+}
+
+echo "== cross-backend diff (proc vs net)"
+diff_net quickstart "$TMP/quickstart"
+diff_net "stencil -check" "$TMP/stencil" -check -ppn 8
+
+echo "== fompi-run -backend net launcher path"
+"$TMP/quickstart" -backend=proc | sort >"$TMP/quickstart.ref"
+"$TMP/fompi-run" -np 4 -ppn 2 -backend net "$TMP/quickstart" >"$TMP/launcher.raw"
+sed 's/^\[rank [0-9]*\] //' "$TMP/launcher.raw" | sort >"$TMP/launcher.out"
+cmp "$TMP/quickstart.ref" "$TMP/launcher.out" || {
+	echo "smoke_net: fompi-run -backend net output diverges from in-process quickstart" >&2
+	exit 1
+}
+echo "smoke_net: launcher OK"
+
+echo "smoke_net: OK"

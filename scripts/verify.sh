@@ -8,13 +8,14 @@
 #   go build ./...               everything compiles
 #   go test ./...                all package suites (includes the transport
 #                                conformance suite, which spawns the
-#                                multi-process backend's worker processes)
+#                                multi-process and inter-node backends'
+#                                worker processes)
 #   go test -race -short <hot>   concurrency check over the packages whose
 #                                goroutines share fabric memory
 #   examples smoke               build and run every example; quickstart and
 #                                stencil must produce identical deterministic
-#                                output on the in-process and multi-process
-#                                backends
+#                                output on the in-process, multi-process,
+#                                and inter-node (loopback TCP) backends
 #   make bench-host-quick        one-iteration host-perf smoke; asserts the
 #                                emitted JSON is well-formed
 #
@@ -44,8 +45,8 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race -short (simnet, core, spmd)"
-go test -race -short ./internal/simnet/ ./internal/core/ ./internal/spmd/
+echo "== go test -race -short (simnet, core, spmd, netrun, rankio)"
+go test -race -short ./internal/simnet/ ./internal/core/ ./internal/spmd/ ./internal/netrun/ ./internal/rankio/
 
 echo "== examples smoke (build + run, cross-backend diff)"
 for ex in quickstart stencil hashtable dsde; do
@@ -53,27 +54,31 @@ for ex in quickstart stencil hashtable dsde; do
 done
 go build -o "$TMP/fompi-run" ./cmd/fompi-run
 
-# compare_backends CMDLINE... : run once per backend and diff. Output lines
-# are sorted (rank prints interleave arbitrarily); the figures themselves
-# must be bit-identical. One retry absorbs the rare stamp-merge reordering
-# that host scheduling can produce on either backend (run-to-run, not
-# backend-specific); a systematic divergence fails both attempts.
+# compare_backends CMDLINE... : run once per backend (proc, mp, net) and
+# diff against the in-process output. Output lines are sorted (rank prints
+# interleave arbitrarily); the figures themselves must be bit-identical.
+# One retry absorbs the rare stamp-merge reordering that host scheduling can
+# produce on any backend (run-to-run, not backend-specific); a systematic
+# divergence fails both attempts.
 compare_backends() {
 	attempt=1
 	while :; do
 		# Capture before sorting: a pipeline would report sort's status and
-		# let a crashing example (identical empty output on both backends)
+		# let a crashing example (identical empty output on all backends)
 		# slip through the gate.
 		"$@" -backend=proc >"$TMP/raw.proc"
 		"$@" -backend=mp >"$TMP/raw.mp"
+		"$@" -backend=net >"$TMP/raw.net"
 		sort "$TMP/raw.proc" >"$TMP/cmp.proc"
 		sort "$TMP/raw.mp" >"$TMP/cmp.mp"
-		if cmp -s "$TMP/cmp.proc" "$TMP/cmp.mp"; then
+		sort "$TMP/raw.net" >"$TMP/cmp.net"
+		if cmp -s "$TMP/cmp.proc" "$TMP/cmp.mp" && cmp -s "$TMP/cmp.proc" "$TMP/cmp.net"; then
 			return 0
 		fi
 		if [ "$attempt" -ge 2 ]; then
 			echo "examples smoke: backends disagree for: $*" >&2
 			diff "$TMP/cmp.proc" "$TMP/cmp.mp" >&2 || true
+			diff "$TMP/cmp.proc" "$TMP/cmp.net" >&2 || true
 			return 1
 		fi
 		attempt=$((attempt + 1))
@@ -83,16 +88,20 @@ compare_backends() {
 compare_backends "$TMP/quickstart"
 compare_backends "$TMP/stencil" -check -ppn 8
 # The external launcher must drive the same world (quickstart is 4 ranks,
-# 2 per node). cmp.proc still holds the stencil comparison, so re-derive the
-# quickstart reference explicitly.
+# 2 per node) on both cross-process backends. Rank output arrives tagged
+# "[rank N] " (the launcher's default); strip the tag before comparing.
+# cmp.proc still holds the stencil comparison, so re-derive the quickstart
+# reference explicitly.
 "$TMP/quickstart" -backend=proc >"$TMP/quickstart.raw"
-"$TMP/fompi-run" -np 4 -ppn 2 "$TMP/quickstart" >"$TMP/launcher.raw"
 sort "$TMP/quickstart.raw" >"$TMP/quickstart.ref"
-sort "$TMP/launcher.raw" >"$TMP/launcher.out"
-cmp "$TMP/quickstart.ref" "$TMP/launcher.out" || {
-	echo "examples smoke: fompi-run output diverges from in-process quickstart" >&2
-	exit 1
-}
+for lb in mp net; do
+	"$TMP/fompi-run" -np 4 -ppn 2 -backend "$lb" "$TMP/quickstart" >"$TMP/launcher.raw"
+	sed 's/^\[rank [0-9]*\] //' "$TMP/launcher.raw" | sort >"$TMP/launcher.out"
+	cmp "$TMP/quickstart.ref" "$TMP/launcher.out" || {
+		echo "examples smoke: fompi-run -backend $lb output diverges from in-process quickstart" >&2
+		exit 1
+	}
+done
 # The remaining examples exercise in-process-only layers (MPI-1 mailboxes):
 # run them to completion as drift guards.
 "$TMP/hashtable" >/dev/null
