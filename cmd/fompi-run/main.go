@@ -4,13 +4,19 @@
 //	fompi-run -np 4 -ppn 2 ./myprog args...                    # shared memory (mp)
 //	fompi-run -np 4 -backend net ./myprog args...              # TCP, loopback spawn
 //	fompi-run -np 4 -backend net -hosts a,b -listen :7077 ./myprog
+//	fompi-run -np 4 -ppn 2 -backend hybrid ./myprog args...    # shm within a host, TCP across
 //
 // With -backend mp (the default) it creates the shared-memory world and
 // executes the target binary once per rank; with -backend net it runs the
 // inter-node TCP coordinator, spawning the ranks locally (loopback mode) or
 // — when -hosts is given (or FOMPI_HOSTS is set) — waiting for workers the
 // operator starts on each listed machine with FOMPI_NET_COORD pointing back
-// at the coordinator.
+// at the coordinator. -backend hybrid runs the same coordinator but groups
+// ranks by host key: co-located ranks share an mmap arena (shared-memory
+// windows work across their processes), off-host ranks talk TCP. In loopback
+// mode the hybrid launcher emulates one host per virtual node; in host-list
+// mode each worker's environment carries FOMPI_HYB_WORLD=1 and the host's
+// FOMPI_NET_HOST.
 //
 // The launcher exports FOMPI_BACKEND, so a program that selects its backend
 // from the environment (fompi.BackendFromEnv, as the examples do) reaches
@@ -29,6 +35,7 @@ import (
 	"os"
 	"strings"
 
+	"fompi/internal/hybridrun"
 	"fompi/internal/mprun"
 	"fompi/internal/netrun"
 	"fompi/internal/rankio"
@@ -38,10 +45,10 @@ func main() {
 	np := flag.Int("np", 2, "number of ranks (one OS process each)")
 	ppn := flag.Int("ppn", 1, "ranks per (virtual) node; same-node pairs use the intra-node cost profile")
 	pace := flag.Int64("pace", 0, "pacing window in virtual ns (0 disables; must match the program's PaceWindowNs)")
-	arena := flag.Int("arena", 0, "per-rank registered-memory arena bytes (mp backend; 0 = the 16 MiB default)")
-	backend := flag.String("backend", "mp", "cross-process backend: mp (shared memory, one machine) or net (TCP, inter-node)")
+	arena := flag.Int("arena", 0, "per-rank registered-memory arena bytes (mp and hybrid backends; 0 = the 16 MiB default)")
+	backend := flag.String("backend", "mp", "cross-process backend: mp (shared memory, one machine), net (TCP, inter-node) or hybrid (shm within a host, TCP across)")
 	hosts := flag.String("hosts", os.Getenv("FOMPI_HOSTS"),
-		"comma-separated machines for the net backend; non-empty switches to host-list mode, where the operator starts one worker per rank remotely (default from FOMPI_HOSTS)")
+		"comma-separated machines for the net and hybrid backends; non-empty switches to host-list mode, where the operator starts one worker per rank remotely (default from FOMPI_HOSTS)")
 	listen := flag.String("listen", "", "net coordinator listen address (host-list mode defaults to :7077, loopback to 127.0.0.1:0)")
 	tag := flag.Bool("tag", true, "prefix each spawned rank's stdout/stderr with [rank N]")
 	flag.Usage = func() {
@@ -89,8 +96,22 @@ func main() {
 			Relaunch:     flag.Args(),
 			TagOutput:    *tag,
 		})
+	case "hybrid":
+		os.Setenv("FOMPI_BACKEND", "hybrid")
+		err = hybridrun.Launch(hybridrun.Options{
+			Net: netrun.Options{
+				Ranks:        *np,
+				RanksPerNode: *ppn,
+				PaceWindowNs: *pace,
+				Listen:       *listen,
+				Hosts:        hostList,
+				Relaunch:     flag.Args(),
+				TagOutput:    *tag,
+			},
+			ArenaBytes: *arena,
+		})
 	default:
-		fmt.Fprintf(os.Stderr, "fompi-run: unknown backend %q (want mp or net)\n", *backend)
+		fmt.Fprintf(os.Stderr, "fompi-run: unknown backend %q (want mp, net or hybrid)\n", *backend)
 		os.Exit(2)
 	}
 	if err != nil {

@@ -17,7 +17,7 @@ import (
 
 func main() {
 	backend := flag.String("backend", string(fompi.BackendFromEnv()),
-		"transport backend: proc (in-process, default), mp (multi-process) or net (inter-node TCP)")
+		"transport backend: proc (in-process, default), mp (multi-process), net (inter-node TCP) or hybrid (shm within a host, TCP across)")
 	flag.Parse()
 	cfg := fompi.Config{Ranks: 4, RanksPerNode: 2, Backend: fompi.Backend(*backend)}
 	fompi.MustRun(cfg, func(p *fompi.Proc) {

@@ -26,7 +26,7 @@ import (
 
 func main() {
 	backend := flag.String("backend", string(fompi.BackendFromEnv()),
-		"transport backend: proc (in-process, default), mp (multi-process) or net (inter-node TCP)")
+		"transport backend: proc (in-process, default), mp (multi-process), net (inter-node TCP) or hybrid (shm within a host, TCP across)")
 	rmaOnly := flag.Bool("rma-only", false,
 		"run only the backend-portable RMA variants (implied by the cross-process backends)")
 	ppn := flag.Int("ppn", 4, "ranks per node; 8 puts the whole world on one node, "+
@@ -40,7 +40,8 @@ func main() {
 		"cross-rank clock divergence so real scheduling noise cannot reorder stamp merges")
 	flag.Parse()
 	be := fompi.Backend(*backend)
-	portable := *rmaOnly || *check || be == fompi.BackendMP || be == fompi.BackendNet
+	portable := *rmaOnly || *check ||
+		be == fompi.BackendMP || be == fompi.BackendNet || be == fompi.BackendHybrid
 
 	const ranks = 8
 	prm := milc.Params{Local: [4]int{4, 4, 4, 8}, Grid: [4]int{1, 1, 2, 4}, Iters: 25}

@@ -56,11 +56,14 @@ type Config = spmd.Config
 // Backend selects the transport substrate of a world: BackendInProc runs
 // ranks as goroutines over the in-process fabric, BackendMP runs each rank
 // as an OS process with RMA through a mmap-shared segment and doorbells over
-// Unix sockets, and BackendNet runs each rank as an OS process on
-// (potentially) a different machine with RMA as framed messages over TCP
-// (see internal/mprun, internal/netrun and cmd/fompi-run). Virtual time
-// lives above the transport line, so checksums and virtual-time figures are
-// bit-identical across backends.
+// Unix sockets, BackendNet runs each rank as an OS process on (potentially)
+// a different machine with RMA as framed messages over TCP, and
+// BackendHybrid groups the inter-node backend's ranks by physical host:
+// co-located ranks share one mmap arena (direct loads/stores, shared
+// windows), while off-host ranks are reached over the TCP wire (see
+// internal/mprun, internal/netrun, internal/hybridrun and cmd/fompi-run).
+// Virtual time lives above the transport line, so checksums and virtual-time
+// figures are bit-identical across backends.
 type Backend = spmd.Backend
 
 // Backend selectors for Config.Backend.
@@ -68,14 +71,25 @@ const (
 	BackendInProc = spmd.BackendInProc
 	BackendMP     = spmd.BackendMP
 	BackendNet    = spmd.BackendNet
+	BackendHybrid = spmd.BackendHybrid
 )
 
 // BackendFromEnv reads the FOMPI_BACKEND environment variable ("proc",
-// "mp" or "net"; empty means in-process), the convention the cmd/fompi-run
-// launcher and the examples use to select a backend without code changes.
+// "mp", "net" or "hybrid"; empty means in-process), the convention the
+// cmd/fompi-run launcher and the examples use to select a backend without
+// code changes.
 func BackendFromEnv() Backend {
 	return Backend(os.Getenv("FOMPI_BACKEND"))
 }
+
+// Typed shared-mapping errors (re-exported from the fabric): SharedSlice and
+// WinAllocateShared fail wrapping ErrNotSameNode when the target rank is on
+// another node, and SharedSlice fails wrapping ErrNotMapped when the backend
+// cannot map a same-node target's memory into this process.
+var (
+	ErrNotSameNode = simnet.ErrNotSameNode
+	ErrNotMapped   = simnet.ErrNotMapped
+)
 
 // Proc is one rank's handle: rank/size, virtual clock, collectives.
 type Proc = spmd.Proc

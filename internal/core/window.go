@@ -261,10 +261,14 @@ func CreateDynamic(p *spmd.Proc, cfg Config) *Win {
 // All ranks must reside on one node; SharedSlice then gives direct
 // load/store access to any rank's segment, the XPMEM fast path. Like
 // Allocate, the returned memory is owned by the window and recycled by Free.
+// A world spanning several nodes fails with an error wrapping
+// simnet.ErrNotSameNode (delivered by panic, as MPI argument errors are;
+// recover and errors.Is to test for it).
 func AllocateShared(p *spmd.Proc, size int, cfg Config) (*Win, []byte) {
 	for r := 0; r < p.Size(); r++ {
 		if !p.SameNode(r) {
-			panic("core: AllocateShared requires all ranks on one node")
+			panic(fmt.Errorf("core: AllocateShared requires all ranks on one node (rank %d is on node %d, rank %d on node %d): %w",
+				p.Rank(), p.Node(), r, p.Fabric().NodeOf(r), simnet.ErrNotSameNode))
 		}
 	}
 	w := winBase(p, cfg, kindShared)
@@ -278,13 +282,31 @@ func AllocateShared(p *spmd.Proc, size int, cfg Config) (*Win, []byte) {
 	return w, w.data.Bytes()
 }
 
-// SharedSlice returns a direct mapping of rank's window segment (shared
-// windows only): loads and stores, no fabric operations.
-func (w *Win) SharedSlice(rank int) []byte {
+// SharedSliceErr returns a direct mapping of rank's window segment (shared
+// windows only): loads and stores, no fabric operations. A genuinely
+// cross-node target fails with an error wrapping simnet.ErrNotSameNode; a
+// same-node target whose memory this backend cannot map (pure inter-node
+// transport) fails wrapping simnet.ErrNotMapped.
+func (w *Win) SharedSliceErr(rank int) ([]byte, error) {
 	if w.kind != kindShared {
 		panic("core: SharedSlice requires a shared window")
 	}
-	return w.ep.Shared(simnet.Addr{Rank: rank, Key: w.dataKey}, w.size)
+	b, err := w.ep.SharedErr(simnet.Addr{Rank: rank, Key: w.dataKey}, w.size)
+	if err != nil {
+		return nil, fmt.Errorf("core: SharedSlice(%d) from rank %d: %w", rank, w.p.Rank(), err)
+	}
+	return b, nil
+}
+
+// SharedSlice is SharedSliceErr for callers that treat an unmappable target
+// as fatal; it panics with the typed error (errors.Is works on the recovered
+// value).
+func (w *Win) SharedSlice(rank int) []byte {
+	b, err := w.SharedSliceErr(rank)
+	if err != nil {
+		panic(err)
+	}
+	return b
 }
 
 // Attach exposes buf in a dynamic window and returns its handle index,

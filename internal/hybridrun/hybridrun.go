@@ -1,0 +1,313 @@
+// Package hybridrun is the topology-aware transport backend: the inter-node
+// world of internal/netrun, with ranks that share a physical host grouped
+// onto one mmap-shared arena (internal/mprun's Arena). It is the shape of the
+// paper's actual deployment — foMPI drives XPMEM mappings between same-node
+// ranks and DMAPP messages between nodes — where the pure backends are the
+// two halves in isolation.
+//
+// The rendezvous rides netrun's coordinator: every JOIN carries a host key
+// (Options.Net.HostKey, $FOMPI_NET_HOST, or the hostname), the WORLD catalog
+// broadcasts all of them, and each rank derives its host group locally — the
+// ranks with its key, in ascending rank order, become the local indices of
+// one per-host arena file keyed on the (world-unique) address catalog. The
+// lowest co-located rank creates the arena; the rest map it; the creator
+// unlinks it once the GO barrier proves everyone has.
+//
+// Data-plane routing is by host group: a co-located peer's region resolves
+// through the arena — direct loads and stores on shared buffers and stamp
+// slabs, exactly the mmap backend's fast path, which is what makes
+// Endpoint.Shared (MPI-3 shared-memory windows) work across processes — and
+// an off-host peer's region resolves to netrun's wire proxy with fused
+// one-message execution. Doorbells are unified per rank: co-located ranks
+// ring and wait on the arena doorbell directly, and off-host rings/waits
+// arriving over the wire are redirected into the same doorbell through
+// netrun's DoorOps hook. NIC intervals and pacing stay single-homed in the
+// owner's process (netrun's discipline), so virtual times remain
+// bit-identical to every other backend (internal/transporttest pins this).
+//
+// In loopback spawn mode the launcher assigns rank r the host key
+// "h<r/RanksPerNode>": the emulated placement matches the virtual topology,
+// so same-(virtual-)node ranks share an arena and cross-node ranks exercise
+// the wire — both paths of a real multi-host deployment on one machine. In
+// host-list mode the operator exports FOMPI_HYB_WORLD=1 and a per-host
+// FOMPI_NET_HOST alongside netrun's variables.
+package hybridrun
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"fompi/internal/mprun"
+	"fompi/internal/netrun"
+	"fompi/internal/segpool"
+	"fompi/internal/simnet"
+)
+
+const (
+	// envWorld marks a process as a hybrid worker. netrun's environment alone
+	// cannot: a hybrid worker also satisfies netrun.IsWorker, and launch-path
+	// dispatch (spmd.Run, the conformance harness) must tell them apart.
+	envWorld = "FOMPI_HYB_WORLD"
+
+	// arenaWait bounds how long a non-creator rank polls for the creator's
+	// arena file (the creator may still be between JOIN and create).
+	arenaWait = 60 * time.Second
+)
+
+// Options describes a hybrid world: the inter-node rendezvous plus the
+// per-host arena size.
+type Options struct {
+	// Net is the inter-node world (coordinator, ranks, pacing). Launch marks
+	// the spawned workers with FOMPI_HYB_WORLD=1 through Net.ExtraEnv.
+	Net netrun.Options
+	// ArenaBytes is each rank's registered-memory arena inside its host
+	// group's shared mapping (default 16 MiB).
+	ArenaBytes int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Net.Ranks <= 0 {
+		o.Net.Ranks = 1
+	}
+	if o.Net.RanksPerNode <= 0 {
+		o.Net.RanksPerNode = 1
+	}
+	if o.ArenaBytes <= 0 {
+		o.ArenaBytes = 16 << 20
+	}
+	return o
+}
+
+// IsWorker reports whether this process was launched as a worker rank of a
+// hybrid world. Hybrid workers also satisfy netrun.IsWorker (the coordinator
+// environment is present); dispatchers must check this predicate first.
+func IsWorker() bool { return os.Getenv(envWorld) != "" }
+
+// Launch creates a hybrid world over netrun's coordinator. In loopback spawn
+// mode, ranks get emulated host keys matching the virtual topology (one host
+// per virtual node) unless Options.Net.HostKeys overrides the placement; in
+// host-list mode the operator's workers must export FOMPI_HYB_WORLD=1 and
+// their host's FOMPI_NET_HOST.
+func Launch(o Options) error {
+	o = o.withDefaults()
+	n := o.Net
+	if len(n.Hosts) == 0 && len(n.HostKeys) == 0 {
+		keys := make([]string, n.Ranks)
+		for r := range keys {
+			keys[r] = fmt.Sprintf("h%d", r/n.RanksPerNode)
+		}
+		n.HostKeys = keys
+	}
+	n.ExtraEnv = append(append([]string{}, n.ExtraEnv...), envWorld+"=1")
+	if len(n.Hosts) != 0 {
+		fmt.Fprintf(os.Stderr,
+			"hybridrun: host-list mode: also export %s=1 (and per-host %s) in each worker's environment\n",
+			envWorld, "FOMPI_NET_HOST")
+	}
+	return netrun.Launch(n)
+}
+
+// World is one worker's attachment to a hybrid world: the netrun world for
+// everything inter-node, with the host group's arena layered over segments,
+// regions, and doorbells.
+type World struct {
+	*netrun.World
+	ar      *mprun.Arena
+	local   []int // global ranks of this host group, ascending
+	lidx    []int // global rank -> local index, -1 off-host
+	self    int   // this rank's local index
+	creator bool
+}
+
+var _ simnet.Transport = (*World)(nil)
+
+// Join attaches a worker process to its world: the netrun rendezvous first,
+// then the host group's shared arena (created by the group's lowest rank,
+// mapped by the rest).
+func Join(o Options) (*World, error) {
+	o = o.withDefaults()
+	nw, err := netrun.Join(o.Net)
+	if err != nil {
+		return nil, err
+	}
+	w := &World{World: nw}
+	if err := w.attachArena(o); err != nil {
+		return nil, err
+	}
+	// Off-host rings and waits arriving over the wire must land on the same
+	// doorbell the co-located ranks touch directly. Installed before Ready,
+	// so no peer traffic races the handoff.
+	nw.SetDoorOps(&netrun.DoorOps{
+		Ring: func() { w.ar.Ring(w.self) },
+		Gen:  func() uint64 { return w.ar.DoorGen(w.self) },
+		WaitSliced: func(gen uint64, slice time.Duration) uint64 {
+			return w.ar.WaitDoorSliced(w.self, gen, slice, nw.Aborted)
+		},
+	})
+	// An abort (local panic or coordinator broadcast) must wake the arena
+	// parks too: bump every local doorbell so waiters re-check Aborted.
+	nw.OnAbort(func() { w.ar.SetAbortFlag() })
+	return w, nil
+}
+
+// attachArena derives this rank's host group from the WORLD catalog and maps
+// the group's shared arena.
+func (w *World) attachArena(o Options) error {
+	hosts := w.World.Hosts()
+	rank := w.World.Rank()
+	key := hosts[rank]
+	w.lidx = make([]int, len(hosts))
+	for r, h := range hosts {
+		w.lidx[r] = -1
+		if h == key {
+			w.lidx[r] = len(w.local)
+			w.local = append(w.local, r)
+		}
+	}
+	w.self = w.lidx[rank]
+	w.creator = rank == w.local[0]
+	// The arena file is keyed on the world's address catalog (ephemeral
+	// ports: unique per world) plus the host key, so concurrent worlds on
+	// one machine never collide and a stale file is from a dead world.
+	sum := sha256.Sum256([]byte(strings.Join(w.World.Addrs(), ",") + "|" +
+		strings.Join(hosts, ",") + "|" + key))
+	path := filepath.Join(os.TempDir(), "fompi-hyb-"+hex.EncodeToString(sum[:6]))
+	cfg := mprun.ArenaConfig{
+		Ranks:        len(w.local),
+		RanksPerNode: o.Net.RanksPerNode,
+		PaceWindowNs: o.Net.PaceWindowNs,
+		ArenaBytes:   o.ArenaBytes,
+	}
+	var err error
+	if w.creator {
+		os.Remove(path) // a leftover of a crashed world, never a live one
+		w.ar, err = mprun.CreateArena(path, cfg)
+	} else {
+		w.ar, err = mprun.OpenArena(path, cfg, arenaWait)
+	}
+	if err != nil {
+		return fmt.Errorf("hybridrun: host group %q arena: %w", key, err)
+	}
+	if err := w.ar.Bind(w.self); err != nil {
+		return fmt.Errorf("hybridrun: host group %q arena: %w", key, err)
+	}
+	return nil
+}
+
+// Ready enters the bootstrap barrier (netrun's READY/GO); once it returns,
+// every co-located rank has mapped the arena, so the creator unlinks the
+// file — nothing is left behind however the world later dies.
+func (w *World) Ready() {
+	w.World.Ready()
+	if w.creator {
+		w.ar.Unlink()
+	}
+}
+
+// Finish reports clean completion and releases the arena mapping.
+func (w *World) Finish() {
+	w.World.Finish()
+	w.ar.Close()
+}
+
+// Fail aborts the world, reports msg, and releases the arena mapping.
+func (w *World) Fail(msg string) {
+	w.World.Fail(msg)
+	w.ar.Close()
+}
+
+// ---- simnet.Transport overrides: segments and regions ----
+
+// AllocSeg carves a registrable segment from this rank's slice of the host
+// group's arena — the memory co-located peers can map — rather than the
+// process heap netrun would use.
+func (w *World) AllocSeg(rank, size int) *segpool.Seg {
+	if rank != w.World.Rank() {
+		panic("hybridrun: AllocSeg for a foreign rank")
+	}
+	return w.ar.AllocSeg(w.self, size)
+}
+
+// RecycleSeg returns a segment to this rank's arena free list.
+func (w *World) RecycleSeg(rank int, s *segpool.Seg, scrubbed bool, extra ...segpool.Range) {
+	if rank != w.World.Rank() {
+		panic("hybridrun: RecycleSeg for a foreign rank")
+	}
+	w.ar.Recycle(s, scrubbed, extra...)
+}
+
+// RegisterRegion publishes a registration on both planes: netrun's directory
+// (the service loop resolves off-host requests against it) and the arena
+// directory (co-located peers map it). Both assign keys densely in
+// registration order, so the two directories agree by construction; the
+// assert guards the invariant every address in the world relies on.
+func (w *World) RegisterRegion(rank int, reg *simnet.Region) simnet.Key {
+	k := w.World.RegisterRegion(rank, reg)
+	if ak := w.ar.Register(w.self, reg); ak != uint32(k) {
+		panic(fmt.Sprintf("hybridrun: key divergence between wire (%d) and arena (%d) directories", k, ak))
+	}
+	return k
+}
+
+// UnregisterRegion marks the registration dead on both planes.
+func (w *World) UnregisterRegion(rank int, k simnet.Key) {
+	w.World.UnregisterRegion(rank, k)
+	w.ar.Unregister(w.self, uint32(k))
+}
+
+// LookupRegion resolves an address by host group: this rank's own
+// registrations resolve locally, a co-located peer's through the shared
+// arena (direct loads/stores — the XPMEM path, so Endpoint.Shared works
+// across these processes), an off-host peer's to netrun's wire proxy.
+func (w *World) LookupRegion(a simnet.Addr) *simnet.Region {
+	if a.Rank < 0 || a.Rank >= len(w.lidx) {
+		panic(fmt.Sprintf("simnet: address names rank %d outside fabric of %d", a.Rank, len(w.lidx)))
+	}
+	if a.Rank != w.World.Rank() {
+		if l := w.lidx[a.Rank]; l >= 0 {
+			return w.ar.Lookup(l, uint32(a.Key), a.Rank)
+		}
+	}
+	return w.World.LookupRegion(a)
+}
+
+// ---- simnet.Transport overrides: doorbells ----
+//
+// Each rank has exactly one doorbell — its slot in the host group's arena.
+// Co-located ranks ring and wait on it directly; off-host ranks reach it over
+// the wire, where the owner's DoorOps redirect lands on the same slot. NIC
+// intervals and pacing deliberately stay on netrun's inherited paths: that
+// state is single-homed in the owner's process, and same-host cross-(virtual-)
+// node operations must book the same NIC the off-host ones do.
+
+// RingDoorbell bumps rank's doorbell: on the arena for the host group
+// (including this rank), over the wire otherwise.
+func (w *World) RingDoorbell(rank int) {
+	if l := w.lidx[rank]; l >= 0 {
+		w.ar.Ring(l)
+		return
+	}
+	w.World.RingDoorbell(rank)
+}
+
+// DoorGen samples rank's doorbell generation.
+func (w *World) DoorGen(rank int) uint64 {
+	if l := w.lidx[rank]; l >= 0 {
+		return w.ar.DoorGen(l)
+	}
+	return w.World.DoorGen(rank)
+}
+
+// WaitDoor blocks until rank's doorbell generation exceeds gen: an arena park
+// for the host group, sliced wire waits otherwise.
+func (w *World) WaitDoor(rank int, gen uint64) uint64 {
+	if l := w.lidx[rank]; l >= 0 {
+		return w.ar.WaitDoor(l, gen, w.World.Aborted)
+	}
+	return w.World.WaitDoor(rank, gen)
+}

@@ -1,0 +1,575 @@
+package mprun
+
+import (
+	"fmt"
+	"math/bits"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"fompi/internal/segpool"
+	"fompi/internal/simnet"
+	"fompi/internal/timing"
+)
+
+// ArenaConfig describes one shared-memory arena: how many local ranks map it,
+// how much registered memory each gets, and the world parameters the header
+// validates (every mapper must agree on all of them).
+type ArenaConfig struct {
+	Ranks        int // ranks sharing this mapping (local indices 0..Ranks-1)
+	RanksPerNode int
+	PaceWindowNs int64
+	ArenaBytes   int // registered-memory bytes per local rank
+}
+
+func (c ArenaConfig) withDefaults() ArenaConfig {
+	if c.Ranks <= 0 {
+		c.Ranks = 1
+	}
+	if c.RanksPerNode <= 0 {
+		c.RanksPerNode = 1
+	}
+	if c.ArenaBytes <= 0 {
+		c.ArenaBytes = 16 << 20
+	}
+	c.ArenaBytes = alignUp(c.ArenaBytes, pageAlign)
+	return c
+}
+
+// Arena is the mmap-shared data plane of the process-based backends, factored
+// so it can serve two masters: the multi-process backend maps one Arena across
+// its whole world (local index == global rank), and the hybrid backend maps
+// one Arena per physical host (local indices are the host's ranks in ascending
+// global-rank order, and the off-host half of the world travels over TCP).
+// Everything two co-located ranks ever both touch lives in the mapping — the
+// region directory, the stamp slabs, doorbell generations, NIC intervals,
+// pacing clocks — plus one Unix datagram socket per local rank for wakeups.
+type Arena struct {
+	cfg  ArenaConfig
+	path string
+	m    []byte
+	lay  layout
+	self int // local index of this process, -1 until Bind
+
+	door    *net.UnixConn // this rank's bound doorbell socket
+	peersMu sync.Mutex
+	peers   []*net.UnixConn // lazily dialed per-destination doorbell conns
+
+	arenaPos int
+	freeSegs map[int][]*segpool.Seg
+	nextKey  uint32
+	regions  [][]*simnet.Region // lazily built (local, key) views
+
+	lastPoke int64 // pacing: own clock at the last waiter poke
+}
+
+// doorSockPath returns the doorbell socket path of local rank n, derived from
+// the arena path so a world needs no directory of its own.
+func doorSockPath(path string, n int) string {
+	return fmt.Sprintf("%s.door.%d", path, n)
+}
+
+func (a *Arena) initMaps() {
+	a.peers = make([]*net.UnixConn, a.cfg.Ranks)
+	a.regions = make([][]*simnet.Region, a.cfg.Ranks)
+	a.freeSegs = map[int][]*segpool.Seg{}
+	a.self = -1
+}
+
+// CreateArena creates and maps the shared file at path (which must not
+// exist). The header's magic word is stored last, so concurrent OpenArena
+// callers never observe a half-initialized mapping.
+func CreateArena(path string, cfg ArenaConfig) (*Arena, error) {
+	cfg = cfg.withDefaults()
+	a := &Arena{cfg: cfg, path: path, lay: layoutFor(cfg.Ranks, cfg.ArenaBytes)}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("mprun: create shared segment: %w", err)
+	}
+	defer f.Close()
+	if err := f.Truncate(int64(a.lay.total)); err != nil {
+		os.Remove(path)
+		return nil, fmt.Errorf("mprun: size shared segment: %w", err)
+	}
+	m, err := syscall.Mmap(int(f.Fd()), 0, a.lay.total,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		os.Remove(path)
+		return nil, fmt.Errorf("mprun: mmap shared segment: %w", err)
+	}
+	a.m = m
+	atomic.StoreUint64(u64at(m, hdrRanks), uint64(cfg.Ranks))
+	atomic.StoreUint64(u64at(m, hdrRPN), uint64(cfg.RanksPerNode))
+	atomic.StoreInt64(i64at(m, hdrPaceWindow), cfg.PaceWindowNs)
+	atomic.StoreUint64(u64at(m, hdrArenaBytes), uint64(cfg.ArenaBytes))
+	atomic.StoreUint64(u64at(m, hdrMaxRegions), maxRegions)
+	atomic.StoreUint64(u64at(m, hdrVersion), shmVersion)
+	atomic.StoreUint64(u64at(m, hdrMagic), shmMagic)
+	a.initMaps()
+	return a, nil
+}
+
+// OpenArena maps the shared file at path created by a CreateArena peer,
+// retrying for up to wait (zero means the file must already be complete, the
+// launcher-creates-before-spawn case). The magic word published last by the
+// creator is the readiness signal.
+func OpenArena(path string, cfg ArenaConfig, wait time.Duration) (*Arena, error) {
+	cfg = cfg.withDefaults()
+	a := &Arena{cfg: cfg, path: path, lay: layoutFor(cfg.Ranks, cfg.ArenaBytes)}
+	deadline := time.Now().Add(wait)
+	var lastErr error
+	for {
+		lastErr = a.tryOpen()
+		if lastErr == nil {
+			a.initMaps()
+			return a, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, lastErr
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func (a *Arena) tryOpen() error {
+	f, err := os.OpenFile(a.path, os.O_RDWR, 0o600)
+	if err != nil {
+		return fmt.Errorf("mprun: open shared segment: %w", err)
+	}
+	defer f.Close()
+	if st, err := f.Stat(); err != nil || st.Size() != int64(a.lay.total) {
+		return fmt.Errorf("mprun: shared segment is %v bytes, want %d (launcher/worker config mismatch?)", fileSize(st, err), a.lay.total)
+	}
+	m, err := syscall.Mmap(int(f.Fd()), 0, a.lay.total,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return fmt.Errorf("mprun: mmap shared segment: %w", err)
+	}
+	if err := checkHeader(m, a.cfg); err != nil {
+		syscall.Munmap(m)
+		return err
+	}
+	a.m = m
+	return nil
+}
+
+// Bind attaches this process as local rank self: it binds the rank's doorbell
+// socket (removing a stale one from a crashed earlier world first). Mappers
+// that only ring or abort (the mp launcher) skip it.
+func (a *Arena) Bind(self int) error {
+	os.Remove(doorSockPath(a.path, self))
+	door, err := net.ListenUnixgram("unixgram",
+		&net.UnixAddr{Name: doorSockPath(a.path, self), Net: "unixgram"})
+	if err != nil {
+		return fmt.Errorf("mprun: bind doorbell socket: %w", err)
+	}
+	a.self, a.door = self, door
+	return nil
+}
+
+// Unlink removes the shared file (mappings survive); the creator calls it
+// once every local rank has mapped, so a crashed world leaves nothing behind.
+func (a *Arena) Unlink() { os.Remove(a.path) }
+
+// Close unmaps the arena and closes this process's sockets.
+func (a *Arena) Close() {
+	if a.door != nil {
+		a.door.Close()
+		os.Remove(doorSockPath(a.path, a.self))
+	}
+	a.peersMu.Lock()
+	for _, c := range a.peers {
+		if c != nil {
+			c.Close()
+		}
+	}
+	a.peersMu.Unlock()
+	if a.m != nil {
+		syscall.Munmap(a.m)
+		a.m = nil
+	}
+}
+
+// ---- segments and the region directory ----
+
+// AllocSeg carves a zeroed segment — buffer plus shadow-stamp slabs, laid out
+// contiguously so the region directory needs only (offset, length) — from
+// local rank's arena, reusing a recycled segment of the same size when one is
+// free. Only this process's own local rank may allocate.
+func (a *Arena) AllocSeg(local, size int) *segpool.Seg {
+	if l := a.freeSegs[size]; len(l) > 0 {
+		s := l[len(l)-1]
+		a.freeSegs[size] = l[:len(l)-1]
+		return s
+	}
+	n64, n32 := timing.StampSlabLens(size)
+	bufLen := alignUp(size, 8)
+	total := alignUp(bufLen+n64*8+n32*4, 64)
+	if a.arenaPos+total > a.cfg.ArenaBytes {
+		panic(fmt.Sprintf("mprun: rank arena exhausted (%d of %d bytes used); raise Config.MPArenaBytes",
+			a.arenaPos, a.cfg.ArenaBytes))
+	}
+	base := a.arenaPos
+	a.arenaPos += total
+	ar := a.lay.arena(a.m, local)
+	buf := ar[base : base+size : base+size]
+	st := timing.NewStampsOver(
+		i64slice(ar, base+bufLen, n64),
+		u32slice(ar, base+bufLen+n64*8, n32), size)
+	return &segpool.Seg{Buf: buf, St: st}
+}
+
+// Recycle returns a segment to the local free list (see Transport.RecycleSeg).
+func (a *Arena) Recycle(s *segpool.Seg, scrubbed bool, extra ...segpool.Range) {
+	if scrubbed {
+		segpool.Scrub(s, extra...)
+	} else {
+		clear(s.Buf)
+		s.St.Reset()
+	}
+	a.freeSegs[len(s.Buf)] = append(a.freeSegs[len(s.Buf)], s)
+}
+
+// Register publishes local rank's registration in the shared directory and
+// returns its key (per-owner, dense from 0 in registration order). The buffer
+// must come from AllocSeg: remote processes can only reach the shared
+// mapping, so arbitrary heap memory is rejected with a clear fault.
+func (a *Arena) Register(local int, reg *simnet.Region) uint32 {
+	buf := reg.Bytes()
+	ar := a.lay.arena(a.m, local)
+	off, ok := arenaOffset(ar, buf)
+	if !ok {
+		panic("mprun: the process-based backends can only register transport-allocated memory (Endpoint.AllocSeg / Register); traditional windows over user buffers are in-process only")
+	}
+	k := a.nextKey
+	if k >= maxRegions {
+		panic(fmt.Sprintf("mprun: region directory full (%d registrations)", maxRegions))
+	}
+	a.nextKey++
+	e := a.lay.entryOff(local, int(k))
+	atomic.StoreUint64(u64at(a.m, e+enBufOff), uint64(off))
+	atomic.StoreUint64(u64at(a.m, e+enBufLen), uint64(len(buf)))
+	// The state store publishes the fields: peers load it with acquire
+	// ordering before reading them.
+	atomic.StoreUint32(u32at(a.m, e+enState), entryLive)
+	a.regionsFor(local)[k] = reg
+	return k
+}
+
+// Unregister marks a registration dead; later remote accesses fault.
+func (a *Arena) Unregister(local int, k uint32) {
+	atomic.StoreUint32(u32at(a.m, a.lay.entryOff(local, int(k))+enState), entryDead)
+	if int(k) < maxRegions {
+		a.regionsFor(local)[k] = nil
+	}
+}
+
+func (a *Arena) regionsFor(local int) []*simnet.Region {
+	if a.regions[local] == nil {
+		a.regions[local] = make([]*simnet.Region, maxRegions)
+	}
+	return a.regions[local]
+}
+
+// Lookup resolves (ownerLocal, key), materializing (and caching) a local view
+// of the owner's registration: the buffer and stamp slabs are slices of the
+// shared mapping, so stamp arithmetic runs on the same words in every
+// process. ownerGlobal is the owner's world rank, the identity the view (and
+// its fault messages) carries. Cached views have the same staleness contract
+// as the in-process fabric's copy-on-write table.
+func (a *Arena) Lookup(ownerLocal int, key uint32, ownerGlobal int) *simnet.Region {
+	regs := a.regionsFor(ownerLocal)
+	if int(key) >= maxRegions {
+		panic(fmt.Sprintf("simnet: access to unregistered region (rank %d key %d)", ownerGlobal, key))
+	}
+	e := a.lay.entryOff(ownerLocal, int(key))
+	if atomic.LoadUint32(u32at(a.m, e+enState)) != entryLive {
+		// Checked on cache hits too: the owner may have unregistered (and
+		// its arena recycled the bytes) since this view was materialized —
+		// the access must fault like the in-process fabric's nilled slot,
+		// not silently write through a stale view.
+		regs[key] = nil
+		panic(fmt.Sprintf("simnet: access to unregistered region (rank %d key %d)", ownerGlobal, key))
+	}
+	if r := regs[key]; r != nil {
+		return r
+	}
+	off := int(atomic.LoadUint64(u64at(a.m, e+enBufOff)))
+	ln := int(atomic.LoadUint64(u64at(a.m, e+enBufLen)))
+	ar := a.lay.arena(a.m, ownerLocal)
+	buf := ar[off : off+ln : off+ln]
+	n64, n32 := timing.StampSlabLens(ln)
+	bufLen := alignUp(ln, 8)
+	st := timing.NewStampsOver(
+		i64slice(ar, off+bufLen, n64),
+		u32slice(ar, off+bufLen+n64*8, n32), ln)
+	reg := simnet.MakeRegion(ownerGlobal, simnet.Key(key), buf, st)
+	regs[key] = &reg
+	return &reg
+}
+
+// ---- NIC intervals ----
+
+// ReserveNIC books local rank's NIC busy interval under a shared-memory
+// spinlock; the interval logic is identical to the in-process fabric's
+// (including hole service for tardy bookings — see Fabric.reserveNIC).
+func (a *Arena) ReserveNIC(local int, arrival timing.Time, xfer int64) timing.Time {
+	ro := a.lay.rankOff(local)
+	lk := u32at(a.m, ro+rnNicLock)
+	for !atomic.CompareAndSwapUint32(lk, 0, 1) {
+		runtime.Gosched()
+	}
+	start, busy := i64at(a.m, ro+rnNicStart), i64at(a.m, ro+rnNicBusy)
+	v := int64(arrival)
+	var res int64
+	switch {
+	case v >= *busy:
+		*start, *busy = v, v+xfer
+		res = *busy
+	case v+xfer <= *start:
+		res = v + xfer
+	default:
+		*busy += xfer
+		res = *busy
+	}
+	atomic.StoreUint32(lk, 0)
+	return timing.Time(res)
+}
+
+// ---- pacing ----
+
+// PublishClock records local rank's virtual clock in the shared pacing table
+// and, when the clock has advanced at least half a window since the last
+// poke, wakes the ranks parked in Pace — the publisher may be the slowest
+// clock they are waiting on.
+func (a *Arena) PublishClock(local int, t timing.Time) {
+	if a.cfg.PaceWindowNs == 0 {
+		return
+	}
+	atomic.StoreInt64(i64at(a.m, a.lay.rankOff(local)+rnPaceClock), int64(t))
+	if int64(t)-a.lastPoke < a.cfg.PaceWindowNs/2 {
+		return
+	}
+	a.lastPoke = int64(t)
+	for wd := 0; wd < a.lay.maskWords; wd++ {
+		mask := atomic.LoadUint64(u64at(a.m, a.lay.paceWaiterOff(wd)))
+		if wd == local/64 {
+			mask &^= 1 << uint(local%64)
+		}
+		for mask != 0 {
+			r := bits.TrailingZeros64(mask)
+			mask &^= 1 << r
+			a.sendDoor(wd*64 + r)
+		}
+	}
+}
+
+func (a *Arena) paceMin() int64 {
+	min := int64(1) << 62
+	for r := 0; r < a.cfg.Ranks; r++ {
+		if c := atomic.LoadInt64(i64at(a.m, a.lay.rankOff(r)+rnPaceClock)); c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// Pace blocks local rank while its clock runs more than the window ahead of
+// the slowest published clock. The waiter parks in the pacing bitset and
+// sleeps on its doorbell socket — PublishClock on an advancing peer pokes it
+// — with a backoff deadline as the heartbeat against dropped datagrams. The
+// stall valve matches the in-process discipline: a minimum that stays frozen
+// across two heartbeat timeouts releases the rank for one operation (datagram
+// receipts do not count as heartbeats, so a poke storm cannot spring the
+// valve early).
+func (a *Arena) Pace(local int, t timing.Time, aborted func() bool) {
+	if a.cfg.PaceWindowNs == 0 {
+		return
+	}
+	a.PublishClock(local, t)
+	me := int64(t)
+	if me <= a.paceMin()+a.cfg.PaceWindowNs {
+		return
+	}
+	wp := u64at(a.m, a.lay.paceWaiterOff(local/64))
+	bit := uint64(1) << uint(local%64)
+	setBit(wp, bit)
+	defer clearBit(wp, bit)
+	var scratch [8]byte
+	last, idle, d := int64(-1), 0, paceSleepMin
+	for {
+		min := a.paceMin()
+		if me <= min+a.cfg.PaceWindowNs || aborted() {
+			return
+		}
+		if min != last {
+			last, idle = min, 0
+		} else if idle >= 2 {
+			return
+		}
+		a.door.SetReadDeadline(time.Now().Add(d))
+		if _, err := a.door.Read(scratch[:]); err != nil {
+			// Heartbeat timeout: only these advance the frozen-min valve.
+			if min == last {
+				idle++
+			}
+		}
+		if d < paceSleepMax {
+			d *= 2
+		}
+	}
+}
+
+// ---- doorbells ----
+
+// Ring bumps local rank's doorbell generation and pokes every rank currently
+// registered as waiting on it (one datagram each; a full socket buffer means
+// wakeups are already pending, so send errors are ignored). The waiter set is
+// a multi-word bitset — ceil(ranks/64) words — so worlds wider than 64 ranks
+// ring exactly the parked ranks, wherever their bit lives; the common
+// no-waiter case stays one atomic load per word.
+func (a *Arena) Ring(local int) {
+	atomic.AddUint64(u64at(a.m, a.lay.rankOff(local)+rnDoorGen), 1)
+	for wd := 0; wd < a.lay.maskWords; wd++ {
+		mask := atomic.LoadUint64(u64at(a.m, a.lay.waiterOff(local, wd)))
+		for mask != 0 {
+			r := bits.TrailingZeros64(mask)
+			mask &^= 1 << r
+			a.sendDoor(wd*64 + r)
+		}
+	}
+}
+
+var doorByte = []byte{1}
+
+func (a *Arena) sendDoor(r int) {
+	a.peersMu.Lock()
+	c := a.peers[r]
+	if c == nil {
+		var err error
+		c, err = net.DialUnix("unixgram", nil,
+			&net.UnixAddr{Name: doorSockPath(a.path, r), Net: "unixgram"})
+		if err != nil {
+			a.peersMu.Unlock()
+			return // not bound yet or gone; the waiter's heartbeat covers it
+		}
+		a.peers[r] = c
+	}
+	a.peersMu.Unlock()
+	c.SetWriteDeadline(time.Now().Add(2 * time.Millisecond))
+	c.Write(doorByte)
+}
+
+// DoorGen samples local rank's doorbell generation.
+func (a *Arena) DoorGen(local int) uint64 {
+	return atomic.LoadUint64(u64at(a.m, a.lay.rankOff(local)+rnDoorGen))
+}
+
+// WaitDoor blocks until local rank's doorbell generation exceeds gen, or
+// panics simnet.ErrAborted when aborted reports true. The waiter registers
+// itself in the watched rank's waiter bitset before re-checking the
+// generation — the store/load pairing with Ring's bump-then-read makes lost
+// wakeups impossible — then sleeps on its own doorbell socket with a
+// heartbeat deadline (dropped datagrams and aborts are caught by the
+// heartbeat re-check).
+func (a *Arena) WaitDoor(local int, gen uint64, aborted func() bool) uint64 {
+	genp := u64at(a.m, a.lay.rankOff(local)+rnDoorGen)
+	if g := atomic.LoadUint64(genp); g != gen {
+		return g
+	}
+	wp := u64at(a.m, a.lay.waiterOff(local, a.self/64))
+	bit := uint64(1) << uint(a.self%64)
+	setBit(wp, bit)
+	defer clearBit(wp, bit)
+	var scratch [8]byte
+	d := doorWaitMin
+	for {
+		if g := atomic.LoadUint64(genp); g != gen {
+			return g
+		}
+		if aborted() {
+			panic(simnet.ErrAborted)
+		}
+		a.door.SetReadDeadline(time.Now().Add(d))
+		a.door.Read(scratch[:])
+		if d < doorWaitMax {
+			d *= 2
+		}
+	}
+}
+
+// WaitDoorSliced parks at local rank's doorbell for at most slice and returns
+// the then-current generation; spurious (timeout) returns are allowed by the
+// WaitDoor contract. The hybrid backend's service loop uses it to park
+// off-host waiters in bounded slices, so a dropped connection or an abort can
+// never strand the requester. Unlike WaitDoor it returns (rather than
+// panicking) on abort — the requester re-checks its own abort state.
+func (a *Arena) WaitDoorSliced(local int, gen uint64, slice time.Duration, aborted func() bool) uint64 {
+	genp := u64at(a.m, a.lay.rankOff(local)+rnDoorGen)
+	if g := atomic.LoadUint64(genp); g != gen {
+		return g
+	}
+	wp := u64at(a.m, a.lay.waiterOff(local, a.self/64))
+	bit := uint64(1) << uint(a.self%64)
+	setBit(wp, bit)
+	defer clearBit(wp, bit)
+	deadline := time.Now().Add(slice)
+	var scratch [8]byte
+	d := doorWaitMin
+	for {
+		if g := atomic.LoadUint64(genp); g != gen {
+			return g
+		}
+		rem := time.Until(deadline)
+		if rem <= 0 || aborted() {
+			return atomic.LoadUint64(genp)
+		}
+		if d > rem {
+			d = rem
+		}
+		a.door.SetReadDeadline(time.Now().Add(d))
+		a.door.Read(scratch[:])
+		if d < doorWaitMax {
+			d *= 2
+		}
+	}
+}
+
+func setBit(wp *uint64, bit uint64) {
+	for {
+		old := atomic.LoadUint64(wp)
+		if atomic.CompareAndSwapUint64(wp, old, old|bit) {
+			return
+		}
+	}
+}
+
+func clearBit(wp *uint64, bit uint64) {
+	for {
+		old := atomic.LoadUint64(wp)
+		if atomic.CompareAndSwapUint64(wp, old, old&^bit) {
+			return
+		}
+	}
+}
+
+// ---- the abort flag ----
+
+// SetAbortFlag marks the arena's world aborted and wakes every local waiter
+// (doorbell and pacing parks alike — every park reads the same socket).
+func (a *Arena) SetAbortFlag() {
+	atomic.StoreUint32(u32at(a.m, hdrAbort), 1)
+	for r := 0; r < a.cfg.Ranks; r++ {
+		atomic.AddUint64(u64at(a.m, a.lay.rankOff(r)+rnDoorGen), 1)
+		a.sendDoor(r)
+	}
+}
+
+// AbortFlag reports whether the arena's world has been marked aborted.
+func (a *Arena) AbortFlag() bool {
+	return atomic.LoadUint32(u32at(a.m, hdrAbort)) != 0
+}

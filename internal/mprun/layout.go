@@ -17,6 +17,11 @@ import (
 //	                    is set while rank r is blocked in WaitDoor on i (a
 //	                    multi-word mask, so worlds are not capped at 64
 //	                    ranks by the waiter bookkeeping)
+//	pace     (ceil(ranks/64) × 8 B, one global bitset)
+//	                    the pacing waiter bitset: bit r is set while rank r
+//	                    is parked in Pace waiting for the slowest clock to
+//	                    advance; PublishClock pokes the set bits when its
+//	                    rank's clock has moved half a window
 //	dir[i]   (32 B × maxRegions per rank)
 //	                    the region directory: each owner publishes its
 //	                    registrations here in key order
@@ -32,7 +37,7 @@ import (
 // goroutines. DESIGN.md §8 documents the layout and its ordering contracts.
 const (
 	shmMagic   = 0x666f4d50_72756e31 // "foMPrun1"
-	shmVersion = 2                   // v2: waiter masks widened to a bitset section
+	shmVersion = 3                   // v3: pacing waiter bitset; stamp slabs carry the AMO chain-lock word
 
 	hdrMagic      = 0  // u64
 	hdrVersion    = 8  // u64
@@ -83,6 +88,7 @@ type layout struct {
 	arenaBytes int
 	maskWords  int // 64-bit words per waiter bitset: ceil(ranks/64)
 	waitOff    int
+	paceOff    int
 	dirOff     int
 	arenaOff   int
 	total      int
@@ -91,7 +97,8 @@ type layout struct {
 func layoutFor(ranks, arenaBytes int) layout {
 	l := layout{ranks: ranks, arenaBytes: arenaBytes, maskWords: (ranks + 63) / 64}
 	l.waitOff = hdrBytes + ranks*rankStride
-	l.dirOff = l.waitOff + ranks*l.maskWords*8
+	l.paceOff = l.waitOff + ranks*l.maskWords*8
+	l.dirOff = l.paceOff + l.maskWords*8
 	l.arenaOff = alignUp(l.dirOff+ranks*maxRegions*entryStride, pageAlign)
 	l.total = l.arenaOff + ranks*arenaBytes
 	return l
@@ -101,6 +108,10 @@ func (l layout) rankOff(r int) int { return hdrBytes + r*rankStride }
 
 // waiterOff returns the offset of word w of rank r's doorbell waiter bitset.
 func (l layout) waiterOff(r, w int) int { return l.waitOff + (r*l.maskWords+w)*8 }
+
+// paceWaiterOff returns the offset of word w of the global pacing waiter
+// bitset.
+func (l layout) paceWaiterOff(w int) int { return l.paceOff + w*8 }
 
 func (l layout) entryOff(r, k int) int { return l.dirOff + (r*maxRegions+k)*entryStride }
 func (l layout) arenaBase(r int) int   { return l.arenaOff + r*l.arenaBytes }
@@ -145,7 +156,7 @@ func arenaOffset(arena, buf []byte) (int, bool) {
 }
 
 // checkHeader validates a mapped world against the joiner's expectations.
-func checkHeader(m []byte, o Options) error {
+func checkHeader(m []byte, o ArenaConfig) error {
 	if len(m) < hdrBytes {
 		return fmt.Errorf("mprun: shared segment truncated (%d bytes)", len(m))
 	}

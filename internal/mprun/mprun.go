@@ -23,15 +23,11 @@ package mprun
 import (
 	"bufio"
 	"fmt"
-	"math/bits"
 	"net"
 	"os"
 	"path/filepath"
-	"runtime"
 	"strings"
 	"sync"
-	"sync/atomic"
-	"syscall"
 	"time"
 
 	"fompi/internal/rankio"
@@ -88,78 +84,35 @@ func IsWorker() bool { return os.Getenv(envRank) != "" }
 
 func shmPath(dir string) string { return filepath.Join(dir, "shm") }
 func ctlPath(dir string) string { return filepath.Join(dir, "ctl") }
-func doorPath(dir string, r int) string {
-	return filepath.Join(dir, fmt.Sprintf("door.%d", r))
+
+// arenaCfg translates launcher options into the shared-arena header contract.
+func arenaCfg(o Options) ArenaConfig {
+	return ArenaConfig{
+		Ranks:        o.Ranks,
+		RanksPerNode: o.RanksPerNode,
+		PaceWindowNs: o.PaceWindowNs,
+		ArenaBytes:   o.ArenaBytes,
+	}
 }
 
 // World is one process's attachment to a multi-process world; in a worker it
-// implements simnet.Transport for that worker's rank.
+// implements simnet.Transport for that worker's rank. The shared-memory data
+// plane lives in Arena (local index == global rank on this backend); World
+// adds the launcher protocol and the abort plumbing.
 type World struct {
 	opts Options
 	rank int // -1 in the launcher
 	dir  string
-	m    []byte
-	lay  layout
+	ar   *Arena
 
 	ctl   *net.UnixConn // stream to the launcher (workers only)
 	ctlRd *bufio.Reader
-	door  *net.UnixConn   // this rank's bound doorbell socket
-	peers []*net.UnixConn // lazily dialed per-destination doorbell conns
-
-	arenaPos int
-	freeSegs map[int][]*segpool.Seg
-	nextKey  uint32
-	regions  [][]*simnet.Region // lazily built (rank, key) views
 
 	done      chan struct{}
 	abortOnce sync.Once
 	hookMu    sync.Mutex
 	hooks     []func()
 	watchStop chan struct{}
-}
-
-func (w *World) mapWorld(o Options, dir string, create bool) error {
-	w.opts, w.dir = o, dir
-	w.lay = layoutFor(o.Ranks, o.ArenaBytes)
-	flags := os.O_RDWR
-	if create {
-		flags |= os.O_CREATE | os.O_EXCL
-	}
-	f, err := os.OpenFile(shmPath(dir), flags, 0o600)
-	if err != nil {
-		return fmt.Errorf("mprun: open shared segment: %w", err)
-	}
-	defer f.Close()
-	if create {
-		if err := f.Truncate(int64(w.lay.total)); err != nil {
-			return fmt.Errorf("mprun: size shared segment: %w", err)
-		}
-	} else if st, err := f.Stat(); err != nil || st.Size() != int64(w.lay.total) {
-		return fmt.Errorf("mprun: shared segment is %v bytes, want %d (launcher/worker config mismatch?)", fileSize(st, err), w.lay.total)
-	}
-	m, err := syscall.Mmap(int(f.Fd()), 0, w.lay.total,
-		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
-	if err != nil {
-		return fmt.Errorf("mprun: mmap shared segment: %w", err)
-	}
-	w.m = m
-	if create {
-		atomic.StoreUint64(u64at(m, hdrRanks), uint64(o.Ranks))
-		atomic.StoreUint64(u64at(m, hdrRPN), uint64(o.RanksPerNode))
-		atomic.StoreInt64(i64at(m, hdrPaceWindow), o.PaceWindowNs)
-		atomic.StoreUint64(u64at(m, hdrArenaBytes), uint64(o.ArenaBytes))
-		atomic.StoreUint64(u64at(m, hdrMaxRegions), maxRegions)
-		atomic.StoreUint64(u64at(m, hdrVersion), shmVersion)
-		atomic.StoreUint64(u64at(m, hdrMagic), shmMagic)
-	} else if err := checkHeader(m, o); err != nil {
-		return err
-	}
-	w.peers = make([]*net.UnixConn, o.Ranks)
-	w.regions = make([][]*simnet.Region, o.Ranks)
-	w.freeSegs = map[int][]*segpool.Seg{}
-	w.done = make(chan struct{})
-	w.watchStop = make(chan struct{})
-	return nil
 }
 
 func fileSize(st os.FileInfo, err error) any {
@@ -187,11 +140,14 @@ func Launch(o Options) error {
 	}
 	defer os.RemoveAll(dir)
 
-	w := &World{rank: -1}
-	if err := w.mapWorld(o, dir, true); err != nil {
+	w := &World{opts: o, rank: -1, dir: dir,
+		done: make(chan struct{}), watchStop: make(chan struct{})}
+	ar, err := CreateArena(shmPath(dir), arenaCfg(o))
+	if err != nil {
 		return err
 	}
-	defer syscall.Munmap(w.m)
+	w.ar = ar
+	defer ar.Close()
 
 	ln, err := net.ListenUnix("unix", &net.UnixAddr{Name: ctlPath(dir), Net: "unix"})
 	if err != nil {
@@ -327,15 +283,16 @@ func Join(o Options) (*World, error) {
 	if rank < 0 || rank >= o.Ranks {
 		return nil, fmt.Errorf("mprun: worker rank %d outside world of %d (launcher/worker config mismatch)", rank, o.Ranks)
 	}
-	w := &World{rank: rank}
-	if err := w.mapWorld(o, dir, false); err != nil {
+	w := &World{opts: o, rank: rank, dir: dir,
+		done: make(chan struct{}), watchStop: make(chan struct{})}
+	ar, err := OpenArena(shmPath(dir), arenaCfg(o), 0)
+	if err != nil {
 		return nil, err
 	}
-	door, err := net.ListenUnixgram("unixgram", &net.UnixAddr{Name: doorPath(dir, rank), Net: "unixgram"})
-	if err != nil {
-		return nil, fmt.Errorf("mprun: bind doorbell socket: %w", err)
+	if err := ar.Bind(rank); err != nil {
+		return nil, err
 	}
-	w.door = door
+	w.ar = ar
 	ctl, err := net.DialUnix("unix", nil, &net.UnixAddr{Name: ctlPath(dir), Net: "unix"})
 	if err != nil {
 		return nil, fmt.Errorf("mprun: dial control socket: %w", err)
@@ -356,7 +313,7 @@ func (w *World) watchAbort() {
 		case <-w.watchStop:
 			return
 		case <-t.C:
-			if atomic.LoadUint32(u32at(w.m, hdrAbort)) != 0 {
+			if w.ar.AbortFlag() {
 				w.localAbort()
 				return
 			}
@@ -379,11 +336,7 @@ func (w *World) localAbort() {
 
 // abortWorld marks the whole world aborted and wakes every rank.
 func (w *World) abortWorld() {
-	atomic.StoreUint32(u32at(w.m, hdrAbort), 1)
-	for r := 0; r < w.opts.Ranks; r++ {
-		atomic.AddUint64(u64at(w.m, w.lay.rankOff(r)+rnDoorGen), 1)
-		w.sendDoor(r)
-	}
+	w.ar.SetAbortFlag()
 	w.localAbort()
 }
 
@@ -445,26 +398,7 @@ func (w *World) AllocSeg(rank, size int) *segpool.Seg {
 	if rank != w.rank {
 		panic("mprun: AllocSeg for a foreign rank")
 	}
-	if l := w.freeSegs[size]; len(l) > 0 {
-		s := l[len(l)-1]
-		w.freeSegs[size] = l[:len(l)-1]
-		return s
-	}
-	n64, n32 := timing.StampSlabLens(size)
-	bufLen := alignUp(size, 8)
-	total := alignUp(bufLen+n64*8+n32*4, 64)
-	if w.arenaPos+total > w.opts.ArenaBytes {
-		panic(fmt.Sprintf("mprun: rank %d arena exhausted (%d of %d bytes used); raise Config.MPArenaBytes",
-			w.rank, w.arenaPos, w.opts.ArenaBytes))
-	}
-	base := w.arenaPos
-	w.arenaPos += total
-	a := w.lay.arena(w.m, w.rank)
-	buf := a[base : base+size : base+size]
-	st := timing.NewStampsOver(
-		i64slice(a, base+bufLen, n64),
-		u32slice(a, base+bufLen+n64*8, n32), size)
-	return &segpool.Seg{Buf: buf, St: st}
+	return w.ar.AllocSeg(rank, size)
 }
 
 // RecycleSeg returns a segment to this rank's free list (see Transport).
@@ -472,13 +406,7 @@ func (w *World) RecycleSeg(rank int, s *segpool.Seg, scrubbed bool, extra ...seg
 	if rank != w.rank {
 		panic("mprun: RecycleSeg for a foreign rank")
 	}
-	if scrubbed {
-		segpool.Scrub(s, extra...)
-	} else {
-		clear(s.Buf)
-		s.St.Reset()
-	}
-	w.freeSegs[len(s.Buf)] = append(w.freeSegs[len(s.Buf)], s)
+	w.ar.Recycle(s, scrubbed, extra...)
 }
 
 // RegisterRegion publishes a registration in the shared directory. The
@@ -489,25 +417,7 @@ func (w *World) RegisterRegion(rank int, reg *simnet.Region) simnet.Key {
 	if rank != w.rank {
 		panic("mprun: RegisterRegion for a foreign rank")
 	}
-	buf := reg.Bytes()
-	a := w.lay.arena(w.m, w.rank)
-	off, ok := arenaOffset(a, buf)
-	if !ok {
-		panic("mprun: the multi-process backend can only register transport-allocated memory (Endpoint.AllocSeg / Register); traditional windows over user buffers are in-process only")
-	}
-	k := w.nextKey
-	if k >= maxRegions {
-		panic(fmt.Sprintf("mprun: rank %d region directory full (%d registrations)", w.rank, maxRegions))
-	}
-	w.nextKey++
-	e := w.lay.entryOff(w.rank, int(k))
-	atomic.StoreUint64(u64at(w.m, e+enBufOff), uint64(off))
-	atomic.StoreUint64(u64at(w.m, e+enBufLen), uint64(len(buf)))
-	// The state store publishes the fields: peers load it with acquire
-	// ordering before reading them.
-	atomic.StoreUint32(u32at(w.m, e+enState), entryLive)
-	w.regionsFor(w.rank)[k] = reg
-	return simnet.Key(k)
+	return simnet.Key(w.ar.Register(rank, reg))
 }
 
 // UnregisterRegion marks a registration dead; later remote accesses fault.
@@ -515,226 +425,55 @@ func (w *World) UnregisterRegion(rank int, k simnet.Key) {
 	if rank != w.rank {
 		panic("mprun: UnregisterRegion for a foreign rank")
 	}
-	atomic.StoreUint32(u32at(w.m, w.lay.entryOff(rank, int(k))+enState), entryDead)
-	if int(k) < maxRegions {
-		w.regionsFor(rank)[k] = nil
-	}
-}
-
-func (w *World) regionsFor(rank int) []*simnet.Region {
-	if w.regions[rank] == nil {
-		w.regions[rank] = make([]*simnet.Region, maxRegions)
-	}
-	return w.regions[rank]
+	w.ar.Unregister(rank, uint32(k))
 }
 
 // LookupRegion resolves an address, materializing (and caching) a local view
-// of the owner's registration: the buffer and stamp slabs are slices of the
-// shared mapping, so stamp arithmetic runs on the same words in every
-// process. Cached views carry the same staleness contract as the in-process
-// fabric's copy-on-write table: a concurrent unregister may leave a reader
-// holding the prior registration briefly.
+// of the owner's registration (see Arena.Lookup; on this backend local index
+// and world rank coincide).
 func (w *World) LookupRegion(a simnet.Addr) *simnet.Region {
 	if a.Rank < 0 || a.Rank >= w.opts.Ranks {
 		panic(fmt.Sprintf("simnet: address names rank %d outside fabric of %d", a.Rank, w.opts.Ranks))
 	}
-	regs := w.regionsFor(a.Rank)
-	if int(a.Key) >= maxRegions {
-		panic(fmt.Sprintf("simnet: access to unregistered region (rank %d key %d)", a.Rank, a.Key))
-	}
-	e := w.lay.entryOff(a.Rank, int(a.Key))
-	if atomic.LoadUint32(u32at(w.m, e+enState)) != entryLive {
-		// Checked on cache hits too: the owner may have unregistered (and
-		// its arena recycled the bytes) since this view was materialized —
-		// the access must fault like the in-process fabric's nilled slot,
-		// not silently write through a stale view.
-		regs[a.Key] = nil
-		panic(fmt.Sprintf("simnet: access to unregistered region (rank %d key %d)", a.Rank, a.Key))
-	}
-	if r := regs[a.Key]; r != nil {
-		return r
-	}
-	off := int(atomic.LoadUint64(u64at(w.m, e+enBufOff)))
-	ln := int(atomic.LoadUint64(u64at(w.m, e+enBufLen)))
-	ar := w.lay.arena(w.m, a.Rank)
-	buf := ar[off : off+ln : off+ln]
-	n64, n32 := timing.StampSlabLens(ln)
-	bufLen := alignUp(ln, 8)
-	st := timing.NewStampsOver(
-		i64slice(ar, off+bufLen, n64),
-		u32slice(ar, off+bufLen+n64*8, n32), ln)
-	reg := simnet.MakeRegion(a.Rank, a.Key, buf, st)
-	regs[a.Key] = &reg
-	return &reg
+	return w.ar.Lookup(a.Rank, uint32(a.Key), a.Rank)
 }
 
 // ReserveNIC books the target rank's NIC busy interval under a shared-memory
 // spinlock; the interval logic is identical to the in-process fabric's
 // (including hole service for tardy bookings — see Fabric.reserveNIC).
 func (w *World) ReserveNIC(rank int, arrival timing.Time, xfer int64) timing.Time {
-	ro := w.lay.rankOff(rank)
-	lk := u32at(w.m, ro+rnNicLock)
-	for !atomic.CompareAndSwapUint32(lk, 0, 1) {
-		runtime.Gosched()
-	}
-	start, busy := i64at(w.m, ro+rnNicStart), i64at(w.m, ro+rnNicBusy)
-	a := int64(arrival)
-	var res int64
-	switch {
-	case a >= *busy:
-		*start, *busy = a, a+xfer
-		res = *busy
-	case a+xfer <= *start:
-		res = a + xfer
-	default:
-		*busy += xfer
-		res = *busy
-	}
-	atomic.StoreUint32(lk, 0)
-	return timing.Time(res)
+	return w.ar.ReserveNIC(rank, arrival, xfer)
 }
 
 // PublishClock records a rank's virtual clock in the shared pacing table.
-func (w *World) PublishClock(rank int, t timing.Time) {
-	if w.opts.PaceWindowNs == 0 {
-		return
-	}
-	atomic.StoreInt64(i64at(w.m, w.lay.rankOff(rank)+rnPaceClock), int64(t))
-}
+func (w *World) PublishClock(rank int, t timing.Time) { w.ar.PublishClock(rank, t) }
 
 // PaceWindow returns the configured pacing window.
 func (w *World) PaceWindow() int64 { return w.opts.PaceWindowNs }
 
-func (w *World) paceMin() int64 {
-	min := int64(1) << 62
-	for r := 0; r < w.opts.Ranks; r++ {
-		if c := atomic.LoadInt64(i64at(w.m, w.lay.rankOff(r)+rnPaceClock)); c < min {
-			min = c
-		}
-	}
-	return min
-}
-
 // Pace blocks rank while its clock runs more than the window ahead of the
-// slowest published clock, sleeping with backoff between folds (worlds are
-// at most MaxRanks wide, so a fold is one short scan). The stall valve
-// matches the in-process discipline: a minimum that stays frozen across two
-// heartbeats releases the rank for one operation.
-func (w *World) Pace(rank int, t timing.Time) {
-	if w.opts.PaceWindowNs == 0 {
-		return
-	}
-	w.PublishClock(rank, t)
-	me := int64(t)
-	last, idle, d := int64(-1), 0, paceSleepMin
-	for {
-		min := w.paceMin()
-		if me <= min+w.opts.PaceWindowNs || w.Aborted() {
-			return
-		}
-		if min == last {
-			if idle++; idle >= 2 {
-				return
-			}
-		} else {
-			last, idle = min, 0
-		}
-		time.Sleep(d)
-		if d < paceSleepMax {
-			d *= 2
-		}
-	}
-}
+// slowest published clock, parked on the doorbell socket until an advancing
+// peer's PublishClock pokes it (see Arena.Pace for the valve discipline).
+func (w *World) Pace(rank int, t timing.Time) { w.ar.Pace(rank, t, w.Aborted) }
 
 // RingDoorbell bumps rank's doorbell generation and pokes every rank
-// currently registered as waiting on it (one datagram each; a full socket
-// buffer means wakeups are already pending, so send errors are ignored).
-// The waiter set is a multi-word bitset — ceil(ranks/64) words — so worlds
-// wider than 64 ranks ring exactly the parked ranks, wherever their bit
-// lives; the common no-waiter case stays one atomic load per word.
-func (w *World) RingDoorbell(rank int) {
-	atomic.AddUint64(u64at(w.m, w.lay.rankOff(rank)+rnDoorGen), 1)
-	for wd := 0; wd < w.lay.maskWords; wd++ {
-		mask := atomic.LoadUint64(u64at(w.m, w.lay.waiterOff(rank, wd)))
-		for mask != 0 {
-			r := bits.TrailingZeros64(mask)
-			mask &^= 1 << r
-			w.sendDoor(wd*64 + r)
-		}
-	}
-}
-
-var doorByte = []byte{1}
-
-func (w *World) sendDoor(r int) {
-	c := w.peers[r]
-	if c == nil {
-		var err error
-		c, err = net.DialUnix("unixgram", nil, &net.UnixAddr{Name: doorPath(w.dir, r), Net: "unixgram"})
-		if err != nil {
-			return // not bound yet or gone; the waiter's heartbeat covers it
-		}
-		w.peers[r] = c
-	}
-	c.SetWriteDeadline(time.Now().Add(2 * time.Millisecond))
-	c.Write(doorByte)
-}
+// currently registered as waiting on it (see Arena.Ring).
+func (w *World) RingDoorbell(rank int) { w.ar.Ring(rank) }
 
 // DoorGen samples rank's doorbell generation.
-func (w *World) DoorGen(rank int) uint64 {
-	return atomic.LoadUint64(u64at(w.m, w.lay.rankOff(rank)+rnDoorGen))
-}
+func (w *World) DoorGen(rank int) uint64 { return w.ar.DoorGen(rank) }
 
-// WaitDoor blocks until rank's doorbell generation exceeds gen. The waiter
-// registers itself in the watched rank's waiter bitset (its rank's bit in
-// word rank/64) before re-checking the generation — the store/load pairing
-// with RingDoorbell's bump-then-read makes lost wakeups impossible — then
-// sleeps on its own doorbell socket with a heartbeat deadline (dropped
-// datagrams and aborts are caught by the heartbeat re-check).
+// WaitDoor blocks until rank's doorbell generation exceeds gen (see
+// Arena.WaitDoor for the lost-wakeup argument).
 func (w *World) WaitDoor(rank int, gen uint64) uint64 {
-	ro := w.lay.rankOff(rank)
-	genp := u64at(w.m, ro+rnDoorGen)
-	if g := atomic.LoadUint64(genp); g != gen {
-		return g
-	}
-	wp := u64at(w.m, w.lay.waiterOff(rank, w.rank/64))
-	bit := uint64(1) << uint(w.rank%64)
-	for {
-		old := atomic.LoadUint64(wp)
-		if atomic.CompareAndSwapUint64(wp, old, old|bit) {
-			break
-		}
-	}
-	defer func() {
-		for {
-			old := atomic.LoadUint64(wp)
-			if atomic.CompareAndSwapUint64(wp, old, old&^bit) {
-				break
-			}
-		}
-	}()
-	var scratch [8]byte
-	d := doorWaitMin
-	for {
-		if g := atomic.LoadUint64(genp); g != gen {
-			return g
-		}
-		if w.Aborted() {
-			panic(simnet.ErrAborted)
-		}
-		w.door.SetReadDeadline(time.Now().Add(d))
-		w.door.Read(scratch[:])
-		if d < doorWaitMax {
-			d *= 2
-		}
-	}
+	return w.ar.WaitDoor(rank, gen, w.Aborted)
 }
 
 // Abort marks the world dead and wakes every blocked waiter in every process.
 func (w *World) Abort() { w.abortWorld() }
 
 // Aborted reports whether the world has been torn down.
-func (w *World) Aborted() bool { return atomic.LoadUint32(u32at(w.m, hdrAbort)) != 0 }
+func (w *World) Aborted() bool { return w.ar.AbortFlag() }
 
 // Done returns a channel closed when this process observes the abort flag.
 func (w *World) Done() <-chan struct{} { return w.done }

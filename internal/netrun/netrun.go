@@ -42,6 +42,7 @@ import (
 const (
 	envCoord = "FOMPI_NET_COORD"
 	envRank  = "FOMPI_NET_RANK"
+	envHost  = "FOMPI_NET_HOST"
 
 	bootTimeout = 60 * time.Second
 	abortGrace  = 20 * time.Second
@@ -78,6 +79,22 @@ type Options struct {
 	// TagOutput prefixes each spawned rank's stdout/stderr with "[rank N]"
 	// (loopback spawn mode only; remote workers own their streams).
 	TagOutput bool
+
+	// HostKey names the physical host of this worker for topology-aware
+	// backends (the hybrid backend groups ranks whose keys match into one
+	// shared-memory arena). Empty falls back to $FOMPI_NET_HOST, then
+	// os.Hostname(). Spaces and commas are rewritten on join (the key rides
+	// space-separated control lines and a comma-joined catalog).
+	HostKey string
+	// HostKeys, in loopback spawn mode, assigns rank r the host key
+	// HostKeys[r] through the spawn environment; the hybrid backend's
+	// loopback mode uses it to emulate a multi-host placement on one
+	// machine. Empty leaves the workers to their own defaults (one shared
+	// hostname). Must be empty or exactly Ranks long.
+	HostKeys []string
+	// ExtraEnv is appended to each spawned worker's environment (loopback
+	// spawn mode; the hybrid backend uses it to mark its workers).
+	ExtraEnv []string
 }
 
 func (o Options) withDefaults() Options {
@@ -106,6 +123,7 @@ type World struct {
 
 	ln    net.Listener // this rank's data listener
 	addrs []string     // rank -> data address
+	hosts []string     // rank -> host key (from the WORLD catalog)
 
 	// peers are this rank's requester connections, dialed lazily; guarded
 	// by peerMu only against the abort path's close-all (requests
@@ -128,7 +146,8 @@ type World struct {
 	nicBusy   int64
 	reserveFn func(timing.Time, int64) timing.Time
 	door      doorbell
-	clocks    []int64 // atomically accessed; clocks[r] = last known clock of r
+	doorOps   atomic.Pointer[DoorOps] // non-nil: external doorbell (hybrid)
+	clocks    []int64                 // atomically accessed; clocks[r] = last known clock of r
 
 	aborted   atomic.Bool
 	done      chan struct{}
@@ -169,6 +188,49 @@ func (d *doorbell) waitCh(gen uint64) (<-chan struct{}, bool) {
 	return d.ch, true
 }
 
+// DoorOps substitutes an external doorbell for this rank's in-process one in
+// the owner-side service loop. The hybrid backend installs it so that an
+// off-host peer's ring or wait, arriving over the wire, lands on the same
+// shared-memory doorbell the co-located ranks touch directly — one doorbell
+// per rank, wherever the waiter lives.
+type DoorOps struct {
+	// Ring bumps this rank's doorbell generation and wakes its waiters.
+	Ring func()
+	// Gen samples this rank's doorbell generation.
+	Gen func() uint64
+	// WaitSliced parks at this rank's doorbell for at most slice and
+	// returns the then-current generation (spurious returns allowed).
+	WaitSliced func(gen uint64, slice time.Duration) uint64
+}
+
+// SetDoorOps installs ops as this rank's owner-side doorbell; call before
+// Ready so no peer traffic races the handoff.
+func (w *World) SetDoorOps(ops *DoorOps) { w.doorOps.Store(ops) }
+
+// ringDoor, doorGenSelf and doorWaitAny are the owner-side doorbell entry
+// points, indirected through DoorOps when one is installed.
+func (w *World) ringDoor() {
+	if ops := w.doorOps.Load(); ops != nil {
+		ops.Ring()
+		return
+	}
+	w.door.ring()
+}
+
+func (w *World) doorGenSelf() uint64 {
+	if ops := w.doorOps.Load(); ops != nil {
+		return ops.Gen()
+	}
+	return w.door.gen.Load()
+}
+
+func (w *World) doorWaitAny(gen uint64, slice time.Duration) uint64 {
+	if ops := w.doorOps.Load(); ops != nil {
+		return ops.WaitSliced(gen, slice)
+	}
+	return w.doorWaitSliced(gen, slice)
+}
+
 // Launch creates an inter-node world. In loopback spawn mode it re-executes
 // the worker argv once per rank on this machine and blocks until every
 // worker exits; in host-list mode (Options.Hosts) it waits for the workers
@@ -177,6 +239,9 @@ func (d *doorbell) waitCh(gen uint64) (<-chan struct{}, bool) {
 // first non-zero worker exit code observed.
 func Launch(o Options) error {
 	o = o.withDefaults()
+	if len(o.HostKeys) != 0 && len(o.HostKeys) != o.Ranks {
+		return fmt.Errorf("netrun: %d host keys for %d ranks", len(o.HostKeys), o.Ranks)
+	}
 	spawn := len(o.Hosts) == 0
 	listen := o.Listen
 	if listen == "" {
@@ -205,6 +270,10 @@ func Launch(o Options) error {
 				envCoord + "=" + coordAddr,
 				fmt.Sprintf("%s=%d", envRank, r),
 			}
+			if len(o.HostKeys) > 0 {
+				env = append(env, envHost+"="+o.HostKeys[r])
+			}
+			env = append(env, o.ExtraEnv...)
 			c, err := rankio.Start(argv, env, r, o.TagOutput)
 			if err != nil {
 				rankio.KillAll(cmds[:r])
@@ -223,8 +292,8 @@ func Launch(o Options) error {
 		}
 		fmt.Fprintf(os.Stderr,
 			"netrun: coordinator listening on %s; start %d workers across {%s} with\n"+
-				"  %s=%s [%s=<rank>] <program> ...\n",
-			coordAddr, o.Ranks, strings.Join(o.Hosts, ", "), envCoord, dial, envRank)
+				"  %s=%s [%s=<rank>] [%s=<host-key>] <program> ...\n",
+			coordAddr, o.Ranks, strings.Join(o.Hosts, ", "), envCoord, dial, envRank, envHost)
 	}
 
 	err = coordinate(ln, o, cmds)
@@ -243,6 +312,7 @@ type worker struct {
 	rd   *bufio.Reader
 	rank int
 	addr string
+	host string // host key from JOIN
 }
 
 // wkEvent is one line (or stream end) of a worker's control conversation
@@ -283,7 +353,11 @@ func coordinate(ln net.Listener, o Options, cmds []*rankio.Cmd) error {
 		}
 		var rank, ranks, rpn, proto int
 		var pace int64
-		if _, err := fmt.Sscanf(line, "JOIN %d %s %d %d %d %d", &rank, &w.addr, &ranks, &rpn, &pace, &proto); err != nil {
+		// The host key is the 7th field (protocol v2); a v1 worker's JOIN
+		// parses six fields, so version skew reaches the protoVersion check
+		// below instead of being dropped as a malformed probe.
+		n, err := fmt.Sscanf(line, "JOIN %d %s %d %d %d %d %s", &rank, &w.addr, &ranks, &rpn, &pace, &proto, &w.host)
+		if err != nil && n < 6 {
 			c.Close()
 			i--
 			continue
@@ -318,14 +392,17 @@ func coordinate(ln net.Listener, o Options, cmds []*rankio.Cmd) error {
 		workers[next] = w
 	}
 	addrs := make([]string, o.Ranks)
+	hosts := make([]string, o.Ranks)
 	for r, w := range workers {
 		addrs[r] = w.addr
+		hosts[r] = w.host
 	}
 
 	// Phase 2 — WORLD broadcast, then the READY/GO barrier.
 	catalog := strings.Join(addrs, ",")
+	hostCatalog := strings.Join(hosts, ",")
 	for r, w := range workers {
-		if _, err := fmt.Fprintf(w.conn, "WORLD %d %s\n", r, catalog); err != nil {
+		if _, err := fmt.Fprintf(w.conn, "WORLD %d %s %s\n", r, catalog, hostCatalog); err != nil {
 			return fmt.Errorf("netrun: send world catalog to rank %d: %w", r, err)
 		}
 	}
@@ -511,25 +588,61 @@ func Join(o Options) (*World, error) {
 	w.reserveFn = w.reserveLocalNIC
 	go w.acceptLoop()
 
-	if _, err := fmt.Fprintf(ctl, "JOIN %d %s %d %d %d %d\n",
-		rank, ln.Addr().String(), o.Ranks, o.RanksPerNode, o.PaceWindowNs, protoVersion); err != nil {
+	if _, err := fmt.Fprintf(ctl, "JOIN %d %s %d %d %d %d %s\n",
+		rank, ln.Addr().String(), o.Ranks, o.RanksPerNode, o.PaceWindowNs, protoVersion,
+		hostKeyOf(o)); err != nil {
 		w.teardown()
 		return nil, fmt.Errorf("netrun: send JOIN: %w", err)
 	}
 	ctl.SetReadDeadline(time.Now().Add(bootTimeout))
-	var catalog string
-	if _, err := fmt.Fscanf(w.ctlRd, "WORLD %d %s\n", &w.rank, &catalog); err != nil {
+	var catalog, hostCatalog string
+	if _, err := fmt.Fscanf(w.ctlRd, "WORLD %d %s %s\n", &w.rank, &catalog, &hostCatalog); err != nil {
 		w.teardown()
 		return nil, fmt.Errorf("netrun: world catalog handshake: %w", err)
 	}
 	ctl.SetReadDeadline(time.Time{})
 	w.addrs = strings.Split(catalog, ",")
-	if len(w.addrs) != o.Ranks || w.rank < 0 || w.rank >= o.Ranks {
+	w.hosts = strings.Split(hostCatalog, ",")
+	if len(w.addrs) != o.Ranks || len(w.hosts) != o.Ranks || w.rank < 0 || w.rank >= o.Ranks {
 		w.teardown()
-		return nil, fmt.Errorf("netrun: malformed world catalog (%d addrs, rank %d)", len(w.addrs), w.rank)
+		return nil, fmt.Errorf("netrun: malformed world catalog (%d addrs, %d hosts, rank %d)", len(w.addrs), len(w.hosts), w.rank)
 	}
 	return w, nil
 }
+
+// hostKeyOf resolves this worker's host key: Options, then the environment
+// (set per rank by the spawn path or the operator), then the hostname. The
+// key rides space-separated control lines and the comma-joined WORLD
+// catalog, so those separators are rewritten.
+func hostKeyOf(o Options) string {
+	h := o.HostKey
+	if h == "" {
+		h = os.Getenv(envHost)
+	}
+	if h == "" {
+		h, _ = os.Hostname()
+	}
+	h = strings.Map(func(r rune) rune {
+		switch r {
+		case ' ', '\t', ',', '\n', '\r':
+			return '-'
+		}
+		return r
+	}, h)
+	if h == "" {
+		h = "host0"
+	}
+	return h
+}
+
+// Hosts returns the rank -> host-key catalog from the rendezvous: ranks with
+// equal keys run on one physical host. Callers must not modify it.
+func (w *World) Hosts() []string { return w.hosts }
+
+// Addrs returns the rank -> data-address catalog from the rendezvous. The
+// ports are ephemeral, so the joined catalog is world-unique — the hybrid
+// backend keys its per-host arena files on it. Callers must not modify it.
+func (w *World) Addrs() []string { return w.addrs }
 
 // teardown closes a partially joined world's sockets.
 func (w *World) teardown() {

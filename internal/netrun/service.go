@@ -68,7 +68,7 @@ func (w *World) serveConn(c net.Conn) {
 			}
 			return
 		case opRing:
-			w.door.ring()
+			w.ringDoor()
 			continue
 		}
 		reply := w.handle(op, &d, outBuf)
@@ -201,14 +201,14 @@ func (w *World) handle(op uint8, d *dec, scratch []byte) (reply []byte) {
 		d.must()
 		e.i64(int64(w.reserveLocalNIC(arrival, xfer)))
 	case opDoorGen:
-		e.u64(w.door.gen.Load())
+		e.u64(w.doorGenSelf())
 	case opDoorWait:
 		gen := d.u64()
 		slice := time.Duration(d.u32()) * time.Microsecond
 		if slice <= 0 || slice > doorWaitSlice {
 			slice = doorWaitSlice
 		}
-		e.u64(w.doorWaitSliced(gen, slice))
+		e.u64(w.doorWaitAny(gen, slice))
 	case opClock:
 		e.i64(atomic.LoadInt64(&w.clocks[w.rank]))
 	default:

@@ -29,7 +29,8 @@ import (
 // piggyback half of the pacing discipline; opClock is the heartbeat half).
 const (
 	// protoVersion gates the JOIN handshake; bump on any frame change.
-	protoVersion = 1
+	// v2: JOIN carries a host key and WORLD a host catalog (hybrid topology).
+	protoVersion = 2
 
 	// maxFrame bounds a frame against stream corruption: the largest
 	// legitimate payload is a bulk put of a whole region, and regions are

@@ -2,6 +2,8 @@ package simnet
 
 import (
 	"encoding/binary"
+	"errors"
+	"fmt"
 
 	"fompi/internal/hostatomic"
 	"fompi/internal/timing"
@@ -49,6 +51,7 @@ func (ep *Endpoint) AmoBulkNBI(a Addr, op AmoOp, src []byte) {
 		ep.notifyDst(a.Rank)
 		return
 	}
+	reg.stamps.LockChain() // see amoCommon: chain links must be atomic
 	for i := 0; i < n; i++ {
 		v := binary.LittleEndian.Uint64(src[i*8:])
 		off := a.Off + i*8
@@ -64,6 +67,7 @@ func (ep *Endpoint) AmoBulkNBI(a Addr, op AmoOp, src []byte) {
 		case AmoReplace:
 			hostatomic.Swap(reg.buf, off, v)
 		default:
+			reg.stamps.UnlockChain()
 			panic("simnet: unknown bulk AMO op")
 		}
 	}
@@ -71,24 +75,49 @@ func (ep *Endpoint) AmoBulkNBI(a Addr, op AmoOp, src []byte) {
 	base := timing.Max(ep.clock, prev)
 	comp := ep.schedXfer(a.Rank, base, pr.AmoNs+int64(n)*pr.AmoPerElNs, pr.xferNs(len(src)))
 	reg.stamps.SetRange(a.Off, len(src), comp)
+	reg.stamps.UnlockChain()
 	ep.implicitMax = timing.Max(ep.implicitMax, comp)
 	ep.ctr.Amos += int64(n)
 	ep.ctr.BytesPut += int64(len(src))
 	ep.notifyDst(a.Rank)
 }
 
-// Shared maps a remote region into the caller's address space, the XPMEM
+// ErrNotSameNode reports a shared-mapping request between ranks on different
+// nodes: the XPMEM primitive only spans one node, on every backend.
+var ErrNotSameNode = errors.New("simnet: XPMEM mapping requires same-node ranks")
+
+// ErrNotMapped reports a shared-mapping request for a region the calling
+// process cannot address: the target rank shares the caller's (virtual) node
+// but lives in a process whose memory this backend does not map (the
+// inter-node backend without a shared arena).
+var ErrNotMapped = errors.New("simnet: region is not locally mapped (inter-node backend cannot map remote regions)")
+
+// SharedErr maps a remote region into the caller's address space, the XPMEM
 // primitive behind MPI-3 shared-memory windows. It is only legal between
 // ranks on the same node; accesses are raw loads and stores with no virtual
-// time accounting (call Compute for modelled work).
-func (ep *Endpoint) Shared(a Addr, n int) []byte {
+// time accounting (call Compute for modelled work). Cross-node requests fail
+// with ErrNotSameNode; same-node requests whose memory the backend cannot
+// map fail with ErrNotMapped (both via errors.Is).
+func (ep *Endpoint) SharedErr(a Addr, n int) ([]byte, error) {
 	if !ep.fab.SameNode(ep.rank, a.Rank) {
-		panic("simnet: XPMEM mapping requires same-node ranks")
+		return nil, fmt.Errorf("%w (rank %d is on node %d, rank %d on node %d)",
+			ErrNotSameNode, ep.rank, ep.node, a.Rank, ep.fab.NodeOf(a.Rank))
 	}
 	reg := ep.region(a)
 	if reg.rmt != nil {
-		panic("simnet: XPMEM mapping requires locally mapped memory (in-process or shared-memory backend); the inter-node backend cannot map remote regions")
+		return nil, fmt.Errorf("%w (rank %d key %d is owned by another process)",
+			ErrNotMapped, a.Rank, a.Key)
 	}
 	reg.check(a.Off, n)
-	return reg.buf[a.Off : a.Off+n]
+	return reg.buf[a.Off : a.Off+n], nil
+}
+
+// Shared is SharedErr for callers that treat an unmappable target as fatal;
+// it panics with the typed error (errors.Is works on the recovered value).
+func (ep *Endpoint) Shared(a Addr, n int) []byte {
+	b, err := ep.SharedErr(a, n)
+	if err != nil {
+		panic(err)
+	}
+	return b
 }

@@ -460,11 +460,17 @@ func (ep *Endpoint) amoCommon(a Addr, op WordOp, o1, o2 uint64) (old uint64, com
 			ep.nicFree = free
 		}
 	} else {
+		// The whole read-apply-stamp sequence holds the chain lock: a racing
+		// AMO that read the same prior stamp would overwrite this one's later
+		// landing with an earlier time, leaking host scheduling into the
+		// stamps that pollers merge.
+		reg.stamps.LockChain()
 		prev := reg.stamps.Get(a.Off)
 		old = applyWordOp(reg.buf, a.Off, op, o1, o2)
 		base = timing.Max(ep.clock, prev)
 		land = ep.schedXferOn(same, a.Rank, base, pr.PutLatNs, pr.xferNs(8))
 		reg.stamps.Set(a.Off, land)
+		reg.stamps.UnlockChain()
 	}
 	comp = timing.Max(land, base+timing.Time(pr.AmoNs))
 	ep.ctr.Amos++

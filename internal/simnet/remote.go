@@ -140,11 +140,16 @@ func (x RegionExec) LoadWord(off int) (uint64, timing.Time) {
 // WordAmo applies one word atomic (see RemoteMem.WordAmo).
 func (x RegionExec) WordAmo(op WordOp, off int, o1, o2 uint64, clockIn, srcFree timing.Time, reserve bool, lat, xfer int64) (old uint64, land, base, newFree timing.Time) {
 	x.Reg.check(off, 8)
+	// Chain lock as on the inline path: service goroutines execute requests
+	// from different requesters concurrently, and on a hybrid world same-host
+	// ranks run the inline path against the same shared stamps.
+	x.Reg.stamps.LockChain()
 	prev := x.Reg.stamps.Get(off)
 	old = applyWordOp(x.Reg.buf, off, op, o1, o2)
 	base = timing.Max(clockIn, prev)
 	land, newFree = x.landAt(base, srcFree, reserve, lat, xfer)
 	x.Reg.stamps.Set(off, land)
+	x.Reg.stamps.UnlockChain()
 	return old, land, base, newFree
 }
 
@@ -152,6 +157,7 @@ func (x RegionExec) WordAmo(op WordOp, off int, o1, o2 uint64, clockIn, srcFree 
 func (x RegionExec) BulkAmo(op AmoOp, off int, src []byte, clockIn, srcFree timing.Time, reserve bool, lat, xfer int64) (comp, newFree timing.Time) {
 	x.Reg.check(off, len(src))
 	n := len(src) / 8
+	x.Reg.stamps.LockChain() // see WordAmo
 	for i := 0; i < n; i++ {
 		v := binary.LittleEndian.Uint64(src[i*8:])
 		o := off + i*8
@@ -167,6 +173,7 @@ func (x RegionExec) BulkAmo(op AmoOp, off int, src []byte, clockIn, srcFree timi
 		case AmoReplace:
 			hostatomic.Swap(x.Reg.buf, o, v)
 		default:
+			x.Reg.stamps.UnlockChain()
 			panic("simnet: unknown bulk AMO op")
 		}
 	}
@@ -174,6 +181,7 @@ func (x RegionExec) BulkAmo(op AmoOp, off int, src []byte, clockIn, srcFree timi
 	base := timing.Max(clockIn, prev)
 	comp, newFree = x.landAt(base, srcFree, reserve, lat, xfer)
 	x.Reg.stamps.SetRange(off, len(src), comp)
+	x.Reg.stamps.UnlockChain()
 	return comp, newFree
 }
 

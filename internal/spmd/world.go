@@ -1,9 +1,12 @@
 // Package spmd runs single-program-multiple-data rank programs over a
 // transport backend: the stand-in for the job launcher plus the process
-// runtime that foMPI inherits from Cray MPI. Two backends exist, selected by
-// Config.Backend: the default in-process fabric (each rank is a goroutine
-// over internal/simnet's Fabric) and the multi-process runtime (each rank is
-// an OS process over internal/mprun's shared-memory/Unix-socket world).
+// runtime that foMPI inherits from Cray MPI. Four backends exist, selected
+// by Config.Backend: the default in-process fabric (each rank is a goroutine
+// over internal/simnet's Fabric), the multi-process runtime (each rank is an
+// OS process over internal/mprun's shared-memory/Unix-socket world), the
+// inter-node runtime (OS processes over internal/netrun's TCP wire), and the
+// hybrid runtime (internal/hybridrun: netrun's world with same-host ranks
+// grouped onto shared-memory arenas).
 // Each rank receives a fabric endpoint, a scratch region for the built-in
 // collectives, and its own virtual clock. Collectives (dissemination
 // barrier, binomial broadcast, recursive-doubling allreduce, ring allgather,
@@ -17,6 +20,7 @@ import (
 	"os"
 	"sync"
 
+	"fompi/internal/hybridrun"
 	"fompi/internal/mprun"
 	"fompi/internal/netrun"
 	"fompi/internal/segpool"
@@ -42,6 +46,13 @@ const (
 	// Virtual time stays in the timing layer, so results remain
 	// bit-identical to the other backends.
 	BackendNet Backend = "net"
+	// BackendHybrid runs the inter-node world with topology awareness: ranks
+	// sharing a physical host (by rendezvoused host key) map one shared
+	// arena — direct loads/stores and working shared windows, as on
+	// BackendMP — while off-host ranks are reached over BackendNet's wire
+	// (internal/hybridrun). Results remain bit-identical to the other
+	// backends.
+	BackendHybrid Backend = "hybrid"
 )
 
 // Config describes a world: the rank count, node width, the cost model of
@@ -181,13 +192,39 @@ func Run(cfg Config, body func(*Proc)) error {
 		}
 		return mprun.Launch(mpOptions(cfg))
 	case BackendNet:
-		if netrun.IsWorker() {
+		// A hybrid worker also carries the netrun environment; it must not
+		// join a pure-net world (the backends disagree on where registered
+		// memory lives).
+		if netrun.IsWorker() && !hybridrun.IsWorker() {
 			runNetWorker(cfg, body) // calls os.Exit; never returns
 		}
 		return netrun.Launch(netOptions(cfg))
+	case BackendHybrid:
+		if hybridrun.IsWorker() {
+			runHybridWorker(cfg, body) // calls os.Exit; never returns
+		}
+		return hybridrun.Launch(hybridOptions(cfg))
 	default:
 		return fmt.Errorf("spmd: unknown backend %q", cfg.Backend)
 	}
+}
+
+func hybridOptions(cfg Config) hybridrun.Options {
+	return hybridrun.Options{
+		Net:        netOptions(cfg),
+		ArenaBytes: cfg.MPArenaBytes,
+	}
+}
+
+// runHybridWorker executes body as this process's single rank of a hybrid
+// world and exits the process (see runCrossWorker).
+func runHybridWorker(cfg Config, body func(*Proc)) {
+	hw, err := hybridrun.Join(hybridOptions(cfg))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spmd: worker failed to join hybrid world: %v\n", err)
+		os.Exit(1)
+	}
+	runCrossWorker(cfg, hw, body)
 }
 
 func netOptions(cfg Config) netrun.Options {

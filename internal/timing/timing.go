@@ -6,6 +6,7 @@
 package timing
 
 import (
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -86,6 +87,19 @@ type Stamps struct {
 	// summary-guided Reset/DirtyBlocks fast paths would miss the block —
 	// they fall back to treating everything dirty instead.
 	zeroStamped *uint32
+
+	// chain (same slab) is the AMO serialization lock. Atomic read-modify-
+	// write operations chain through their word's stamp — each reads the
+	// prior stamp, bases its landing time on it, and writes the new stamp —
+	// so two concurrent AMOs that both read the same prior stamp would break
+	// the chain: the real-time loser's Set overwrites the winner's later
+	// landing with an earlier one, and any rank that later merges the word's
+	// stamp inherits the host scheduler's interleaving. Holding chain across
+	// the read-apply-stamp sequence makes every chain link atomic, which
+	// makes the stamp strictly monotone (land = max(clock, prev) + latency >
+	// prev). It lives in the shared slab so the discipline spans the
+	// processes of a multi-process or hybrid world.
+	chain *uint32
 }
 
 // StampSlabLens returns the lengths of the two backing slabs — int64 words
@@ -94,7 +108,7 @@ type Stamps struct {
 func StampSlabLens(size int) (n64, n32 int) {
 	nw := (size + 7) / 8
 	nb := (nw + BlockWords - 1) / BlockWords
-	return nw + 2*nb, nw + 2*nb + 2 // +2: the shared epoch and zeroStamped words
+	return nw + 2*nb, nw + 2*nb + 3 // +3: the shared epoch, zeroStamped, and chain-lock words
 }
 
 // NewStamps creates shadow timestamps covering size bytes. The six arrays
@@ -120,9 +134,25 @@ func NewStampsOver(i64 []int64, u32 []uint32, size int) *Stamps {
 	return &Stamps{
 		words: i64[:nw:nw], fill: i64[nw : nw+nb : nw+nb], blockMax: i64[nw+nb : nw+2*nb],
 		wEpoch: u32[:nw:nw], fEpoch: u32[nw : nw+nb : nw+nb], blockEpoch: u32[nw+nb : nw+2*nb],
-		epoch: &u32[nw+2*nb], zeroStamped: &u32[nw+2*nb+1],
+		epoch: &u32[nw+2*nb], zeroStamped: &u32[nw+2*nb+1], chain: &u32[nw+2*nb+2],
 	}
 }
+
+// LockChain acquires the stamp-chain lock: every read-modify-stamp sequence
+// (the AMO paths) must hold it from reading the word's prior stamp through
+// writing the new one, so concurrent atomics serialize into one well-formed
+// chain instead of racing on the prior stamp. The critical sections are a few
+// loads and stores, so contention is resolved by spinning; the lock word
+// lives in the shared slab, making the discipline effective across the
+// processes of a shared-memory world.
+func (s *Stamps) LockChain() {
+	for !atomic.CompareAndSwapUint32(s.chain, 0, 1) {
+		runtime.Gosched()
+	}
+}
+
+// UnlockChain releases the stamp-chain lock.
+func (s *Stamps) UnlockChain() { atomic.StoreUint32(s.chain, 0) }
 
 // Reset returns the stamps to the all-zero state so the shadow arrays can be
 // recycled across worlds (see internal/segpool). The per-block summaries
@@ -141,6 +171,7 @@ func (s *Stamps) Reset() {
 		clear(s.blockEpoch)
 		atomic.StoreUint32(s.epoch, 0)
 		atomic.StoreUint32(s.zeroStamped, 0)
+		atomic.StoreUint32(s.chain, 0)
 		return
 	}
 	for b := range s.fill {

@@ -8,14 +8,15 @@
 #   go build ./...               everything compiles
 #   go test ./...                all package suites (includes the transport
 #                                conformance suite, which spawns the
-#                                multi-process and inter-node backends'
-#                                worker processes)
+#                                multi-process, inter-node, and hybrid
+#                                backends' worker processes)
 #   go test -race -short <hot>   concurrency check over the packages whose
 #                                goroutines share fabric memory
 #   examples smoke               build and run every example; quickstart and
 #                                stencil must produce identical deterministic
 #                                output on the in-process, multi-process,
-#                                and inter-node (loopback TCP) backends
+#                                inter-node (loopback TCP), and hybrid
+#                                (shm + TCP) backends
 #   make bench-host-quick        one-iteration host-perf smoke; asserts the
 #                                emitted JSON is well-formed
 #
@@ -54,34 +55,26 @@ for ex in quickstart stencil hashtable dsde; do
 done
 go build -o "$TMP/fompi-run" ./cmd/fompi-run
 
-# compare_backends CMDLINE... : run once per backend (proc, mp, net) and
-# diff against the in-process output. Output lines are sorted (rank prints
-# interleave arbitrarily); the figures themselves must be bit-identical.
-# One retry absorbs the rare stamp-merge reordering that host scheduling can
-# produce on any backend (run-to-run, not backend-specific); a systematic
-# divergence fails both attempts.
+# compare_backends CMDLINE... : run once per backend (proc, mp, net, hybrid)
+# and diff against the in-process output. Output lines are sorted (rank
+# prints interleave arbitrarily); the figures themselves must be
+# bit-identical, in one pass — the stamp-merge reordering that once needed a
+# retry here is fixed at the source (the stamp chain lock), and the
+# transporttest determinism loop pins it.
 compare_backends() {
-	attempt=1
-	while :; do
-		# Capture before sorting: a pipeline would report sort's status and
-		# let a crashing example (identical empty output on all backends)
-		# slip through the gate.
-		"$@" -backend=proc >"$TMP/raw.proc"
-		"$@" -backend=mp >"$TMP/raw.mp"
-		"$@" -backend=net >"$TMP/raw.net"
-		sort "$TMP/raw.proc" >"$TMP/cmp.proc"
-		sort "$TMP/raw.mp" >"$TMP/cmp.mp"
-		sort "$TMP/raw.net" >"$TMP/cmp.net"
-		if cmp -s "$TMP/cmp.proc" "$TMP/cmp.mp" && cmp -s "$TMP/cmp.proc" "$TMP/cmp.net"; then
-			return 0
-		fi
-		if [ "$attempt" -ge 2 ]; then
-			echo "examples smoke: backends disagree for: $*" >&2
-			diff "$TMP/cmp.proc" "$TMP/cmp.mp" >&2 || true
-			diff "$TMP/cmp.proc" "$TMP/cmp.net" >&2 || true
+	# Capture before sorting: a pipeline would report sort's status and
+	# let a crashing example (identical empty output on all backends)
+	# slip through the gate.
+	"$@" -backend=proc >"$TMP/raw.proc"
+	sort "$TMP/raw.proc" >"$TMP/cmp.proc"
+	for cb in mp net hybrid; do
+		"$@" -backend="$cb" >"$TMP/raw.$cb"
+		sort "$TMP/raw.$cb" >"$TMP/cmp.$cb"
+		cmp -s "$TMP/cmp.proc" "$TMP/cmp.$cb" || {
+			echo "examples smoke: $cb backend disagrees for: $*" >&2
+			diff "$TMP/cmp.proc" "$TMP/cmp.$cb" >&2 || true
 			return 1
-		fi
-		attempt=$((attempt + 1))
+		}
 	done
 }
 
@@ -94,7 +87,7 @@ compare_backends "$TMP/stencil" -check -ppn 8
 # reference explicitly.
 "$TMP/quickstart" -backend=proc >"$TMP/quickstart.raw"
 sort "$TMP/quickstart.raw" >"$TMP/quickstart.ref"
-for lb in mp net; do
+for lb in mp net hybrid; do
 	"$TMP/fompi-run" -np 4 -ppn 2 -backend "$lb" "$TMP/quickstart" >"$TMP/launcher.raw"
 	sed 's/^\[rank [0-9]*\] //' "$TMP/launcher.raw" | sort >"$TMP/launcher.out"
 	cmp "$TMP/quickstart.ref" "$TMP/launcher.out" || {
