@@ -35,6 +35,7 @@ import (
 	"os"
 	"strings"
 
+	"fompi/internal/faultnet"
 	"fompi/internal/hybridrun"
 	"fompi/internal/mprun"
 	"fompi/internal/netrun"
@@ -51,6 +52,10 @@ func main() {
 		"comma-separated machines for the net and hybrid backends; non-empty switches to host-list mode, where the operator starts one worker per rank remotely (default from FOMPI_HOSTS)")
 	listen := flag.String("listen", "", "net coordinator listen address (host-list mode defaults to :7077, loopback to 127.0.0.1:0)")
 	tag := flag.Bool("tag", true, "prefix each spawned rank's stdout/stderr with [rank N]")
+	joinTimeout := flag.Duration("join-timeout", 0,
+		"net/hybrid rendezvous deadline: fail with the list of missing ranks if the world has not assembled by then (0 = the 60 s default)")
+	faults := flag.String("faults", os.Getenv(faultnet.EnvVar),
+		"fault-injection spec for the net/hybrid wire, e.g. 'seed=7,delayp=0.1,delaymax=20ms,resetafter=400' (default from "+faultnet.EnvVar+"; see internal/faultnet)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: fompi-run [flags] program [args...]\n")
 		flag.PrintDefaults()
@@ -63,6 +68,15 @@ func main() {
 	if mprun.IsWorker() || netrun.IsWorker() {
 		fmt.Fprintln(os.Stderr, "fompi-run: refusing to nest inside a cross-process world")
 		os.Exit(2)
+	}
+	if *faults != "" {
+		if _, err := faultnet.Parse(*faults); err != nil {
+			fmt.Fprintf(os.Stderr, "fompi-run: -faults: %v\n", err)
+			os.Exit(2)
+		}
+		// Spawned workers inherit the environment, so the whole world —
+		// launcher dials included — runs under the same fault profile.
+		os.Setenv(faultnet.EnvVar, *faults)
 	}
 
 	var hostList []string
@@ -95,6 +109,7 @@ func main() {
 			Hosts:        hostList,
 			Relaunch:     flag.Args(),
 			TagOutput:    *tag,
+			JoinTimeout:  *joinTimeout,
 		})
 	case "hybrid":
 		os.Setenv("FOMPI_BACKEND", "hybrid")
@@ -107,6 +122,7 @@ func main() {
 				Hosts:        hostList,
 				Relaunch:     flag.Args(),
 				TagOutput:    *tag,
+				JoinTimeout:  *joinTimeout,
 			},
 			ArenaBytes: *arena,
 		})

@@ -1,0 +1,384 @@
+// Package faultnet is a deterministic, seedable fault-injection layer for
+// the TCP transports (netrun, hybridrun). It wraps the dialer and listener
+// so that every connection of a world can suffer injected delays, partial
+// writes, refused dials, mid-stream resets, and silent write drops — the
+// failure modes a 524k-core fabric exhibits as steady state — while staying
+// fully reproducible: one seed fixes the whole schedule.
+//
+// Faults are configured through the FOMPI_FAULTS environment variable (or
+// `fompi-run -faults`, which sets it so worker processes inherit it). The
+// spec is a comma-separated key=value list:
+//
+//	seed=7                  PRNG seed (default 1)
+//	delayp=0.2              probability of an injected delay per write
+//	delaymax=3ms            upper bound of each injected delay
+//	partialp=0.3            probability a write is split into two segments
+//	dialfailn=2             first N dials per destination fail (retry test)
+//	resetafter=400          each conn is reset after N reads+writes
+//	dropafter=500           each conn blackholes writes after N reads+writes
+//	log=/path/chaos.log     append a line per injected fault (shared, O_APPEND)
+//
+// Zero values disable the corresponding fault; an empty/unset spec makes
+// every wrapper a pass-through with no overhead on the data path.
+//
+// Determinism: each connection draws from its own PRNG seeded by
+// (seed, per-process connection counter), and dial-failure counting is per
+// destination address — so a fixed seed and a fixed connection order yield
+// the same schedule. Across processes the schedule is per-process
+// deterministic; the conformance suite relies on the stronger property that
+// *virtual time* is invariant under any transient schedule, not on
+// reproducing one global schedule.
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// EnvVar is the environment variable carrying the fault spec.
+const EnvVar = "FOMPI_FAULTS"
+
+// Config is a parsed fault spec. The zero Config injects nothing.
+type Config struct {
+	Seed        int64         // seed= (default 1 when any fault is enabled)
+	DelayProb   float64       // delayp= injected delay probability per write
+	DelayMax    time.Duration // delaymax= upper bound per injected delay
+	PartialProb float64       // partialp= probability a write is torn in two
+	DialFailN   int           // dialfailn= first N dials per address fail
+	ResetAfter  int           // resetafter= conn resets after N reads+writes
+	DropAfter   int           // dropafter= conn blackholes writes after N ops
+	LogPath     string        // log= chaos log file (append mode)
+}
+
+// Enabled reports whether the config injects any fault at all.
+func (c Config) Enabled() bool {
+	return c.DelayProb > 0 || c.PartialProb > 0 || c.DialFailN > 0 ||
+		c.ResetAfter > 0 || c.DropAfter > 0
+}
+
+// Parse parses a FOMPI_FAULTS spec. An empty spec is a valid, disabled
+// Config. Unknown keys and malformed values are errors — a chaos run with a
+// typo'd spec must fail loudly, not run fault-free and "pass".
+func Parse(spec string) (Config, error) {
+	var c Config
+	c.Seed = 1
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return c, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return c, fmt.Errorf("faultnet: %q is not key=value", kv)
+		}
+		var err error
+		switch k {
+		case "seed":
+			c.Seed, err = strconv.ParseInt(v, 10, 64)
+		case "delayp":
+			c.DelayProb, err = parseProb(v)
+		case "delaymax":
+			c.DelayMax, err = time.ParseDuration(v)
+		case "partialp":
+			c.PartialProb, err = parseProb(v)
+		case "dialfailn":
+			c.DialFailN, err = parseCount(v)
+		case "resetafter":
+			c.ResetAfter, err = parseCount(v)
+		case "dropafter":
+			c.DropAfter, err = parseCount(v)
+		case "log":
+			c.LogPath = v
+		default:
+			return c, fmt.Errorf("faultnet: unknown key %q (want seed, delayp, delaymax, partialp, dialfailn, resetafter, dropafter, log)", k)
+		}
+		if err != nil {
+			return c, fmt.Errorf("faultnet: bad %s=%q: %v", k, v, err)
+		}
+	}
+	if c.DelayProb > 0 && c.DelayMax <= 0 {
+		c.DelayMax = time.Millisecond
+	}
+	return c, nil
+}
+
+func parseProb(v string) (float64, error) {
+	p, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, err
+	}
+	if p < 0 || p > 1 {
+		return 0, errors.New("probability outside [0,1]")
+	}
+	return p, nil
+}
+
+func parseCount(v string) (int, error) {
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, errors.New("negative count")
+	}
+	return n, nil
+}
+
+// injector is the per-process fault state for one parsed spec.
+type injector struct {
+	cfg Config
+
+	mu        sync.Mutex
+	connSeq   uint64
+	dialFails map[string]int // dials failed so far, per destination address
+	logW      *os.File
+}
+
+// The active injector is cached per spec string so tests can flip the
+// environment between runs (sync.Once would pin the first value forever).
+var (
+	curMu   sync.Mutex
+	curSpec string
+	curInj  *injector
+	curSet  bool
+	warned  bool
+)
+
+func current() *injector {
+	spec := os.Getenv(EnvVar)
+	curMu.Lock()
+	defer curMu.Unlock()
+	if curSet && spec == curSpec {
+		return curInj
+	}
+	cfg, err := Parse(spec)
+	if err != nil {
+		// A malformed spec set directly in the environment (fompi-run
+		// validates its -faults flag before it gets here): warn once and
+		// run fault-free rather than silently injecting who-knows-what.
+		if !warned {
+			fmt.Fprintf(os.Stderr, "faultnet: ignoring malformed %s: %v\n", EnvVar, err)
+			warned = true
+		}
+		cfg = Config{}
+	}
+	var inj *injector
+	if cfg.Enabled() {
+		inj = &injector{cfg: cfg, dialFails: make(map[string]int)}
+		if cfg.LogPath != "" {
+			if f, ferr := os.OpenFile(cfg.LogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644); ferr == nil {
+				inj.logW = f
+			}
+		}
+	}
+	curSpec, curInj, curSet = spec, inj, true
+	return inj
+}
+
+// Enabled reports whether this process has fault injection configured.
+func Enabled() bool { return current() != nil }
+
+// Check validates the spec currently in the environment; launch paths call
+// it so a malformed spec fails the run instead of degrading to a warning.
+func Check() error {
+	_, err := Parse(os.Getenv(EnvVar))
+	return err
+}
+
+func (inj *injector) logf(format string, args ...any) {
+	if inj.logW == nil {
+		return
+	}
+	// O_APPEND keeps concurrent small writes from different worker
+	// processes whole; a torn chaos log is diagnostic-only anyway.
+	fmt.Fprintf(inj.logW, "faultnet[pid %d]: "+format+"\n", append([]any{os.Getpid()}, args...)...)
+}
+
+// errInjected marks faults manufactured by this package; it satisfies
+// net.Error so callers treating timeouts specially see a plain fatal error.
+type errInjected struct{ msg string }
+
+func (e *errInjected) Error() string { return "faultnet: injected " + e.msg }
+
+// Dial dials like net.DialTimeout, injecting dial failures and wrapping the
+// resulting connection when fault injection is enabled.
+func Dial(network, addr string, timeout time.Duration) (net.Conn, error) {
+	inj := current()
+	if inj == nil {
+		return net.DialTimeout(network, addr, timeout)
+	}
+	inj.mu.Lock()
+	nth := inj.dialFails[addr]
+	fail := nth < inj.cfg.DialFailN
+	if fail {
+		inj.dialFails[addr] = nth + 1
+	}
+	inj.mu.Unlock()
+	if fail {
+		inj.logf("dial %s refused (%d/%d)", addr, nth+1, inj.cfg.DialFailN)
+		return nil, &errInjected{msg: "dial failure to " + addr}
+	}
+	c, err := net.DialTimeout(network, addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return inj.wrap(c, "dial->"+addr), nil
+}
+
+// WrapListener wraps ln so accepted connections carry fault injection; it
+// returns ln unchanged when injection is disabled. The wrapper forwards
+// SetDeadline, so callers must assert that capability as an interface, not
+// as *net.TCPListener.
+func WrapListener(ln net.Listener) net.Listener {
+	if current() == nil {
+		return ln
+	}
+	return &listener{Listener: ln}
+}
+
+type listener struct{ net.Listener }
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	// Re-resolve per accept: the active spec can change between test runs
+	// in one process, and a listener outlives any one spec.
+	inj := current()
+	if inj == nil {
+		return c, nil
+	}
+	return inj.wrap(c, "accept<-"+c.RemoteAddr().String()), nil
+}
+
+func (l *listener) SetDeadline(t time.Time) error {
+	if d, ok := l.Listener.(interface{ SetDeadline(time.Time) error }); ok {
+		return d.SetDeadline(t)
+	}
+	return nil
+}
+
+func (inj *injector) wrap(c net.Conn, label string) net.Conn {
+	inj.mu.Lock()
+	id := inj.connSeq
+	inj.connSeq++
+	inj.mu.Unlock()
+	return &conn{
+		Conn:  c,
+		inj:   inj,
+		id:    id,
+		label: label,
+		rng:   rand.New(rand.NewPCG(uint64(inj.cfg.Seed), id)),
+	}
+}
+
+// conn injects faults around one net.Conn. Decision state (PRNG, op
+// counters) is guarded by mu; the underlying I/O runs outside the lock so a
+// parked Read never blocks a concurrent Write's fault sampling.
+type conn struct {
+	net.Conn
+	inj   *injector
+	id    uint64
+	label string
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	ops     int  // reads+writes completed, for resetafter/dropafter
+	reset   bool // injected reset tripped: all further I/O fails
+	dropped bool // blackhole tripped: writes pretend to succeed
+}
+
+// step advances the op counter and samples this op's faults.
+func (c *conn) step(isWrite bool) (delay time.Duration, split int, drop, reset bool) {
+	cfg := &c.inj.cfg
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.reset {
+		return 0, 0, false, true
+	}
+	c.ops++
+	if cfg.ResetAfter > 0 && c.ops > cfg.ResetAfter {
+		c.reset = true
+		return 0, 0, false, true
+	}
+	if cfg.DropAfter > 0 && c.ops > cfg.DropAfter {
+		c.dropped = true
+	}
+	if c.dropped {
+		return 0, 0, true, false
+	}
+	if isWrite {
+		if cfg.DelayProb > 0 && c.rng.Float64() < cfg.DelayProb {
+			delay = time.Duration(c.rng.Int64N(int64(cfg.DelayMax))) + 1
+		}
+		if cfg.PartialProb > 0 && c.rng.Float64() < cfg.PartialProb {
+			split = 1 // caller splits at len/2; flag only
+		}
+	}
+	return delay, split, false, false
+}
+
+func (c *conn) tripReset() error {
+	c.inj.logf("conn %d (%s) reset after %d ops", c.id, c.label, c.inj.cfg.ResetAfter)
+	c.Conn.Close()
+	return &errInjected{msg: "connection reset"}
+}
+
+// SetNoDelay forwards Nagle control to the underlying TCP connection so the
+// transports' latency tuning survives wrapping; callers assert it as an
+// interface rather than as *net.TCPConn.
+func (c *conn) SetNoDelay(v bool) error {
+	if t, ok := c.Conn.(interface{ SetNoDelay(bool) error }); ok {
+		return t.SetNoDelay(v)
+	}
+	return nil
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	_, _, drop, reset := c.step(false)
+	if reset {
+		return 0, c.tripReset()
+	}
+	// A blackholed conn still reads normally: "drop" models lost outbound
+	// bytes, so starvation arrives naturally when the peer never replies.
+	_ = drop
+	return c.Conn.Read(p)
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	delay, split, drop, reset := c.step(true)
+	if reset {
+		return 0, c.tripReset()
+	}
+	if drop {
+		c.inj.logf("conn %d (%s) dropped %d-byte write", c.id, c.label, len(p))
+		return len(p), nil // swallowed: peer starves, deadlines must save us
+	}
+	if delay > 0 {
+		c.inj.logf("conn %d (%s) delayed write %v", c.id, c.label, delay)
+		time.Sleep(delay)
+	}
+	if split != 0 && len(p) > 1 {
+		c.inj.logf("conn %d (%s) partial write %d+%d", c.id, c.label, len(p)/2, len(p)-len(p)/2)
+		n, err := c.Conn.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		time.Sleep(50 * time.Microsecond)
+		m, err := c.Conn.Write(p[len(p)/2:])
+		return n + m, err
+	}
+	return c.Conn.Write(p)
+}

@@ -36,10 +36,13 @@ package hybridrun
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"fompi/internal/mprun"
@@ -112,6 +115,53 @@ func Launch(o Options) error {
 	return netrun.Launch(n)
 }
 
+// staleArenaAge is how old a leftover arena file or doorbell socket must be
+// before the sweeper touches it: far beyond any bootstrap window (the
+// creator unlinks its file at Ready, within arenaWait), so an in-flight
+// world's file is never mistaken for wreckage.
+const staleArenaAge = 15 * time.Minute
+
+// SweepStaleArenas removes arena files and doorbell sockets that hybrid
+// worlds killed mid-bootstrap left under os.TempDir (a world that reached
+// Ready unlinked its file itself). A doorbell socket is removed only when
+// nothing is bound behind its inode — a live long-running world still
+// answers on its sockets however old they are. Runs best-effort at each
+// creator's attach; returns the number of paths removed.
+func SweepStaleArenas(minAge time.Duration) int {
+	paths, _ := filepath.Glob(filepath.Join(os.TempDir(), "fompi-hyb-*"))
+	removed := 0
+	for _, p := range paths {
+		st, err := os.Lstat(p)
+		if err != nil || time.Since(st.ModTime()) < minAge {
+			continue
+		}
+		if st.Mode()&os.ModeSocket != 0 && doorAlive(p) {
+			continue
+		}
+		if os.Remove(p) == nil {
+			fmt.Fprintf(os.Stderr, "hybridrun: removed stale arena path %s (left by a crashed world)\n", p)
+			removed++
+		}
+	}
+	return removed
+}
+
+// doorAlive probes a doorbell socket path: sending a datagram to a dead
+// socket's leftover inode is refused, while a live waiter's socket accepts
+// it (at worst as a spurious doorbell poke, which waiters tolerate by
+// design). Any error other than a connection refusal is read as "alive" —
+// the sweeper must never kill a working world's doorbell.
+func doorAlive(path string) bool {
+	c, err := net.DialUnix("unixgram", nil, &net.UnixAddr{Name: path, Net: "unixgram"})
+	if err != nil {
+		return !errors.Is(err, syscall.ECONNREFUSED)
+	}
+	defer c.Close()
+	c.SetWriteDeadline(time.Now().Add(100 * time.Millisecond))
+	_, err = c.Write([]byte{1})
+	return !errors.Is(err, syscall.ECONNREFUSED)
+}
+
 // World is one worker's attachment to a hybrid world: the netrun world for
 // everything inter-node, with the host group's arena layered over segments,
 // regions, and doorbells.
@@ -150,8 +200,16 @@ func Join(o Options) (*World, error) {
 		},
 	})
 	// An abort (local panic or coordinator broadcast) must wake the arena
-	// parks too: bump every local doorbell so waiters re-check Aborted.
-	nw.OnAbort(func() { w.ar.SetAbortFlag() })
+	// parks too: bump every local doorbell so waiters re-check Aborted. The
+	// RANKFAIL verdict rides along when there is one, so ranks parked in the
+	// arena unwind with the same typed error as ranks parked on the wire.
+	nw.OnAbort(func() {
+		if r := nw.FailedRank(); r >= 0 {
+			w.ar.SetAbortFlagBlaming(r)
+		} else {
+			w.ar.SetAbortFlag()
+		}
+	})
 	return w, nil
 }
 
@@ -185,7 +243,8 @@ func (w *World) attachArena(o Options) error {
 	}
 	var err error
 	if w.creator {
-		os.Remove(path) // a leftover of a crashed world, never a live one
+		SweepStaleArenas(staleArenaAge) // hygiene: other dead worlds' leftovers
+		os.Remove(path)                 // a leftover of a crashed world, never a live one
 		w.ar, err = mprun.CreateArena(path, cfg)
 	} else {
 		w.ar, err = mprun.OpenArena(path, cfg, arenaWait)

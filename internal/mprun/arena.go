@@ -492,7 +492,7 @@ func (a *Arena) WaitDoor(local int, gen uint64, aborted func() bool) uint64 {
 			return g
 		}
 		if aborted() {
-			panic(simnet.ErrAborted)
+			panic(a.abortPanic())
 		}
 		a.door.SetReadDeadline(time.Now().Add(d))
 		a.door.Read(scratch[:])
@@ -569,7 +569,31 @@ func (a *Arena) SetAbortFlag() {
 	}
 }
 
+// SetAbortFlagBlaming is SetAbortFlag plus a verdict: it records global (a
+// world rank) as the rank whose failure killed the world, so every local
+// waiter unwinds with *simnet.ErrPeerFailed instead of the bare ErrAborted.
+// The first blame wins; later calls only set the flag.
+func (a *Arena) SetAbortFlagBlaming(global int) {
+	atomic.CompareAndSwapUint32(u32at(a.m, hdrFailRank), 0, uint32(global)+1)
+	a.SetAbortFlag()
+}
+
 // AbortFlag reports whether the arena's world has been marked aborted.
 func (a *Arena) AbortFlag() bool {
 	return atomic.LoadUint32(u32at(a.m, hdrAbort)) != 0
+}
+
+// FailedRank returns the world rank blamed for the abort, or -1 when no
+// verdict has been recorded.
+func (a *Arena) FailedRank() int {
+	return int(atomic.LoadUint32(u32at(a.m, hdrFailRank))) - 1
+}
+
+// abortPanic is the value arena waits unwind with: typed with the blamed
+// rank when a verdict is recorded, the bare sentinel otherwise.
+func (a *Arena) abortPanic() any {
+	if r := a.FailedRank(); r >= 0 {
+		return &simnet.ErrPeerFailed{Rank: r}
+	}
+	return simnet.ErrAborted
 }

@@ -37,7 +37,7 @@ import (
 // goroutines. DESIGN.md §8 documents the layout and its ordering contracts.
 const (
 	shmMagic   = 0x666f4d50_72756e31 // "foMPrun1"
-	shmVersion = 3                   // v3: pacing waiter bitset; stamp slabs carry the AMO chain-lock word
+	shmVersion = 4                   // v4: hdrFailRank blames the abort on a rank
 
 	hdrMagic      = 0  // u64
 	hdrVersion    = 8  // u64
@@ -47,7 +47,11 @@ const (
 	hdrArenaBytes = 40 // u64
 	hdrMaxRegions = 48 // u64
 	hdrAbort      = 56 // u32
-	hdrBytes      = 4096
+	// hdrFailRank carries the world rank blamed for the abort, biased by one
+	// (0 = no culprit known); first blame wins via CAS. Waiters parked in the
+	// arena read it to upgrade their abort panic to *simnet.ErrPeerFailed.
+	hdrFailRank = 60 // u32
+	hdrBytes    = 4096
 
 	rankStride  = 128
 	rnDoorGen   = 0  // u64

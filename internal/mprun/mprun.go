@@ -22,6 +22,7 @@ package mprun
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -40,8 +41,12 @@ const (
 	envDir  = "FOMPI_MP_DIR"
 	envRank = "FOMPI_MP_RANK"
 
-	bootTimeout  = 60 * time.Second
-	abortGrace   = 20 * time.Second
+	bootTimeout = 60 * time.Second
+	// abortGrace bounds how long the launcher waits, after the first failure
+	// report, for the surviving ranks to unwind through the abort flag on
+	// their own before it force-kills them. Short enough that a SIGKILLed
+	// rank still turns into a launcher exit within the ~10 s failure budget.
+	abortGrace   = 8 * time.Second
 	doorWaitMin  = 200 * time.Microsecond
 	doorWaitMax  = 5 * time.Millisecond
 	paceSleepMin = 50 * time.Microsecond
@@ -134,6 +139,7 @@ func Launch(o Options) error {
 	if len(argv) == 0 {
 		argv = os.Args
 	}
+	SweepStaleWorlds(staleWorldAge)
 	dir, err := os.MkdirTemp("", "fompi-mp-*")
 	if err != nil {
 		return fmt.Errorf("mprun: create world dir: %w", err)
@@ -232,6 +238,7 @@ func Launch(o Options) error {
 	}
 	var firstErr error
 	firstCode := 0
+	firstRank := -1
 	killed := false
 	for i := 0; i < o.Ranks; i++ {
 		var st status
@@ -249,25 +256,65 @@ func Launch(o Options) error {
 			}
 		}
 		if st.msg != "" {
-			if firstErr == nil || !strings.Contains(st.msg, "aborted by peer") {
-				err := fmt.Errorf("mprun: rank %d: %s", st.rank, st.msg)
-				if firstErr == nil || strings.Contains(firstErr.Error(), "aborted by peer") {
-					firstErr = err
+			// Peer-abort symptoms never displace a causal report, and a
+			// causal report displaces an earlier symptom: the world's error
+			// should name the rank that died, not a rank that noticed.
+			err := rankio.ClassifyFail(fmt.Errorf("mprun: rank %d: %s", st.rank, st.msg), st.msg)
+			causal := !errors.Is(err, rankio.ErrPeerAbort)
+			if firstErr == nil || (causal && errors.Is(firstErr, rankio.ErrPeerAbort)) {
+				firstErr = err
+				if causal {
+					firstRank = st.rank
 				}
 			}
 			if firstCode == 0 && st.code != 0 {
 				firstCode = st.code
 			}
-			w.abortWorld()
+			if causal {
+				w.blameAbort(st.rank)
+			} else {
+				w.abortWorld()
+			}
 		}
 	}
 	if firstErr != nil {
 		if firstCode == 0 {
 			firstCode = 1
 		}
-		return &rankio.RankError{Err: firstErr, Code: firstCode}
+		return &rankio.RankError{Err: firstErr, Code: firstCode, Rank: firstRank}
 	}
 	return nil
+}
+
+// staleWorldAge is how old an orphaned world directory must be before the
+// sweeper touches it: far beyond any bootstrap window, so an in-flight
+// Launch can never be mistaken for wreckage.
+const staleWorldAge = 15 * time.Minute
+
+// SweepStaleWorlds removes world directories (shared segment + sockets) that
+// a killed launcher left under os.TempDir — Launch normally RemoveAlls its
+// dir, so anything old with a dead control socket is wreckage. A directory
+// is removed only if it is at least minAge old AND nothing answers on its
+// control socket (a live world's launcher is always listening there). Runs
+// best-effort at every Launch; returns the number of directories removed.
+func SweepStaleWorlds(minAge time.Duration) int {
+	dirs, _ := filepath.Glob(filepath.Join(os.TempDir(), "fompi-mp-*"))
+	removed := 0
+	for _, dir := range dirs {
+		st, err := os.Stat(dir)
+		if err != nil || !st.IsDir() || time.Since(st.ModTime()) < minAge {
+			continue
+		}
+		if c, err := net.DialTimeout("unix", ctlPath(dir), 100*time.Millisecond); err == nil {
+			c.Close()
+			continue
+		}
+		if os.RemoveAll(dir) == nil {
+			fmt.Fprintf(os.Stderr, "mprun: removed stale world dir %s (left by a crashed launcher)\n", dir)
+			removed++
+		}
+	}
+	return removed
 }
 
 // Join attaches a worker process (spawned by Launch) to its world and
@@ -340,6 +387,13 @@ func (w *World) abortWorld() {
 	w.localAbort()
 }
 
+// blameAbort is abortWorld plus a verdict: rank r's failure killed the
+// world, so waiters in every process unwind with *simnet.ErrPeerFailed.
+func (w *World) blameAbort(r int) {
+	w.ar.SetAbortFlagBlaming(r)
+	w.localAbort()
+}
+
 // Rank returns this process's rank (-1 in the launcher).
 func (w *World) Rank() int { return w.rank }
 
@@ -366,9 +420,14 @@ func (w *World) Finish() {
 }
 
 // Fail aborts the world and reports msg to the launcher; the caller exits
-// nonzero afterwards.
+// nonzero afterwards. A failure that is not itself a peer-abort symptom
+// blames this rank, so peers unwind with a typed error naming it.
 func (w *World) Fail(msg string) {
-	w.abortWorld()
+	if strings.Contains(msg, rankio.PeerAbortMsg) {
+		w.abortWorld()
+	} else {
+		w.blameAbort(w.rank)
+	}
 	msg = strings.ReplaceAll(msg, "\n", " ")
 	fmt.Fprintf(w.ctl, "FAIL %d %s\n", w.rank, msg)
 	w.ctl.Close()

@@ -25,6 +25,7 @@ package netrun
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -33,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fompi/internal/faultnet"
 	"fompi/internal/rankio"
 	"fompi/internal/segpool"
 	"fompi/internal/simnet"
@@ -45,7 +47,11 @@ const (
 	envHost  = "FOMPI_NET_HOST"
 
 	bootTimeout = 60 * time.Second
-	abortGrace  = 20 * time.Second
+	// abortGrace bounds the time between the abort broadcast and the
+	// coordinator force-dropping unaccounted ranks; together with the
+	// requester-side deadlines it is what makes "a dead rank surfaces as a
+	// typed error within ten seconds" a testable promise.
+	abortGrace = 8 * time.Second
 	// byeTimeout is a failsafe only: a finished rank must keep serving its
 	// memory until every rank is done (coordinator death is caught by the
 	// control-stream watcher), so this bounds nothing but a wedged-alive
@@ -54,6 +60,29 @@ const (
 	doorWaitSlice = 100 * time.Millisecond
 	paceSleepMin  = 50 * time.Microsecond
 	paceSleepMax  = 2 * time.Millisecond
+
+	// opTimeout is the per-request deadline on every data-plane wire call:
+	// a peer that neither answers nor resets within it is treated as dead.
+	opTimeout = 15 * time.Second
+	// Idempotent control requests (opRegQuery, opClock, opDoorGen,
+	// opDoorWait re-arm) retry up to idemAttempts times across fresh
+	// connections, backing off from idemBackoff.
+	idemAttempts = 4
+	idemBackoff  = 25 * time.Millisecond
+	// Peer dials retry inside peerErr (the listener may not be reachable
+	// for a moment on a congested fabric, and faultnet injects exactly
+	// that); dialAttempts bounds them.
+	dialAttempts = 5
+	dialBackoff  = 50 * time.Millisecond
+
+	// The coordinator PINGs every heartbeatEvery once the world is running;
+	// a rank whose PONG is older than heartbeatStale is declared dead. The
+	// worker mirrors the check: a control stream idle past ctlIdleTimeout
+	// means the coordinator (or its host) vanished without a FIN.
+	heartbeatEvery  = 2 * time.Second
+	heartbeatStale  = 10 * time.Second
+	ctlIdleTimeout  = 30 * time.Second
+	joinProgressDot = 5 * time.Second
 )
 
 // Options describes an inter-node world. Launcher and workers must agree on
@@ -95,6 +124,13 @@ type Options struct {
 	// ExtraEnv is appended to each spawned worker's environment (loopback
 	// spawn mode; the hybrid backend uses it to mark its workers).
 	ExtraEnv []string
+
+	// JoinTimeout bounds the rendezvous: how long the coordinator waits for
+	// all Ranks workers to JOIN before giving up with an *ErrJoinTimeout
+	// naming the absent ranks. Zero means bootTimeout (60 s). In host-list
+	// mode the coordinator also prints a "still waiting for ranks […]"
+	// progress line every few seconds while short of quorum.
+	JoinTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -149,13 +185,57 @@ type World struct {
 	doorOps   atomic.Pointer[DoorOps] // non-nil: external doorbell (hybrid)
 	clocks    []int64                 // atomically accessed; clocks[r] = last known clock of r
 
-	aborted   atomic.Bool
-	done      chan struct{}
-	bye       chan struct{}
-	finished  atomic.Bool
-	abortOnce sync.Once
-	hookMu    sync.Mutex
-	hooks     []func()
+	aborted atomic.Bool
+	// failedRank is the rank the RANKFAIL verdict (or first-hand transport
+	// evidence) blamed for the abort; -1 while the world is healthy or the
+	// abort has no known culprit. It upgrades the abort panic from the bare
+	// ErrAborted to *simnet.ErrPeerFailed.
+	failedRank atomic.Int32
+	done       chan struct{}
+	bye        chan struct{}
+	finished   atomic.Bool
+	abortOnce  sync.Once
+	hookMu     sync.Mutex
+	hooks      []func()
+}
+
+// noteFailedRank records the first rank blamed for the world's death.
+func (w *World) noteFailedRank(r int) {
+	w.failedRank.CompareAndSwap(-1, int32(r))
+}
+
+// FailedRank returns the rank blamed for the world's death, or -1 while the
+// world is healthy or the abort has no known culprit. Layered transports
+// (hybridrun) read it from their abort hooks to propagate the verdict into
+// their own wait paths.
+func (w *World) FailedRank() int { return int(w.failedRank.Load()) }
+
+// abortPanic is the value blocked primitives unwind with after an abort:
+// *simnet.ErrPeerFailed when a RANKFAIL verdict (or local evidence) named
+// the dead rank, the bare simnet.ErrAborted otherwise. Both satisfy
+// errors.Is(err, simnet.ErrAborted).
+func (w *World) abortPanic() any {
+	if r := w.failedRank.Load(); r >= 0 {
+		return &simnet.ErrPeerFailed{Rank: int(r)}
+	}
+	return simnet.ErrAborted
+}
+
+// ErrJoinTimeout reports a rendezvous that ran out its join timeout with
+// ranks still absent. Missing lists the rank slots no worker claimed,
+// under the same assignment rule a completed join would have used
+// (explicit FOMPI_NET_RANK claims first, join-order workers filling the
+// lowest free slots).
+type ErrJoinTimeout struct {
+	Joined  int
+	Ranks   int
+	Timeout time.Duration
+	Missing []int
+}
+
+func (e *ErrJoinTimeout) Error() string {
+	return fmt.Sprintf("netrun: rendezvous timed out after %v with %d of %d ranks joined; missing ranks %v",
+		e.Timeout, e.Joined, e.Ranks, e.Missing)
 }
 
 // doorbell is the generation-counted wakeup channel of one rank, shared by
@@ -251,11 +331,15 @@ func Launch(o Options) error {
 			listen = "127.0.0.1:0"
 		}
 	}
+	if err := faultnet.Check(); err != nil {
+		return fmt.Errorf("netrun: %w", err)
+	}
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return fmt.Errorf("netrun: listen coordinator socket %s: %w", listen, err)
 	}
 	defer ln.Close()
+	ln = faultnet.WrapListener(ln)
 	coordAddr := ln.Addr().String()
 
 	var cmds []*rankio.Cmd
@@ -324,21 +408,57 @@ type wkEvent struct {
 	code int    // process exit status ('X' in spawn mode)
 }
 
+// missingRanks lists the rank slots still unclaimed if the join phase ended
+// now: explicit claims hold their slots, and the unassigned (join-order)
+// workers would fill the lowest free slots first.
+func missingRanks(workers []*worker, unassigned int) []int {
+	var free []int
+	for r, w := range workers {
+		if w == nil {
+			free = append(free, r)
+		}
+	}
+	if unassigned >= len(free) {
+		return nil
+	}
+	return free[unassigned:]
+}
+
 // coordinate runs the rendezvous, barrier, and status collection of one
 // world from the coordinator side.
 func coordinate(ln net.Listener, o Options, cmds []*rankio.Cmd) error {
-	deadline := time.Now().Add(bootTimeout)
+	joinTO := bootTimeout
+	if o.JoinTimeout > 0 {
+		joinTO = o.JoinTimeout
+	}
+	deadline := time.Now().Add(joinTO)
+	progress := time.Now().Add(joinProgressDot)
 	workers := make([]*worker, o.Ranks)
 	var unassigned []*worker
 
 	// Phase 1 — JOIN: collect one connection per rank and its data address.
 	for i := 0; i < o.Ranks; i++ {
-		if tl, ok := ln.(*net.TCPListener); ok {
-			tl.SetDeadline(deadline)
+		// Wake before the final deadline in host-list mode so the operator
+		// sees who the world is waiting for while they bring hosts up.
+		next := deadline
+		if len(o.Hosts) > 0 && progress.Before(next) {
+			next = progress
+		}
+		if tl, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
+			tl.SetDeadline(next)
 		}
 		c, err := ln.Accept()
 		if err != nil {
-			return fmt.Errorf("netrun: worker bootstrap timed out (%d of %d joined): %w", i, o.Ranks, err)
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() && time.Now().Before(deadline) {
+				fmt.Fprintf(os.Stderr, "netrun: still waiting for ranks %v (%d of %d joined)\n",
+					missingRanks(workers, len(unassigned)), i, o.Ranks)
+				progress = time.Now().Add(joinProgressDot)
+				i--
+				continue
+			}
+			return &ErrJoinTimeout{Joined: i, Ranks: o.Ranks, Timeout: joinTO,
+				Missing: missingRanks(workers, len(unassigned))}
 		}
 		c.SetDeadline(deadline)
 		w := &worker{conn: c, rd: bufio.NewReader(c)}
@@ -346,7 +466,7 @@ func coordinate(ln net.Listener, o Options, cmds []*rankio.Cmd) error {
 		if err != nil {
 			// Not a worker: a liveness probe, a port scan, or a connection
 			// dropped mid-handshake. Ignore it without consuming a rank slot
-			// (the boot deadline still bounds the wait).
+			// (the join deadline still bounds the wait).
 			c.Close()
 			i--
 			continue
@@ -398,7 +518,9 @@ func coordinate(ln net.Listener, o Options, cmds []*rankio.Cmd) error {
 		hosts[r] = w.host
 	}
 
-	// Phase 2 — WORLD broadcast, then the READY/GO barrier.
+	// Phase 2 — WORLD broadcast, then the READY/GO barrier. The barrier gets
+	// a fresh deadline: the join phase may have consumed most of its own.
+	deadline = time.Now().Add(bootTimeout)
 	catalog := strings.Join(addrs, ",")
 	hostCatalog := strings.Join(hosts, ",")
 	for r, w := range workers {
@@ -424,7 +546,7 @@ func coordinate(ln net.Listener, o Options, cmds []*rankio.Cmd) error {
 	// broadcasts ABORT to every rank; once every rank has reported DONE the
 	// coordinator broadcasts BYE — a finished rank keeps serving its memory
 	// until then, matching the shared-segment lifetime of the mmap backend.
-	events := make(chan wkEvent, 4*o.Ranks)
+	events := make(chan wkEvent, 8*o.Ranks)
 	for r := range workers {
 		go func(r int, w *worker) {
 			for {
@@ -440,6 +562,9 @@ func coordinate(ln net.Listener, o Options, cmds []*rankio.Cmd) error {
 					continue
 				case strings.HasPrefix(line, "ABORT "):
 					events <- wkEvent{rank: r, kind: 'A'}
+					continue
+				case strings.HasPrefix(line, "PONG "):
+					events <- wkEvent{rank: r, kind: 'P'}
 					continue
 				}
 				code := 0
@@ -460,22 +585,46 @@ func coordinate(ln net.Listener, o Options, cmds []*rankio.Cmd) error {
 		}
 	}
 	var firstErr error
-	firstCode := 0
+	firstCode, firstRank := 0, -1
 	fail := func(rank int, msg string, code int) {
-		peerAbort := strings.Contains(msg, "aborted by peer")
-		err := fmt.Errorf("netrun: rank %d: %s", rank, msg)
-		if firstErr == nil || (strings.Contains(firstErr.Error(), "aborted by peer") && !peerAbort) {
+		err := rankio.ClassifyFail(fmt.Errorf("netrun: rank %d: %s", rank, msg), msg)
+		// A peer-abort report is a symptom; keep looking for the cause. Any
+		// later report that is not a symptom displaces a symptom-only error.
+		if firstErr == nil || (errors.Is(firstErr, rankio.ErrPeerAbort) && !errors.Is(err, rankio.ErrPeerAbort)) {
 			firstErr = err
+			firstRank = rank
 		}
 		if firstCode == 0 && code != 0 {
 			firstCode = code
 		}
 	}
 	doneSet := make([]bool, o.Ranks)
+	exitedSet := make([]bool, o.Ranks)
+	lastPong := make([]time.Time, o.Ranks)
+	now := time.Now()
+	for r := range lastPong {
+		lastPong[r] = now
+	}
 	doneCount, exited := 0, 0
 	aborting, byeSent := false, false
+	// abort tears the world down exactly once: a RANKFAIL verdict naming the
+	// culprit (when one is known) so every survivor's blocked primitive can
+	// unwind with *simnet.ErrPeerFailed, then the ABORT broadcast itself.
 	grace := time.NewTimer(24 * time.Hour)
 	defer grace.Stop()
+	abort := func(culprit int, msg string) {
+		if aborting {
+			return
+		}
+		if culprit >= 0 {
+			broadcast(fmt.Sprintf("RANKFAIL %d %s\n", culprit, msg))
+		}
+		broadcast("ABORT\n")
+		aborting = true
+		grace.Reset(abortGrace)
+	}
+	heartbeat := time.NewTicker(heartbeatEvery)
+	defer heartbeat.Stop()
 	for exited < o.Ranks {
 		select {
 		case ev := <-events:
@@ -489,24 +638,23 @@ func coordinate(ln net.Listener, o Options, cmds []*rankio.Cmd) error {
 					broadcast("BYE\n")
 					byeSent = true
 				}
+			case 'P':
+				lastPong[ev.rank] = time.Now()
 			case 'F':
 				fail(ev.rank, ev.msg, 0)
-				if !aborting {
-					broadcast("ABORT\n")
-					aborting = true
-					grace.Reset(abortGrace)
+				if strings.Contains(ev.msg, rankio.PeerAbortMsg) {
+					abort(-1, "") // symptom: the culprit's own report names it
+				} else {
+					abort(ev.rank, ev.msg)
 				}
 			case 'A':
 				if firstErr == nil {
 					fail(ev.rank, "aborted the world", 0)
 				}
-				if !aborting {
-					broadcast("ABORT\n")
-					aborting = true
-					grace.Reset(abortGrace)
-				}
+				abort(-1, "")
 			case 'X':
 				exited++
+				exitedSet[ev.rank] = true
 				if !doneSet[ev.rank] && ev.msg != "" && firstErr == nil && !aborting {
 					// Crashed without a FAIL line (e.g. killed): report the
 					// exit and abort the survivors.
@@ -515,11 +663,24 @@ func coordinate(ln net.Listener, o Options, cmds []*rankio.Cmd) error {
 						msg = fmt.Sprintf("exited with status %d before DONE", ev.code)
 					}
 					fail(ev.rank, msg, ev.code)
-					broadcast("ABORT\n")
-					aborting = true
-					grace.Reset(abortGrace)
+					abort(ev.rank, msg)
 				} else if ev.code != 0 && firstCode == 0 {
 					firstCode = ev.code
+				}
+			}
+		case <-heartbeat.C:
+			// Liveness probe: catches the silent deaths the control stream
+			// cannot — a host that vanished without a FIN (power loss,
+			// network partition) leaves its TCP conn apparently healthy.
+			if !aborting {
+				broadcast("PING\n")
+				for r := range lastPong {
+					if !doneSet[r] && !exitedSet[r] && time.Since(lastPong[r]) > heartbeatStale {
+						msg := fmt.Sprintf("no heartbeat for %v (host dead or partitioned?)", heartbeatStale)
+						fail(r, msg, 0)
+						abort(r, msg)
+						break
+					}
 				}
 			}
 		case <-grace.C:
@@ -538,7 +699,7 @@ func coordinate(ln net.Listener, o Options, cmds []*rankio.Cmd) error {
 		if firstCode == 0 {
 			firstCode = 1
 		}
-		return &rankio.RankError{Err: firstErr, Code: firstCode}
+		return &rankio.RankError{Err: firstErr, Code: firstCode, Rank: firstRank}
 	}
 	if !byeSent {
 		broadcast("BYE\n")
@@ -562,9 +723,23 @@ func Join(o Options) (*World, error) {
 			return nil, fmt.Errorf("netrun: bad %s=%q for world of %d ranks", envRank, s, o.Ranks)
 		}
 	}
-	ctl, err := net.DialTimeout("tcp", coord, bootTimeout)
-	if err != nil {
-		return nil, fmt.Errorf("netrun: dial coordinator %s: %w", coord, err)
+	if err := faultnet.Check(); err != nil {
+		return nil, fmt.Errorf("netrun: %w", err)
+	}
+	// The coordinator may come up after the workers in host-list mode, and
+	// faultnet injects refused dials; retry with backoff inside the boot
+	// window rather than failing the whole rank on the first RST.
+	var ctl net.Conn
+	var err error
+	for d, until := dialBackoff, time.Now().Add(bootTimeout); ; d *= 2 {
+		ctl, err = faultnet.Dial("tcp", coord, bootTimeout)
+		if err == nil {
+			break
+		}
+		if time.Now().Add(d).After(until) {
+			return nil, fmt.Errorf("netrun: dial coordinator %s: %w", coord, err)
+		}
+		time.Sleep(d)
 	}
 	// Listen for peers on the interface that reaches the coordinator: the
 	// address peers can reach this process at, on loopback and multi-machine
@@ -575,6 +750,7 @@ func Join(o Options) (*World, error) {
 		ctl.Close()
 		return nil, fmt.Errorf("netrun: listen data socket: %w", err)
 	}
+	ln = faultnet.WrapListener(ln)
 
 	w := &World{
 		opts: o, rank: rank, ctl: ctl, ctlRd: bufio.NewReader(ctl), ln: ln,
@@ -584,6 +760,7 @@ func Join(o Options) (*World, error) {
 		done:    make(chan struct{}),
 		bye:     make(chan struct{}),
 	}
+	w.failedRank.Store(-1)
 	w.door.init()
 	w.reserveFn = w.reserveLocalNIC
 	go w.acceptLoop()
@@ -594,7 +771,13 @@ func Join(o Options) (*World, error) {
 		w.teardown()
 		return nil, fmt.Errorf("netrun: send JOIN: %w", err)
 	}
-	ctl.SetReadDeadline(time.Now().Add(bootTimeout))
+	// The catalog arrives only once every rank has joined, so this wait is
+	// bounded by the coordinator's join timeout, not the boot timeout.
+	worldTO := bootTimeout
+	if o.JoinTimeout > bootTimeout {
+		worldTO = o.JoinTimeout + 10*time.Second
+	}
+	ctl.SetReadDeadline(time.Now().Add(worldTO))
 	var catalog, hostCatalog string
 	if _, err := fmt.Fscanf(w.ctlRd, "WORLD %d %s %s\n", &w.rank, &catalog, &hostCatalog); err != nil {
 		w.teardown()
@@ -669,17 +852,34 @@ func (w *World) Ready() {
 	go w.watchCtl()
 }
 
-// watchCtl surfaces coordinator-pushed events after GO: ABORT aborts this
-// process, BYE releases Finish, and a dead coordinator (read error before
-// either) aborts so no rank hangs on a vanished world.
+// watchCtl surfaces coordinator-pushed events after GO: PING answers the
+// liveness probe, RANKFAIL records which rank the verdict blamed (so blocked
+// primitives unwind with *simnet.ErrPeerFailed instead of the bare
+// ErrAborted), ABORT aborts this process, BYE releases Finish. A dead
+// coordinator — read error, or a control stream idle long past the
+// heartbeat cadence (its host vanished without a FIN) — aborts too, so no
+// rank hangs on a vanished world.
 func (w *World) watchCtl() {
 	for {
+		w.ctl.SetReadDeadline(time.Now().Add(ctlIdleTimeout))
 		line, err := w.ctlRd.ReadString('\n')
-		switch strings.TrimSpace(line) {
-		case "ABORT":
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case trimmed == "PING":
+			w.ctlWr.Lock()
+			fmt.Fprintf(w.ctl, "PONG %d\n", w.rank)
+			w.ctlWr.Unlock()
+			continue
+		case strings.HasPrefix(trimmed, "RANKFAIL "):
+			var r int
+			if _, serr := fmt.Sscanf(trimmed, "RANKFAIL %d", &r); serr == nil {
+				w.noteFailedRank(r)
+			}
+			continue // the ABORT that follows the verdict tears down
+		case trimmed == "ABORT":
 			w.localAbort()
 			return
-		case "BYE":
+		case trimmed == "BYE":
 			close(w.bye)
 			return
 		}
@@ -1009,7 +1209,7 @@ func (w *World) WaitDoor(rank int, gen uint64) uint64 {
 				return g
 			}
 			if w.Aborted() {
-				panic(simnet.ErrAborted)
+				panic(w.abortPanic())
 			}
 		}
 	}
@@ -1025,7 +1225,7 @@ func (w *World) WaitDoor(rank int, gen uint64) uint64 {
 		case <-ch:
 		case <-w.done:
 			if w.door.gen.Load() == gen {
-				panic(simnet.ErrAborted)
+				panic(w.abortPanic())
 			}
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fompi/internal/faultnet"
 	"fompi/internal/simnet"
 	"fompi/internal/timing"
 )
@@ -26,25 +27,38 @@ type peerConn struct {
 	rbuf []byte // reply frame scratch
 }
 
-// peer returns the connection to rank r, dialing it on first use.
-func (w *World) peer(r int) *peerConn {
+// peerErr returns the connection to rank r, dialing it on first use. The
+// dial retries with backoff inside dialAttempts — a peer's listener can be
+// briefly unreachable on a congested fabric, and faultnet injects exactly
+// that refusal — so one lost SYN never kills a world.
+func (w *World) peerErr(r int) (*peerConn, error) {
 	w.peerMu.Lock()
 	p := w.peers[r]
 	w.peerMu.Unlock()
 	if p != nil {
-		return p
+		return p, nil
 	}
 	if w.Aborted() {
-		panic(simnet.ErrAborted)
+		panic(w.abortPanic())
 	}
-	c, err := net.DialTimeout("tcp", w.addrs[r], bootTimeout)
-	if err != nil {
-		if w.Aborted() {
-			panic(simnet.ErrAborted)
+	var c net.Conn
+	var err error
+	for attempt, back := 0, dialBackoff; attempt < dialAttempts; attempt, back = attempt+1, back*2 {
+		c, err = faultnet.Dial("tcp", w.addrs[r], bootTimeout)
+		if err == nil {
+			break
 		}
-		panic(fmt.Sprintf("netrun: rank %d cannot reach rank %d at %s: %v", w.rank, r, w.addrs[r], err))
+		if w.Aborted() {
+			panic(w.abortPanic())
+		}
+		if attempt < dialAttempts-1 {
+			time.Sleep(back)
+		}
 	}
-	if tc, ok := c.(*net.TCPConn); ok {
+	if err != nil {
+		return nil, fmt.Errorf("cannot reach rank %d at %s: %w", r, w.addrs[r], err)
+	}
+	if tc, ok := c.(interface{ SetNoDelay(bool) error }); ok {
 		tc.SetNoDelay(true) // requests are latency-bound RPCs, not bulk streams
 	}
 	p = &peerConn{c: c, rd: bufio.NewReader(c)}
@@ -52,8 +66,12 @@ func (w *World) peer(r int) *peerConn {
 	e.u8(opHello)
 	e.i64(0)
 	e.u32(uint32(w.rank))
-	if _, err := c.Write(e.finish()); err != nil {
-		panic(w.netFault(r, err))
+	c.SetWriteDeadline(time.Now().Add(opTimeout))
+	_, err = c.Write(e.finish())
+	c.SetWriteDeadline(time.Time{})
+	if err != nil {
+		c.Close()
+		return nil, err
 	}
 	w.peerMu.Lock()
 	if w.peers[r] == nil {
@@ -63,7 +81,28 @@ func (w *World) peer(r int) *peerConn {
 		p = w.peers[r]
 	}
 	w.peerMu.Unlock()
+	return p, nil
+}
+
+// peer is peerErr for the non-retryable paths: a dial that exhausted its
+// attempts is a peer failure.
+func (w *World) peer(r int) *peerConn {
+	p, err := w.peerErr(r)
+	if err != nil {
+		panic(w.netFault(r, err))
+	}
 	return p
+}
+
+// dropPeer discards a connection whose stream may be desynced (torn frame,
+// timed-out round trip): the next use must redial with a fresh HELLO.
+func (w *World) dropPeer(r int, p *peerConn) {
+	w.peerMu.Lock()
+	if w.peers[r] == p {
+		w.peers[r] = nil
+	}
+	w.peerMu.Unlock()
+	p.c.Close()
 }
 
 // req starts a request frame to rank r with the piggybacked clock.
@@ -74,32 +113,86 @@ func (w *World) req(p *peerConn, op uint8) enc {
 	return e
 }
 
-// call sends the built frame and returns the reply payload (past the status
-// byte). Faults reported by the owner re-panic here with the owner's
-// message; transport failures panic ErrAborted once the world is dead.
-func (w *World) call(r int, p *peerConn, e enc) dec {
+// callErr sends the built frame under the per-op deadline and returns the
+// reply payload (past the status byte). Faults reported by the owner
+// re-panic here with the owner's message (they are world-level, not
+// transport-level); transport failures — write error, reset, a round trip
+// exceeding opTimeout — drop the connection (its stream may be desynced)
+// and are returned for the caller to classify or retry.
+func (w *World) callErr(r int, p *peerConn, e enc) (dec, error) {
 	frame := e.finish()
-	if _, err := p.c.Write(frame); err != nil {
-		panic(w.netFault(r, err))
-	}
+	p.c.SetDeadline(time.Now().Add(opTimeout))
+	_, err := p.c.Write(frame)
 	p.buf = frame[:0]
-	reply, err := readFrame(p.rd, p.rbuf)
+	if err == nil {
+		var reply []byte
+		reply, err = readFrame(p.rd, p.rbuf)
+		if err == nil {
+			p.c.SetDeadline(time.Time{})
+			p.rbuf = reply
+			if len(reply) == 0 {
+				err = fmt.Errorf("empty reply")
+			} else {
+				if reply[0] == stFault {
+					panic(string(reply[1:]))
+				}
+				return dec{b: reply, pos: 1}, nil
+			}
+		}
+	}
+	w.dropPeer(r, p)
+	return dec{}, err
+}
+
+// call is callErr for the data-plane ops, which must not retry: a lost
+// reply leaves the owner's state (stamps, AMOs, NIC bookings) possibly
+// mutated, so replaying the request could apply it twice. Their transport
+// failures are terminal — netFault classifies and panics.
+func (w *World) call(r int, p *peerConn, e enc) dec {
+	d, err := w.callErr(r, p, e)
 	if err != nil {
 		panic(w.netFault(r, err))
 	}
-	p.rbuf = reply
-	if len(reply) == 0 {
-		panic(w.netFault(r, fmt.Errorf("empty reply")))
+	return d
+}
+
+// callIdem issues one idempotent control request — a pure read or a
+// re-armable wait (opRegQuery, opDoorGen, opDoorWait, opClock) — retrying
+// with backoff across fresh connections: transient transport trouble on
+// the control plane must not kill a world. Data-plane ops never come
+// through here (see call).
+func (w *World) callIdem(r int, op uint8, args func(e *enc)) dec {
+	var lastErr error
+	for attempt, back := 0, idemBackoff; attempt < idemAttempts; attempt, back = attempt+1, back*2 {
+		if w.Aborted() {
+			panic(w.abortPanic())
+		}
+		if attempt > 0 {
+			time.Sleep(back)
+		}
+		p, err := w.peerErr(r)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		e := w.req(p, op)
+		if args != nil {
+			args(&e)
+		}
+		d, err := w.callErr(r, p, e)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return d
 	}
-	if reply[0] == stFault {
-		panic(string(reply[1:]))
-	}
-	return dec{b: reply, pos: 1}
+	panic(w.netFault(r, lastErr))
 }
 
 // netFault classifies a connection failure: after an abort every blocked
-// requester unwinds with ErrAborted (the Transport contract); otherwise the
-// world is broken and the fault says so.
+// requester unwinds through the abort panic (the Transport contract);
+// otherwise this rank holds first-hand evidence that r is gone and unwinds
+// with a typed *simnet.ErrPeerFailed naming it.
 func (w *World) netFault(r int, err error) any {
 	// A failure often races the abort broadcast: give the control stream a
 	// moment to deliver the verdict so unwinding keeps the right reason.
@@ -107,9 +200,11 @@ func (w *World) netFault(r int, err error) any {
 		time.Sleep(2 * time.Millisecond)
 	}
 	if w.Aborted() {
-		return simnet.ErrAborted
+		return w.abortPanic()
 	}
-	return fmt.Sprintf("netrun: rank %d lost rank %d (%v); world is broken", w.rank, r, err)
+	w.noteFailedRank(r)
+	return &simnet.ErrPeerFailed{Rank: r,
+		Cause: fmt.Errorf("rank %d lost rank %d: %w", w.rank, r, err)}
 }
 
 // sendRing delivers a fire-and-forget doorbell ring to rank r's owner loop.
@@ -127,23 +222,16 @@ func (w *World) sendRing(r int) {
 	_, err := p.c.Write(frame)
 	p.c.SetWriteDeadline(time.Time{})
 	if err != nil {
-		w.peerMu.Lock()
-		if w.peers[r] == p {
-			w.peers[r] = nil
-		}
-		w.peerMu.Unlock()
-		p.c.Close()
+		w.dropPeer(r, p)
 		return
 	}
 	p.buf = frame[:0]
 }
 
-// queryRegion resolves a foreign registration's liveness and size.
+// queryRegion resolves a foreign registration's liveness and size (a pure
+// read: retried transparently).
 func (w *World) queryRegion(r int, k simnet.Key) (uint8, int) {
-	p := w.peer(r)
-	e := w.req(p, opRegQuery)
-	e.u32(uint32(k))
-	d := w.call(r, p, e)
+	d := w.callIdem(r, opRegQuery, func(e *enc) { e.u32(uint32(k)) })
 	state := d.u8()
 	size := int(d.u64())
 	return state, size
@@ -159,22 +247,23 @@ func (w *World) rpcNicReserve(r int, arrival timing.Time, xfer int64) timing.Tim
 	return timing.Time(d.i64())
 }
 
-// rpcDoorGen samples rank r's doorbell generation over the wire.
+// rpcDoorGen samples rank r's doorbell generation over the wire (a pure
+// read: retried transparently).
 func (w *World) rpcDoorGen(r int) uint64 {
-	p := w.peer(r)
-	e := w.req(p, opDoorGen)
-	d := w.call(r, p, e)
+	d := w.callIdem(r, opDoorGen, nil)
 	return d.u64()
 }
 
 // rpcDoorWait parks at rank r's doorbell for at most slice and returns the
-// generation current when the owner answered.
+// generation current when the owner answered. The wait re-arms on a fresh
+// connection after transient trouble — a timed-out slice answers with the
+// current generation either way, so a retry is indistinguishable from a
+// spurious wakeup (which the WaitDoor contract allows).
 func (w *World) rpcDoorWait(r int, gen uint64, slice time.Duration) uint64 {
-	p := w.peer(r)
-	e := w.req(p, opDoorWait)
-	e.u64(gen)
-	e.u32(uint32(slice / time.Microsecond))
-	d := w.call(r, p, e)
+	d := w.callIdem(r, opDoorWait, func(e *enc) {
+		e.u64(gen)
+		e.u32(uint32(slice / time.Microsecond))
+	})
 	return d.u64()
 }
 
@@ -187,9 +276,7 @@ func (w *World) rpcClock(r int) (clock int64, ok bool) {
 			ok = false
 		}
 	}()
-	p := w.peer(r)
-	e := w.req(p, opClock)
-	d := w.call(r, p, e)
+	d := w.callIdem(r, opClock, nil)
 	c := d.i64()
 	if old := atomic.LoadInt64(&w.clocks[r]); c > old {
 		atomic.StoreInt64(&w.clocks[r], c)

@@ -32,7 +32,9 @@ func (w *World) acceptLoop() {
 		if err != nil {
 			return
 		}
-		if tc, ok := c.(*net.TCPConn); ok {
+		// Interface assert, not *net.TCPConn: faultnet may have wrapped the
+		// accepted connection.
+		if tc, ok := c.(interface{ SetNoDelay(bool) error }); ok {
 			tc.SetNoDelay(true)
 		}
 		go w.serveConn(c)
@@ -72,7 +74,12 @@ func (w *World) serveConn(c net.Conn) {
 			continue
 		}
 		reply := w.handle(op, &d, outBuf)
-		if _, err := c.Write(reply); err != nil {
+		// Bound the reply write: a requester that vanished mid-read must not
+		// park this service goroutine on a full TCP buffer forever.
+		c.SetWriteDeadline(time.Now().Add(opTimeout))
+		_, err = c.Write(reply)
+		c.SetWriteDeadline(time.Time{})
+		if err != nil {
 			return
 		}
 		outBuf = reply[:0]

@@ -30,7 +30,10 @@ import (
 const (
 	// protoVersion gates the JOIN handshake; bump on any frame change.
 	// v2: JOIN carries a host key and WORLD a host catalog (hybrid topology).
-	protoVersion = 2
+	// v3: the control stream speaks PING/PONG heartbeats and RANKFAIL
+	// verdicts after GO; a v2 peer would neither answer probes nor
+	// understand the verdict lines.
+	protoVersion = 3
 
 	// maxFrame bounds a frame against stream corruption: the largest
 	// legitimate payload is a bulk put of a whole region, and regions are

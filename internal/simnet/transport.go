@@ -31,8 +31,10 @@ import (
 //     return). Waiters may be woken spuriously.
 //   - PublishClock/Pace implement the conservative pacing discipline of
 //     DESIGN.md §6.1; with PaceWindow() == 0 both may be no-ops.
-//   - Abort wakes every blocked waiter; WaitDoor panics with ErrAborted when
-//     the world died while it slept.
+//   - Abort wakes every blocked waiter; WaitDoor panics with ErrAborted —
+//     or with *ErrPeerFailed, which matches errors.Is(err, ErrAborted) and
+//     additionally names the dead rank — when the world died while it
+//     slept. Recover sites classify with IsAbortPanic, not value equality.
 type Transport interface {
 	// Topology.
 	Size() int

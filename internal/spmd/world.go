@@ -16,13 +16,16 @@
 package spmd
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"sync"
+	"time"
 
 	"fompi/internal/hybridrun"
 	"fompi/internal/mprun"
 	"fompi/internal/netrun"
+	"fompi/internal/rankio"
 	"fompi/internal/segpool"
 	"fompi/internal/simnet"
 	"fompi/internal/timing"
@@ -90,6 +93,11 @@ type Config struct {
 	// NetTagOutput prefixes spawned ranks' stdout/stderr with "[rank N]"
 	// (net loopback spawn mode; cmd/fompi-run sets it).
 	NetTagOutput bool
+	// NetJoinTimeout bounds the rendezvous on the net/hybrid backends: how
+	// long the coordinator waits for all ranks to join before failing with
+	// a typed error naming the absent ranks (see netrun.ErrJoinTimeout).
+	// Zero keeps netrun's 60 s default.
+	NetJoinTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -236,6 +244,7 @@ func netOptions(cfg Config) netrun.Options {
 		Hosts:        cfg.NetHosts,
 		Relaunch:     cfg.MPRelaunch,
 		TagOutput:    cfg.NetTagOutput,
+		JoinTimeout:  cfg.NetJoinTimeout,
 	}
 }
 
@@ -276,8 +285,16 @@ func runCrossWorker(cfg Config, cw crossWorld, body func(*Proc)) {
 	ok := func() (ok bool) {
 		defer func() {
 			if e := recover(); e != nil {
-				if e == simnet.ErrAborted {
-					cw.Fail("aborted by peer rank")
+				// Three shapes of death, reported in launcher terms: a peer
+				// failure this rank witnessed first-hand (evidence — the
+				// launcher prefers it as the world's error), an abort learned
+				// second-hand (a symptom, reported with the canonical text
+				// rankio.ClassifyFail recognizes), or this rank's own panic.
+				var pf *simnet.ErrPeerFailed
+				if err, isErr := e.(error); isErr && errors.As(err, &pf) && pf.Cause != nil {
+					cw.Fail(fmt.Sprintf("lost peer rank %d: %v", pf.Rank, pf.Cause))
+				} else if simnet.IsAbortPanic(e) {
+					cw.Fail(rankio.PeerAbortMsg)
 				} else {
 					cw.Fail(fmt.Sprintf("rank %d panicked: %v", rank, e))
 				}
@@ -316,7 +333,7 @@ func runInProc(cfg Config, body func(*Proc)) error {
 			defer func() {
 				if e := recover(); e != nil {
 					mu.Lock()
-					if firstErr == nil && e != simnet.ErrAborted {
+					if firstErr == nil && !simnet.IsAbortPanic(e) {
 						firstErr = fmt.Errorf("rank %d panicked: %v", p.rank, e)
 					}
 					mu.Unlock()

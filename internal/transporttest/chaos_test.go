@@ -1,0 +1,156 @@
+//go:build !windows
+
+package transporttest
+
+import (
+	"errors"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"fompi/internal/faultnet"
+	"fompi/internal/rankio"
+	"fompi/internal/simnet"
+	"fompi/internal/spmd"
+	"fompi/internal/timing"
+)
+
+// The chaos half of the conformance suite: the same workloads as the clean
+// tests, run under internal/faultnet's injected faults and real rank death.
+// Two claims are pinned here. Transient faults (delays, torn writes, refused
+// first dials) must be invisible to virtual time — the vtime workload's
+// clocks stay bit-identical to a fault-free run, because virtual time lives
+// entirely above the Transport line. Fatal faults (mid-stream resets, a
+// SIGKILLed rank) must tear the world down promptly with typed errors —
+// never a hang, never an untyped string.
+
+// chaosSpec appends the shared chaos log to a fault spec when the runner
+// asked for one (FOMPI_CHAOS_LOG=/path — CI uploads it as an artifact).
+func chaosSpec(base string) string {
+	if p := os.Getenv("FOMPI_CHAOS_LOG"); p != "" {
+		return base + ",log=" + p
+	}
+	return base
+}
+
+// chaosRun runs one backend leg in a goroutine with a hard deadline, so a
+// failure-detection bug reads as a test failure rather than a hung suite.
+func chaosRun(t *testing.T, label string, budget time.Duration, run func() error) (error, time.Duration) {
+	t.Helper()
+	start := time.Now()
+	errc := make(chan error, 1)
+	go func() { errc <- run() }()
+	select {
+	case err := <-errc:
+		return err, time.Since(start)
+	case <-time.After(budget):
+		t.Fatalf("%s backend: world never tore down (launcher still waiting after %v)", label, budget)
+		return nil, 0
+	}
+}
+
+// TestKillMidRun pins crash detection: one rank is SIGKILLed mid-run — no
+// FAIL line, no control-channel goodbye, just a vanished process — and the
+// launcher must still exit with a typed *rankio.RankError within 10 seconds,
+// with every surviving rank released from its blocked primitive. Only the
+// cross-process backends run (SIGKILLing a goroutine-rank would take the
+// test binary with it).
+func TestKillMidRun(t *testing.T) {
+	cfg := spmd.Config{Ranks: 4, RanksPerNode: 2}
+	body := func(p *spmd.Proc) {
+		reg, key := setupRegion(p, 128)
+		ep := p.EP()
+		if p.Rank() == 1 {
+			// Prove the world was live, then vanish without a trace.
+			ep.StoreW(simnet.Addr{Rank: 0, Key: key, Off: 0}, 1)
+			syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		}
+		// Survivors park on a word nothing will ever write: only failure
+		// detection and abort propagation can release them.
+		ep.WaitLocal(func() bool { return reg.LocalWord(64) == 0xdead })
+		panic("unreachable: the wait above can only end by abort")
+	}
+	eachBackendLeg(t, "TestKillMidRun", cfg, func(label string, c spmd.Config) {
+		if label == "in-process" {
+			return
+		}
+		err, elapsed := chaosRun(t, label, 60*time.Second, func() error { return spmd.Run(c, body) })
+		if err == nil {
+			t.Fatalf("%s backend: world with a SIGKILLed rank reported success", label)
+		}
+		var re *rankio.RankError
+		if !errors.As(err, &re) {
+			t.Fatalf("%s backend: kill error %v (%T) is not a rankio.RankError", label, err, err)
+		}
+		if elapsed > 10*time.Second {
+			t.Fatalf("%s backend: rank death took %v to surface, want under 10s", label, elapsed)
+		}
+	})
+}
+
+// chaosTransientSpec injects only survivable faults: delayed and torn
+// writes on every connection, plus a refused first dial to every address
+// (exercising the dial-retry paths). Nothing in it can lose or corrupt
+// delivered bytes, so the world must complete — with identical clocks.
+const chaosTransientSpec = "seed=11,delayp=0.08,delaymax=2ms,partialp=0.15,dialfailn=1"
+
+// TestChaosTransientVirtualTime pins the tentpole's robustness corollary:
+// virtual time is invariant under transient real-time faults. The expected
+// clocks come from a fault-free in-process run; the TCP-carrying backends
+// then run the same workload with faultnet injecting a fixed-seed schedule
+// of delays, partial writes, and refused dials, and every rank's final
+// virtual time must match bit for bit.
+func TestChaosTransientVirtualTime(t *testing.T) {
+	cfg := spmd.Config{Ranks: 4, RanksPerNode: 2}
+	want := make([]timing.Time, cfg.Ranks)
+	if err := spmd.Run(cfg, func(p *spmd.Proc) {
+		reg, key := setupRegion(p, 1024)
+		want[p.Rank()] = vtimeWorkload(p, key, reg)
+	}); err != nil {
+		t.Fatalf("fault-free reference run: %v", err)
+	}
+	t.Setenv(faultnet.EnvVar, chaosSpec(chaosTransientSpec)) // workers inherit it
+	eachBackendLeg(t, "TestChaosTransientVirtualTime", cfg, func(label string, c spmd.Config) {
+		if label == "in-process" || label == "multi-process" {
+			return // no TCP: nothing to inject
+		}
+		if err := spmd.Run(c, func(p *spmd.Proc) {
+			reg, key := setupRegion(p, 1024)
+			got := vtimeWorkload(p, key, reg)
+			check(got == want[p.Rank()],
+				"rank %d virtual time %d under transient faults on the %s backend, %d fault-free",
+				p.Rank(), got, label, want[p.Rank()])
+		}); err != nil {
+			t.Fatalf("%s backend under transient faults: %v", label, err)
+		}
+	})
+}
+
+// TestChaosFatalTeardown pins the other half of the fault split: a fault
+// the protocol cannot retry (every connection resets mid-stream) must end
+// in a prompt, typed teardown — the launcher returns *rankio.RankError and
+// no rank is left hanging — not in a stall or an unclassified crash.
+func TestChaosFatalTeardown(t *testing.T) {
+	cfg := spmd.Config{Ranks: 4, RanksPerNode: 2}
+	body := func(p *spmd.Proc) {
+		reg, key := setupRegion(p, 1024)
+		vtimeWorkload(p, key, reg)
+	}
+	eachBackendLeg(t, "TestChaosFatalTeardown", cfg, func(label string, c spmd.Config) {
+		if label == "in-process" || label == "multi-process" {
+			return // no TCP: nothing to reset
+		}
+		// Setenv inside the leg: the reference-free test still must not
+		// leak resets into another leg's bootstrap on a worker re-run.
+		t.Setenv(faultnet.EnvVar, chaosSpec("seed=5,resetafter=30"))
+		err, _ := chaosRun(t, label, 90*time.Second, func() error { return spmd.Run(c, body) })
+		if err == nil {
+			t.Fatalf("%s backend: every connection reset mid-stream, yet the world reported success", label)
+		}
+		var re *rankio.RankError
+		if !errors.As(err, &re) {
+			t.Fatalf("%s backend: fatal-fault error %v (%T) is not a rankio.RankError", label, err, err)
+		}
+	})
+}
