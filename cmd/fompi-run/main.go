@@ -56,6 +56,8 @@ func main() {
 		"net/hybrid rendezvous deadline: fail with the list of missing ranks if the world has not assembled by then (0 = the 60 s default)")
 	faults := flag.String("faults", os.Getenv(faultnet.EnvVar),
 		"fault-injection spec for the net/hybrid wire, e.g. 'seed=7,delayp=0.1,delaymax=20ms,resetafter=400' (default from "+faultnet.EnvVar+"; see internal/faultnet)")
+	netTimeouts := flag.String("net-timeouts", os.Getenv(netrun.EnvTimeouts),
+		"net/hybrid failure-model timing spec, e.g. 'heartbeat=500ms,stale=3s,optimeout=2s,ctlidle=6s' (default from "+netrun.EnvTimeouts+"; zero-value keys keep the defaults)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: fompi-run [flags] program [args...]\n")
 		flag.PrintDefaults()
@@ -77,6 +79,15 @@ func main() {
 		// Spawned workers inherit the environment, so the whole world —
 		// launcher dials included — runs under the same fault profile.
 		os.Setenv(faultnet.EnvVar, *faults)
+	}
+	if *netTimeouts != "" {
+		if _, err := netrun.ParseTimeouts(*netTimeouts); err != nil {
+			fmt.Fprintf(os.Stderr, "fompi-run: -net-timeouts: %v\n", err)
+			os.Exit(2)
+		}
+		// Same inheritance pattern as -faults: Launch re-resolves and
+		// re-exports the fully resolved spec for the spawned workers.
+		os.Setenv(netrun.EnvTimeouts, *netTimeouts)
 	}
 
 	var hostList []string

@@ -16,10 +16,27 @@
 //	dialfailn=2             first N dials per destination fail (retry test)
 //	resetafter=400          each conn is reset after N reads+writes
 //	dropafter=500           each conn blackholes writes after N reads+writes
+//	reseteveryn=300         recurring: a conn is reset each time the process-
+//	                        wide op counter crosses a multiple of N
+//	dropeveryn=200          recurring: every N ops on a conn open a short
+//	                        blackhole window dropping the next `dropfor` writes
+//	dropfor=2               width of each dropeveryn blackhole window (writes)
+//	plane=data              scope the conn-killing modes (resetafter,
+//	                        reseteveryn, dropafter, dropeveryn) to data-plane
+//	                        connections, sparing the control/bootstrap streams
 //	log=/path/chaos.log     append a line per injected fault (shared, O_APPEND)
 //
 // Zero values disable the corresponding fault; an empty/unset spec makes
 // every wrapper a pass-through with no overhead on the data path.
+//
+// The recurring modes (reseteveryn, dropeveryn) exist to exercise *recovery*:
+// a single resetafter fires once per connection, but a transport that
+// transparently reconnects (netrun's session resume) then runs fault-free
+// forever after. Recurring resets and periodic blackholes keep re-breaking
+// the fresh connections, so one run exercises the reconnect/replay path many
+// times. They are usually combined with plane=data: the coordinator's
+// control stream has no resume protocol, so killing it turns a transient
+// test into a teardown test.
 //
 // Determinism: each connection draws from its own PRNG seeded by
 // (seed, per-process connection counter), and dial-failure counting is per
@@ -39,6 +56,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -54,13 +72,17 @@ type Config struct {
 	DialFailN   int           // dialfailn= first N dials per address fail
 	ResetAfter  int           // resetafter= conn resets after N reads+writes
 	DropAfter   int           // dropafter= conn blackholes writes after N ops
+	ResetEveryN int           // reseteveryn= recurring reset per N global ops
+	DropEveryN  int           // dropeveryn= per-conn periodic blackhole window
+	DropFor     int           // dropfor= writes dropped per dropeveryn window
+	Plane       string        // plane= "" (all conns) or "data"
 	LogPath     string        // log= chaos log file (append mode)
 }
 
 // Enabled reports whether the config injects any fault at all.
 func (c Config) Enabled() bool {
 	return c.DelayProb > 0 || c.PartialProb > 0 || c.DialFailN > 0 ||
-		c.ResetAfter > 0 || c.DropAfter > 0
+		c.ResetAfter > 0 || c.DropAfter > 0 || c.ResetEveryN > 0 || c.DropEveryN > 0
 }
 
 // Parse parses a FOMPI_FAULTS spec. An empty spec is a valid, disabled
@@ -98,10 +120,23 @@ func Parse(spec string) (Config, error) {
 			c.ResetAfter, err = parseCount(v)
 		case "dropafter":
 			c.DropAfter, err = parseCount(v)
+		case "reseteveryn":
+			c.ResetEveryN, err = parseCount(v)
+		case "dropeveryn":
+			c.DropEveryN, err = parseCount(v)
+		case "dropfor":
+			c.DropFor, err = parseCount(v)
+		case "plane":
+			if v != "all" && v != "data" {
+				return c, fmt.Errorf("faultnet: bad plane=%q (want all or data)", v)
+			}
+			if v == "data" {
+				c.Plane = v
+			}
 		case "log":
 			c.LogPath = v
 		default:
-			return c, fmt.Errorf("faultnet: unknown key %q (want seed, delayp, delaymax, partialp, dialfailn, resetafter, dropafter, log)", k)
+			return c, fmt.Errorf("faultnet: unknown key %q (want seed, delayp, delaymax, partialp, dialfailn, resetafter, dropafter, reseteveryn, dropeveryn, dropfor, plane, log)", k)
 		}
 		if err != nil {
 			return c, fmt.Errorf("faultnet: bad %s=%q: %v", k, v, err)
@@ -109,6 +144,12 @@ func Parse(spec string) (Config, error) {
 	}
 	if c.DelayProb > 0 && c.DelayMax <= 0 {
 		c.DelayMax = time.Millisecond
+	}
+	if c.DropEveryN > 0 && c.DropFor <= 0 {
+		c.DropFor = 2
+	}
+	if c.DropFor > 0 && c.DropEveryN == 0 {
+		return c, errors.New("faultnet: dropfor needs dropeveryn")
 	}
 	return c, nil
 }
@@ -138,6 +179,10 @@ func parseCount(v string) (int, error) {
 // injector is the per-process fault state for one parsed spec.
 type injector struct {
 	cfg Config
+
+	// globalOps counts reads+writes across every faulted connection of the
+	// process; reseteveryn trips the conn whose op crosses a multiple of N.
+	globalOps atomic.Uint64
 
 	mu        sync.Mutex
 	connSeq   uint64
@@ -211,9 +256,34 @@ type errInjected struct{ msg string }
 
 func (e *errInjected) Error() string { return "faultnet: injected " + e.msg }
 
+// Logf appends one line to the active chaos log (the spec's log= file); it
+// is a no-op when injection or logging is off. The transports use it to
+// record recovery actions — reconnects, session resumes, replayed replies —
+// interleaved with the injected faults that caused them, so one artifact
+// tells the whole fault/recovery story.
+func Logf(format string, args ...any) {
+	if inj := current(); inj != nil {
+		inj.logf(format, args...)
+	}
+}
+
 // Dial dials like net.DialTimeout, injecting dial failures and wrapping the
-// resulting connection when fault injection is enabled.
+// resulting connection when fault injection is enabled. Connections made
+// through Dial are control-plane: plane=data spares them the conn-killing
+// modes.
 func Dial(network, addr string, timeout time.Duration) (net.Conn, error) {
+	return dialPlane(network, addr, timeout, "")
+}
+
+// DialData is Dial for data-plane connections — the requester→owner op
+// streams that netrun's session layer can transparently resume. Under
+// plane=data, only these (and WrapListenerData accepts) suffer resets and
+// blackholes.
+func DialData(network, addr string, timeout time.Duration) (net.Conn, error) {
+	return dialPlane(network, addr, timeout, "data")
+}
+
+func dialPlane(network, addr string, timeout time.Duration, plane string) (net.Conn, error) {
 	inj := current()
 	if inj == nil {
 		return net.DialTimeout(network, addr, timeout)
@@ -233,21 +303,34 @@ func Dial(network, addr string, timeout time.Duration) (net.Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return inj.wrap(c, "dial->"+addr), nil
+	return inj.wrap(c, "dial->"+addr, plane), nil
 }
 
 // WrapListener wraps ln so accepted connections carry fault injection; it
 // returns ln unchanged when injection is disabled. The wrapper forwards
 // SetDeadline, so callers must assert that capability as an interface, not
-// as *net.TCPListener.
+// as *net.TCPListener. Accepted connections are control-plane.
 func WrapListener(ln net.Listener) net.Listener {
+	return wrapListenerPlane(ln, "")
+}
+
+// WrapListenerData is WrapListener for data-plane listeners (netrun's per-
+// rank op listener): its accepts are eligible for plane=data conn killing.
+func WrapListenerData(ln net.Listener) net.Listener {
+	return wrapListenerPlane(ln, "data")
+}
+
+func wrapListenerPlane(ln net.Listener, plane string) net.Listener {
 	if current() == nil {
 		return ln
 	}
-	return &listener{Listener: ln}
+	return &listener{Listener: ln, plane: plane}
 }
 
-type listener struct{ net.Listener }
+type listener struct {
+	net.Listener
+	plane string
+}
 
 func (l *listener) Accept() (net.Conn, error) {
 	c, err := l.Listener.Accept()
@@ -260,7 +343,7 @@ func (l *listener) Accept() (net.Conn, error) {
 	if inj == nil {
 		return c, nil
 	}
-	return inj.wrap(c, "accept<-"+c.RemoteAddr().String()), nil
+	return inj.wrap(c, "accept<-"+c.RemoteAddr().String(), l.plane), nil
 }
 
 func (l *listener) SetDeadline(t time.Time) error {
@@ -270,7 +353,7 @@ func (l *listener) SetDeadline(t time.Time) error {
 	return nil
 }
 
-func (inj *injector) wrap(c net.Conn, label string) net.Conn {
+func (inj *injector) wrap(c net.Conn, label, plane string) net.Conn {
 	inj.mu.Lock()
 	id := inj.connSeq
 	inj.connSeq++
@@ -280,6 +363,7 @@ func (inj *injector) wrap(c net.Conn, label string) net.Conn {
 		inj:   inj,
 		id:    id,
 		label: label,
+		plane: plane,
 		rng:   rand.New(rand.NewPCG(uint64(inj.cfg.Seed), id)),
 	}
 }
@@ -292,10 +376,12 @@ type conn struct {
 	inj   *injector
 	id    uint64
 	label string
+	plane string // "" (control) or "data"; plane=data kills only data conns
 
 	mu      sync.Mutex
 	rng     *rand.Rand
 	ops     int  // reads+writes completed, for resetafter/dropafter
+	dropWin int  // writes left in the current dropeveryn blackhole window
 	reset   bool // injected reset tripped: all further I/O fails
 	dropped bool // blackhole tripped: writes pretend to succeed
 }
@@ -309,14 +395,30 @@ func (c *conn) step(isWrite bool) (delay time.Duration, split int, drop, reset b
 		return 0, 0, false, true
 	}
 	c.ops++
-	if cfg.ResetAfter > 0 && c.ops > cfg.ResetAfter {
-		c.reset = true
-		return 0, 0, false, true
-	}
-	if cfg.DropAfter > 0 && c.ops > cfg.DropAfter {
-		c.dropped = true
+	// The conn-killing modes honor plane=data scoping; the byte-level
+	// faults below (delays, partial writes) stay on for every connection.
+	if cfg.Plane != "data" || c.plane == "data" {
+		if cfg.ResetAfter > 0 && c.ops > cfg.ResetAfter {
+			c.reset = true
+			return 0, 0, false, true
+		}
+		if cfg.ResetEveryN > 0 &&
+			c.inj.globalOps.Add(1)%uint64(cfg.ResetEveryN) == 0 {
+			c.reset = true
+			return 0, 0, false, true
+		}
+		if cfg.DropAfter > 0 && c.ops > cfg.DropAfter {
+			c.dropped = true
+		}
+		if cfg.DropEveryN > 0 && c.ops%cfg.DropEveryN == 0 {
+			c.dropWin = cfg.DropFor
+		}
 	}
 	if c.dropped {
+		return 0, 0, true, false
+	}
+	if isWrite && c.dropWin > 0 {
+		c.dropWin--
 		return 0, 0, true, false
 	}
 	if isWrite {
@@ -331,7 +433,10 @@ func (c *conn) step(isWrite bool) (delay time.Duration, split int, drop, reset b
 }
 
 func (c *conn) tripReset() error {
-	c.inj.logf("conn %d (%s) reset after %d ops", c.id, c.label, c.inj.cfg.ResetAfter)
+	c.mu.Lock()
+	ops := c.ops
+	c.mu.Unlock()
+	c.inj.logf("conn %d (%s) reset at op %d", c.id, c.label, ops)
 	c.Conn.Close()
 	return &errInjected{msg: "connection reset"}
 }

@@ -48,10 +48,38 @@ func TestParseRejectsGarbage(t *testing.T) {
 		"dialfailn=-3",    // negative count
 		"delaymax=banana", // not a duration
 		"resetafter=many", // not a number
+		"dropfor=2",       // dropfor without its dropeveryn period
+		"plane=ctl",       // plane is all|data only
+		"reseteveryn=-1",  // negative count
 	} {
 		if _, err := Parse(spec); err == nil {
 			t.Errorf("Parse(%q) accepted a malformed spec", spec)
 		}
+	}
+}
+
+// TestParseRecurring pins the recurring-mode keys: reseteveryn/dropeveryn
+// parse, dropfor defaults to a short window, and plane=data is recorded
+// (plane=all being the no-op spelling of the default).
+func TestParseRecurring(t *testing.T) {
+	c, err := Parse("seed=9,reseteveryn=300,dropeveryn=50,dropfor=3,plane=data")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	want := Config{Seed: 9, ResetEveryN: 300, DropEveryN: 50, DropFor: 3, Plane: "data"}
+	if c != want {
+		t.Fatalf("Parse = %+v, want %+v", c, want)
+	}
+	if !c.Enabled() {
+		t.Fatalf("recurring spec not Enabled")
+	}
+	c, err = Parse("dropeveryn=50")
+	if err != nil || c.DropFor <= 0 {
+		t.Fatalf("dropeveryn without dropfor: cfg %+v, err %v; want a positive default window", c, err)
+	}
+	c, err = Parse("plane=all,delayp=0.1")
+	if err != nil || c.Plane != "" {
+		t.Fatalf("plane=all: cfg %+v, err %v; want the empty (all-conns) default", c, err)
 	}
 }
 
@@ -216,7 +244,7 @@ func TestDeterministicSchedule(t *testing.T) {
 		// Reset the per-process connection counter by taking a fresh
 		// injector (new spec string → new injector), then sample one conn's
 		// write-fault schedule directly.
-		c := inj.wrap(nopConn{}, "test").(*conn)
+		c := inj.wrap(nopConn{}, "test", "").(*conn)
 		var ds []time.Duration
 		for i := 0; i < 64; i++ {
 			d, _, _, _ := c.step(true)
@@ -237,6 +265,135 @@ func TestDeterministicSchedule(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("schedules diverge at op %d under one seed: %v vs %v", i, a[i], b[i])
 		}
+	}
+}
+
+// freshInjector re-resolves the injector under spec with a clean conn
+// counter and global op counter, by cycling the cache through a disabled
+// spec first.
+func freshInjector(t *testing.T, spec string) *injector {
+	t.Helper()
+	t.Setenv(EnvVar, "")
+	Enabled()
+	t.Setenv(EnvVar, spec)
+	inj := current()
+	if inj == nil {
+		t.Fatalf("injector disabled under spec %q", spec)
+	}
+	return inj
+}
+
+// TestResetEveryNRecurs pins the recurring reset: the process-wide op
+// counter, not any one conn's, trips a reset every N ops — so fresh
+// connections keep getting broken, each on schedule.
+func TestResetEveryNRecurs(t *testing.T) {
+	inj := freshInjector(t, "reseteveryn=4")
+	// First conn: ops 1..3 clean, op 4 crosses the multiple and resets.
+	c := inj.wrap(nopConn{}, "a", "").(*conn)
+	for i := 0; i < 3; i++ {
+		if _, _, _, reset := c.step(true); reset {
+			t.Fatalf("conn a reset at global op %d, want at 4", i+1)
+		}
+	}
+	if _, _, _, reset := c.step(true); !reset {
+		t.Fatalf("conn a not reset at global op 4")
+	}
+	// A replacement conn inherits the global counter (now 4): its ops run
+	// 5..7 clean, then op 8 trips the next multiple. Recurrence, not
+	// once-per-conn.
+	c2 := inj.wrap(nopConn{}, "b", "").(*conn)
+	for i := 0; i < 3; i++ {
+		if _, _, _, reset := c2.step(true); reset {
+			t.Fatalf("conn b reset at global op %d, want at 8", 5+i)
+		}
+	}
+	if _, _, _, reset := c2.step(true); !reset {
+		t.Fatalf("conn b not reset at global op 8")
+	}
+}
+
+// TestDropEveryNWindow pins the periodic blackhole: every N ops on a conn
+// open a window dropping the next dropfor writes, then the conn heals.
+func TestDropEveryNWindow(t *testing.T) {
+	inj := freshInjector(t, "dropeveryn=4,dropfor=2")
+	c := inj.wrap(nopConn{}, "w", "").(*conn)
+	var got []bool
+	for i := 0; i < 12; i++ {
+		_, _, drop, reset := c.step(true)
+		if reset {
+			t.Fatalf("dropeveryn tripped a reset at op %d", i+1)
+		}
+		got = append(got, drop)
+	}
+	// Ops 4,5 and 8,9 and 12 fall in windows (the op crossing the multiple
+	// opens the window and is itself dropped).
+	want := []bool{false, false, false, true, true, false, false, true, true, false, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("op %d: drop=%v, want %v (schedule %v)", i+1, got[i], want[i], got)
+		}
+	}
+}
+
+// TestPlaneScoping pins plane=data: conn-killing modes spare control-plane
+// connections entirely while data-plane conns still die on schedule.
+func TestPlaneScoping(t *testing.T) {
+	inj := freshInjector(t, "plane=data,resetafter=2")
+	ctl := inj.wrap(nopConn{}, "ctl", "").(*conn)
+	for i := 0; i < 10; i++ {
+		if _, _, _, reset := ctl.step(true); reset {
+			t.Fatalf("control conn reset under plane=data at op %d", i+1)
+		}
+	}
+	data := inj.wrap(nopConn{}, "data", "data").(*conn)
+	for i := 0; i < 2; i++ {
+		if _, _, _, reset := data.step(true); reset {
+			t.Fatalf("data conn reset inside its budget at op %d", i+1)
+		}
+	}
+	if _, _, _, reset := data.step(true); !reset {
+		t.Fatalf("data conn survived past resetafter under plane=data")
+	}
+}
+
+// TestDialDataPlane pins the public wiring: DialData produces a data-plane
+// conn, Dial a control one, under the same live spec.
+func TestDialDataPlane(t *testing.T) {
+	freshInjector(t, "plane=data,resetafter=1")
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, c)
+		}
+	}()
+	ctl, err := Dial("tcp", ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer ctl.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := ctl.Write([]byte("x")); err != nil {
+			t.Fatalf("control write %d died under plane=data: %v", i+1, err)
+		}
+	}
+	data, err := DialData("tcp", ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatalf("DialData: %v", err)
+	}
+	defer data.Close()
+	if _, err := data.Write([]byte("x")); err != nil {
+		t.Fatalf("data write inside the budget: %v", err)
+	}
+	if _, err := data.Write([]byte("x")); err == nil || !strings.Contains(err.Error(), "reset") {
+		t.Fatalf("data write past resetafter: err %v, want injected reset", err)
 	}
 }
 

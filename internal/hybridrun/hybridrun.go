@@ -60,6 +60,11 @@ const (
 	// arenaWait bounds how long a non-creator rank polls for the creator's
 	// arena file (the creator may still be between JOIN and create).
 	arenaWait = 60 * time.Second
+
+	// doorWaitSlice bounds a local arena doorbell park (WaitDoor): wire
+	// RINGs are fire-and-forget, so a data-plane reset can lose the bump —
+	// the slice converts that into a bounded predicate re-check.
+	doorWaitSlice = 100 * time.Millisecond
 )
 
 // Options describes a hybrid world: the inter-node rendezvous plus the
@@ -363,10 +368,13 @@ func (w *World) DoorGen(rank int) uint64 {
 }
 
 // WaitDoor blocks until rank's doorbell generation exceeds gen: an arena park
-// for the host group, sliced wire waits otherwise.
+// for the host group, sliced wire waits otherwise. The arena park is sliced
+// too — an off-host writer's RING rides the wire outside the session layer,
+// so a data-plane reset can eat the frame that would have bumped the arena
+// generation; the spurious return lets the caller re-check its predicate.
 func (w *World) WaitDoor(rank int, gen uint64) uint64 {
 	if l := w.lidx[rank]; l >= 0 {
-		return w.ar.WaitDoor(l, gen, w.World.Aborted)
+		return w.ar.WaitDoorSliced(l, gen, doorWaitSlice, w.World.Aborted)
 	}
 	return w.World.WaitDoor(rank, gen)
 }

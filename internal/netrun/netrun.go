@@ -45,6 +45,9 @@ const (
 	envCoord = "FOMPI_NET_COORD"
 	envRank  = "FOMPI_NET_RANK"
 	envHost  = "FOMPI_NET_HOST"
+	// EnvTimeouts overrides the failure-model timing knobs (see Timeouts);
+	// worker processes inherit it, so one setting governs a whole world.
+	EnvTimeouts = "FOMPI_NET_TIMEOUTS"
 
 	bootTimeout = 60 * time.Second
 	// abortGrace bounds the time between the abort broadcast and the
@@ -131,6 +134,119 @@ type Options struct {
 	// mode the coordinator also prints a "still waiting for ranks […]"
 	// progress line every few seconds while short of quorum.
 	JoinTimeout time.Duration
+
+	// Timeouts overrides the failure-model timing knobs; zero fields fall
+	// back to the EnvTimeouts environment spec, then to the defaults.
+	// Launch re-exports the resolved values through EnvTimeouts so spawned
+	// workers agree with the coordinator.
+	Timeouts Timeouts
+}
+
+// Timeouts are the failure-model timing knobs (DESIGN.md §11), configurable
+// per world so chaos tests and latency-sensitive deployments need not wait
+// out the conservative defaults. The environment spec (EnvTimeouts,
+// `fompi-run -net-timeouts`) is a comma-separated key=value list of Go
+// durations:
+//
+//	heartbeat=500ms   coordinator PING cadence after GO
+//	stale=3s          missing-PONG budget before a rank is declared dead
+//	optimeout=2s      per-request data-plane budget (also the whole
+//	                  reconnect-and-resume budget of one op)
+//	ctlidle=6s        worker-side idle-control-stream cutoff (a vanished
+//	                  coordinator)
+//
+// Zero fields keep the defaults (2s / 10s / 15s / 30s). Malformed or
+// inconsistent specs fail the launch, like a bad -faults spec.
+type Timeouts struct {
+	HeartbeatEvery time.Duration // heartbeat=
+	HeartbeatStale time.Duration // stale=
+	OpTimeout      time.Duration // optimeout=
+	CtlIdleTimeout time.Duration // ctlidle=
+}
+
+// ParseTimeouts parses an EnvTimeouts spec; an empty spec is a valid
+// all-defaults Timeouts.
+func ParseTimeouts(spec string) (Timeouts, error) {
+	var t Timeouts
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return t, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return t, fmt.Errorf("netrun: timeout spec %q is not key=value", kv)
+		}
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return t, fmt.Errorf("netrun: bad timeout %s=%q (want a positive duration)", k, v)
+		}
+		switch k {
+		case "heartbeat":
+			t.HeartbeatEvery = d
+		case "stale":
+			t.HeartbeatStale = d
+		case "optimeout":
+			t.OpTimeout = d
+		case "ctlidle":
+			t.CtlIdleTimeout = d
+		default:
+			return t, fmt.Errorf("netrun: unknown timeout key %q (want heartbeat, stale, optimeout, ctlidle)", k)
+		}
+	}
+	return t, nil
+}
+
+// spec renders t as a ParseTimeouts round-trippable string (all fields must
+// be resolved).
+func (t Timeouts) spec() string {
+	return fmt.Sprintf("heartbeat=%s,stale=%s,optimeout=%s,ctlidle=%s",
+		t.HeartbeatEvery, t.HeartbeatStale, t.OpTimeout, t.CtlIdleTimeout)
+}
+
+// resolveTimeouts layers defaults ← environment ← Options and validates the
+// result; both the coordinator and every worker resolve the same way, so a
+// spec exported through the environment keeps the world in agreement.
+func resolveTimeouts(o Timeouts) (Timeouts, error) {
+	t, err := ParseTimeouts(os.Getenv(EnvTimeouts))
+	if err != nil {
+		return t, err
+	}
+	if o.HeartbeatEvery > 0 {
+		t.HeartbeatEvery = o.HeartbeatEvery
+	}
+	if o.HeartbeatStale > 0 {
+		t.HeartbeatStale = o.HeartbeatStale
+	}
+	if o.OpTimeout > 0 {
+		t.OpTimeout = o.OpTimeout
+	}
+	if o.CtlIdleTimeout > 0 {
+		t.CtlIdleTimeout = o.CtlIdleTimeout
+	}
+	if t.HeartbeatEvery <= 0 {
+		t.HeartbeatEvery = heartbeatEvery
+	}
+	if t.HeartbeatStale <= 0 {
+		t.HeartbeatStale = heartbeatStale
+	}
+	if t.OpTimeout <= 0 {
+		t.OpTimeout = opTimeout
+	}
+	if t.CtlIdleTimeout <= 0 {
+		t.CtlIdleTimeout = ctlIdleTimeout
+	}
+	if t.HeartbeatStale <= t.HeartbeatEvery {
+		return t, fmt.Errorf("netrun: stale budget %v must exceed the heartbeat cadence %v", t.HeartbeatStale, t.HeartbeatEvery)
+	}
+	if t.CtlIdleTimeout <= t.HeartbeatEvery {
+		return t, fmt.Errorf("netrun: ctl idle cutoff %v must exceed the heartbeat cadence %v (PINGs are what keep the stream busy)", t.CtlIdleTimeout, t.HeartbeatEvery)
+	}
+	return t, nil
 }
 
 func (o Options) withDefaults() Options {
@@ -184,6 +300,25 @@ type World struct {
 	door      doorbell
 	doorOps   atomic.Pointer[DoorOps] // non-nil: external doorbell (hybrid)
 	clocks    []int64                 // atomically accessed; clocks[r] = last known clock of r
+
+	// Session layer (session.go): this process's session identity, the
+	// requester half of each per-owner session, and the owner-side session
+	// table serving resumes from every peer.
+	sid      uint64
+	rsess    []reqSession
+	sessMu   sync.Mutex
+	sessions map[uint64]*ownerSession
+
+	// Inbound service tracking: every accepted data-plane connection and
+	// its serveConn goroutine, so Finish/Fail can stop the service and
+	// guarantee no remote op touches local memory afterwards.
+	svcMu     sync.Mutex
+	svcConns  map[net.Conn]struct{}
+	svcClosed bool
+	svcWg     sync.WaitGroup
+
+	// tm holds the resolved failure-model timing knobs (Timeouts).
+	tm Timeouts
 
 	aborted atomic.Bool
 	// failedRank is the rank the RANKFAIL verdict (or first-hand transport
@@ -334,6 +469,14 @@ func Launch(o Options) error {
 	if err := faultnet.Check(); err != nil {
 		return fmt.Errorf("netrun: %w", err)
 	}
+	tm, err := resolveTimeouts(o.Timeouts)
+	if err != nil {
+		return err // a bad timeout spec fails the launch, like a bad -faults spec
+	}
+	// Re-export the resolved knobs so spawned workers (which re-resolve from
+	// the environment) agree with the coordinator — the same pattern -faults
+	// uses for its spec.
+	os.Setenv(EnvTimeouts, tm.spec())
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return fmt.Errorf("netrun: listen coordinator socket %s: %w", listen, err)
@@ -380,7 +523,7 @@ func Launch(o Options) error {
 			coordAddr, o.Ranks, strings.Join(o.Hosts, ", "), envCoord, dial, envRank, envHost)
 	}
 
-	err = coordinate(ln, o, cmds)
+	err = coordinate(ln, o, tm, cmds)
 	if err != nil {
 		// Redundant after a completed status phase (everyone has exited),
 		// load-bearing after a bootstrap failure: don't leave orphans.
@@ -426,7 +569,7 @@ func missingRanks(workers []*worker, unassigned int) []int {
 
 // coordinate runs the rendezvous, barrier, and status collection of one
 // world from the coordinator side.
-func coordinate(ln net.Listener, o Options, cmds []*rankio.Cmd) error {
+func coordinate(ln net.Listener, o Options, tm Timeouts, cmds []*rankio.Cmd) error {
 	joinTO := bootTimeout
 	if o.JoinTimeout > 0 {
 		joinTO = o.JoinTimeout
@@ -623,7 +766,7 @@ func coordinate(ln net.Listener, o Options, cmds []*rankio.Cmd) error {
 		aborting = true
 		grace.Reset(abortGrace)
 	}
-	heartbeat := time.NewTicker(heartbeatEvery)
+	heartbeat := time.NewTicker(tm.HeartbeatEvery)
 	defer heartbeat.Stop()
 	for exited < o.Ranks {
 		select {
@@ -675,8 +818,8 @@ func coordinate(ln net.Listener, o Options, cmds []*rankio.Cmd) error {
 			if !aborting {
 				broadcast("PING\n")
 				for r := range lastPong {
-					if !doneSet[r] && !exitedSet[r] && time.Since(lastPong[r]) > heartbeatStale {
-						msg := fmt.Sprintf("no heartbeat for %v (host dead or partitioned?)", heartbeatStale)
+					if !doneSet[r] && !exitedSet[r] && time.Since(lastPong[r]) > tm.HeartbeatStale {
+						msg := fmt.Sprintf("no heartbeat for %v (host dead or partitioned?)", tm.HeartbeatStale)
 						fail(r, msg, 0)
 						abort(r, msg)
 						break
@@ -726,11 +869,14 @@ func Join(o Options) (*World, error) {
 	if err := faultnet.Check(); err != nil {
 		return nil, fmt.Errorf("netrun: %w", err)
 	}
+	tm, err := resolveTimeouts(o.Timeouts)
+	if err != nil {
+		return nil, err
+	}
 	// The coordinator may come up after the workers in host-list mode, and
 	// faultnet injects refused dials; retry with backoff inside the boot
 	// window rather than failing the whole rank on the first RST.
 	var ctl net.Conn
-	var err error
 	for d, until := dialBackoff, time.Now().Add(bootTimeout); ; d *= 2 {
 		ctl, err = faultnet.Dial("tcp", coord, bootTimeout)
 		if err == nil {
@@ -750,15 +896,22 @@ func Join(o Options) (*World, error) {
 		ctl.Close()
 		return nil, fmt.Errorf("netrun: listen data socket: %w", err)
 	}
-	ln = faultnet.WrapListener(ln)
+	// The data listener is data-plane: faultnet's plane=data scoping targets
+	// it (and the requester conns dialed to it) while sparing the control
+	// streams the failure detector rides on.
+	ln = faultnet.WrapListenerData(ln)
 
 	w := &World{
 		opts: o, rank: rank, ctl: ctl, ctlRd: bufio.NewReader(ctl), ln: ln,
-		peers:   make([]*peerConn, o.Ranks),
-		proxies: make([][]*simnet.Region, o.Ranks),
-		clocks:  make([]int64, o.Ranks),
-		done:    make(chan struct{}),
-		bye:     make(chan struct{}),
+		peers:    make([]*peerConn, o.Ranks),
+		proxies:  make([][]*simnet.Region, o.Ranks),
+		clocks:   make([]int64, o.Ranks),
+		rsess:    make([]reqSession, o.Ranks),
+		sessions: make(map[uint64]*ownerSession),
+		svcConns: make(map[net.Conn]struct{}),
+		tm:       tm,
+		done:     make(chan struct{}),
+		bye:      make(chan struct{}),
 	}
 	w.failedRank.Store(-1)
 	w.door.init()
@@ -790,6 +943,9 @@ func Join(o Options) (*World, error) {
 		w.teardown()
 		return nil, fmt.Errorf("netrun: malformed world catalog (%d addrs, %d hosts, rank %d)", len(w.addrs), len(w.hosts), w.rank)
 	}
+	// The session identity is minted once the WORLD reply has fixed the rank
+	// (host-list workers may join rankless and be assigned one here).
+	w.sid = sidFor(w.rank, os.Getpid())
 	return w, nil
 }
 
@@ -861,7 +1017,7 @@ func (w *World) Ready() {
 // rank hangs on a vanished world.
 func (w *World) watchCtl() {
 	for {
-		w.ctl.SetReadDeadline(time.Now().Add(ctlIdleTimeout))
+		w.ctl.SetReadDeadline(time.Now().Add(w.tm.CtlIdleTimeout))
 		line, err := w.ctlRd.ReadString('\n')
 		trimmed := strings.TrimSpace(line)
 		switch {
@@ -906,6 +1062,7 @@ func (w *World) Finish() {
 	case <-time.After(byeTimeout):
 	}
 	w.ctl.Close()
+	w.stopService()
 }
 
 // Fail aborts the world and reports msg to the coordinator; the caller exits
@@ -918,6 +1075,7 @@ func (w *World) Fail(msg string) {
 	w.ctlWr.Unlock()
 	w.localAbort()
 	w.ctl.Close()
+	w.stopService()
 }
 
 // localAbort runs this process's abort consequences exactly once: waiters
@@ -1201,6 +1359,9 @@ func (w *World) DoorGen(rank int) uint64 {
 // park on the doorbell channel; remote waits park inside the owner's
 // service loop in time slices, so a dropped connection or an abort can
 // never strand the waiter (spurious returns are allowed by the contract).
+// Local parks are sliced too: RING frames are fire-and-forget and outside
+// the session layer, so a data-plane reset can eat one — the slice turns a
+// lost wakeup into a bounded re-check instead of a stranded waiter.
 func (w *World) WaitDoor(rank int, gen uint64) uint64 {
 	if rank != w.rank {
 		for {
@@ -1221,12 +1382,19 @@ func (w *World) WaitDoor(rank int, gen uint64) uint64 {
 		if !ok {
 			return w.door.gen.Load()
 		}
+		slice := time.NewTimer(doorWaitSlice)
 		select {
 		case <-ch:
+		case <-slice.C:
+			// Spurious return with gen unchanged: the caller re-checks its
+			// predicate, which a write whose RING was lost may satisfy.
+			return gen
 		case <-w.done:
 			if w.door.gen.Load() == gen {
+				slice.Stop()
 				panic(w.abortPanic())
 			}
 		}
+		slice.Stop()
 	}
 }

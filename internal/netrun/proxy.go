@@ -44,7 +44,7 @@ func (w *World) peerErr(r int) (*peerConn, error) {
 	var c net.Conn
 	var err error
 	for attempt, back := 0, dialBackoff; attempt < dialAttempts; attempt, back = attempt+1, back*2 {
-		c, err = faultnet.Dial("tcp", w.addrs[r], bootTimeout)
+		c, err = faultnet.DialData("tcp", w.addrs[r], bootTimeout)
 		if err == nil {
 			break
 		}
@@ -66,7 +66,7 @@ func (w *World) peerErr(r int) (*peerConn, error) {
 	e.u8(opHello)
 	e.i64(0)
 	e.u32(uint32(w.rank))
-	c.SetWriteDeadline(time.Now().Add(opTimeout))
+	c.SetWriteDeadline(time.Now().Add(w.tm.OpTimeout))
 	_, err = c.Write(e.finish())
 	c.SetWriteDeadline(time.Time{})
 	if err != nil {
@@ -115,52 +115,27 @@ func (w *World) req(p *peerConn, op uint8) enc {
 
 // callErr sends the built frame under the per-op deadline and returns the
 // reply payload (past the status byte). Faults reported by the owner
-// re-panic here with the owner's message (they are world-level, not
+// re-panic here typed (see remoteFault — they are world-level, not
 // transport-level); transport failures — write error, reset, a round trip
-// exceeding opTimeout — drop the connection (its stream may be desynced)
-// and are returned for the caller to classify or retry.
+// exceeding the op timeout — drop the connection (its stream may be
+// desynced) and are returned for the caller to classify or retry.
 func (w *World) callErr(r int, p *peerConn, e enc) (dec, error) {
 	frame := e.finish()
-	p.c.SetDeadline(time.Now().Add(opTimeout))
-	_, err := p.c.Write(frame)
+	reply, err := w.wireCall(p, frame, time.Now().Add(w.tm.OpTimeout))
 	p.buf = frame[:0]
-	if err == nil {
-		var reply []byte
-		reply, err = readFrame(p.rd, p.rbuf)
-		if err == nil {
-			p.c.SetDeadline(time.Time{})
-			p.rbuf = reply
-			if len(reply) == 0 {
-				err = fmt.Errorf("empty reply")
-			} else {
-				if reply[0] == stFault {
-					panic(string(reply[1:]))
-				}
-				return dec{b: reply, pos: 1}, nil
-			}
-		}
-	}
-	w.dropPeer(r, p)
-	return dec{}, err
-}
-
-// call is callErr for the data-plane ops, which must not retry: a lost
-// reply leaves the owner's state (stamps, AMOs, NIC bookings) possibly
-// mutated, so replaying the request could apply it twice. Their transport
-// failures are terminal — netFault classifies and panics.
-func (w *World) call(r int, p *peerConn, e enc) dec {
-	d, err := w.callErr(r, p, e)
 	if err != nil {
-		panic(w.netFault(r, err))
+		w.dropPeer(r, p)
+		return dec{}, err
 	}
-	return d
+	return w.replyDec(r, reply), nil
 }
 
 // callIdem issues one idempotent control request — a pure read or a
 // re-armable wait (opRegQuery, opDoorGen, opDoorWait, opClock) — retrying
 // with backoff across fresh connections: transient transport trouble on
 // the control plane must not kill a world. Data-plane ops never come
-// through here (see call).
+// through here — they ride the session layer (reqData/callData), which
+// recovers by resume-and-replay instead of blind reissue.
 func (w *World) callIdem(r int, op uint8, args func(e *enc)) dec {
 	var lastErr error
 	for attempt, back := 0, idemBackoff; attempt < idemAttempts; attempt, back = attempt+1, back*2 {
@@ -237,13 +212,13 @@ func (w *World) queryRegion(r int, k simnet.Key) (uint8, int) {
 	return state, size
 }
 
-// rpcNicReserve books rank r's NIC over the wire (Transport.ReserveNIC).
+// rpcNicReserve books rank r's NIC over the wire (Transport.ReserveNIC). A
+// booking mutates the owner's busy interval, so it rides the session layer.
 func (w *World) rpcNicReserve(r int, arrival timing.Time, xfer int64) timing.Time {
-	p := w.peer(r)
-	e := w.req(p, opNicReserve)
+	e := w.reqData(r, opNicReserve)
 	e.i64(int64(arrival))
 	e.i64(xfer)
-	d := w.call(r, p, e)
+	d := w.callData(r, e)
 	return timing.Time(d.i64())
 }
 
@@ -307,28 +282,26 @@ func (m *remoteMem) addrHdr(e *enc, off int) {
 
 // Put ships the bytes and stamp work to the owner (see simnet.RemoteMem).
 func (m *remoteMem) Put(off int, src []byte, reserve bool, arrival timing.Time, xfer int64) timing.Time {
-	p := m.w.peer(m.rank)
-	e := m.w.req(p, opPut)
+	e := m.w.reqData(m.rank, opPut)
 	m.addrHdr(&e, off)
 	e.i64(int64(arrival))
 	e.i64(xfer)
 	e.boolByte(reserve)
 	e.bytes(src)
-	d := m.w.call(m.rank, p, e)
+	d := m.w.callData(m.rank, e)
 	return timing.Time(d.i64())
 }
 
 // Get fetches the bytes and their completion time.
 func (m *remoteMem) Get(dst []byte, off int, clockIn timing.Time, reserve bool, tail, xfer int64) timing.Time {
-	p := m.w.peer(m.rank)
-	e := m.w.req(p, opGet)
+	e := m.w.reqData(m.rank, opGet)
 	m.addrHdr(&e, off)
 	e.u64(uint64(len(dst)))
 	e.i64(int64(clockIn))
 	e.i64(tail)
 	e.i64(xfer)
 	e.boolByte(reserve)
-	d := m.w.call(m.rank, p, e)
+	d := m.w.callData(m.rank, e)
 	comp := timing.Time(d.i64())
 	copy(dst, d.rest())
 	return comp
@@ -336,31 +309,31 @@ func (m *remoteMem) Get(dst []byte, off int, clockIn timing.Time, reserve bool, 
 
 // StoreWord ships one word store (see simnet.RemoteMem).
 func (m *remoteMem) StoreWord(off int, v uint64, reserve bool, arrival timing.Time, xfer int64) timing.Time {
-	p := m.w.peer(m.rank)
-	e := m.w.req(p, opStoreW)
+	e := m.w.reqData(m.rank, opStoreW)
 	m.addrHdr(&e, off)
 	e.u64(v)
 	e.i64(int64(arrival))
 	e.i64(xfer)
 	e.boolByte(reserve)
-	d := m.w.call(m.rank, p, e)
+	d := m.w.callData(m.rank, e)
 	return timing.Time(d.i64())
 }
 
-// LoadWord reads one word and its stamp in one round trip.
+// LoadWord reads one word and its stamp in one round trip. (A pure read,
+// but it rides the session layer with the rest of the data plane: one
+// recovery path, and the reply cache keeps a retried load coherent with
+// the interleaving it originally observed.)
 func (m *remoteMem) LoadWord(off int) (uint64, timing.Time) {
-	p := m.w.peer(m.rank)
-	e := m.w.req(p, opLoadW)
+	e := m.w.reqData(m.rank, opLoadW)
 	m.addrHdr(&e, off)
-	d := m.w.call(m.rank, p, e)
+	d := m.w.callData(m.rank, e)
 	v := d.u64()
 	return v, timing.Time(d.i64())
 }
 
 // WordAmo ships one word atomic (see simnet.RemoteMem).
 func (m *remoteMem) WordAmo(op simnet.WordOp, off int, o1, o2 uint64, clockIn, srcFree timing.Time, reserve bool, lat, xfer int64) (old uint64, land, base, newFree timing.Time) {
-	p := m.w.peer(m.rank)
-	e := m.w.req(p, opWordAmo)
+	e := m.w.reqData(m.rank, opWordAmo)
 	m.addrHdr(&e, off)
 	e.u8(uint8(op))
 	e.u64(o1)
@@ -370,7 +343,7 @@ func (m *remoteMem) WordAmo(op simnet.WordOp, off int, o1, o2 uint64, clockIn, s
 	e.i64(lat)
 	e.i64(xfer)
 	e.boolByte(reserve)
-	d := m.w.call(m.rank, p, e)
+	d := m.w.callData(m.rank, e)
 	old = d.u64()
 	land = timing.Time(d.i64())
 	base = timing.Time(d.i64())
@@ -380,8 +353,7 @@ func (m *remoteMem) WordAmo(op simnet.WordOp, off int, o1, o2 uint64, clockIn, s
 
 // BulkAmo ships one chained atomic (see simnet.RemoteMem).
 func (m *remoteMem) BulkAmo(op simnet.AmoOp, off int, src []byte, clockIn, srcFree timing.Time, reserve bool, lat, xfer int64) (comp, newFree timing.Time) {
-	p := m.w.peer(m.rank)
-	e := m.w.req(p, opBulkAmo)
+	e := m.w.reqData(m.rank, opBulkAmo)
 	m.addrHdr(&e, off)
 	e.u8(uint8(op))
 	e.i64(int64(clockIn))
@@ -390,7 +362,7 @@ func (m *remoteMem) BulkAmo(op simnet.AmoOp, off int, src []byte, clockIn, srcFr
 	e.i64(xfer)
 	e.boolByte(reserve)
 	e.bytes(src)
-	d := m.w.call(m.rank, p, e)
+	d := m.w.callData(m.rank, e)
 	comp = timing.Time(d.i64())
 	newFree = timing.Time(d.i64())
 	return comp, newFree
@@ -398,13 +370,12 @@ func (m *remoteMem) BulkAmo(op simnet.AmoOp, off int, src []byte, clockIn, srcFr
 
 // Notify ships one ring deposit (see simnet.RemoteMem).
 func (m *remoteMem) Notify(off int, word uint64, reserve bool, arrival timing.Time, xfer int64) timing.Time {
-	p := m.w.peer(m.rank)
-	e := m.w.req(p, opNotify)
+	e := m.w.reqData(m.rank, opNotify)
 	m.addrHdr(&e, off)
 	e.u64(word)
 	e.i64(int64(arrival))
 	e.i64(xfer)
 	e.boolByte(reserve)
-	d := m.w.call(m.rank, p, e)
+	d := m.w.callData(m.rank, e)
 	return timing.Time(d.i64())
 }

@@ -37,8 +37,40 @@ func (w *World) acceptLoop() {
 		if tc, ok := c.(interface{ SetNoDelay(bool) error }); ok {
 			tc.SetNoDelay(true)
 		}
-		go w.serveConn(c)
+		w.svcMu.Lock()
+		if w.svcClosed {
+			w.svcMu.Unlock()
+			c.Close()
+			continue
+		}
+		w.svcConns[c] = struct{}{}
+		w.svcWg.Add(1)
+		w.svcMu.Unlock()
+		go func() {
+			defer w.svcWg.Done()
+			w.serveConn(c)
+			w.svcMu.Lock()
+			delete(w.svcConns, c)
+			w.svcMu.Unlock()
+		}()
 	}
+}
+
+// stopService closes the data-plane listener and every inbound service
+// connection, then waits for their goroutines to drain. After it returns no
+// remote operation can touch this rank's memory, so callers (hybridrun) may
+// safely release arena-backed regions. Called only once the world is over —
+// after BYE or abort — when any frame still buffered on an inbound stream is
+// a fire-and-forget straggler (a doorbell ring) nobody is waiting on.
+func (w *World) stopService() {
+	w.ln.Close()
+	w.svcMu.Lock()
+	w.svcClosed = true
+	for c := range w.svcConns {
+		c.Close()
+	}
+	w.svcMu.Unlock()
+	w.svcWg.Wait()
 }
 
 // serveConn runs one peer's request stream.
@@ -73,16 +105,41 @@ func (w *World) serveConn(c net.Conn) {
 			w.ringDoor()
 			continue
 		}
-		reply := w.handle(op, &d, outBuf)
+		var reply []byte
+		var cached bool
+		switch {
+		case sessioned(op) || op == opResume:
+			if src < 0 {
+				// An anonymous connection (its HELLO was lost — faultnet can
+				// blackhole it) must not touch session state: drop it so the
+				// requester's resume path redials and re-identifies.
+				return
+			}
+			sid, seq, ack := d.u64(), d.u64(), d.u64()
+			if d.bad {
+				return // truncated session header: the stream is desynced
+			}
+			if op == opResume {
+				reply = w.sessionResume(src, sid, seq, ack, outBuf)
+			} else {
+				reply, cached = w.sessionApply(src, sid, seq, ack, op, &d, outBuf)
+			}
+		default:
+			reply = w.handle(op, &d, outBuf)
+		}
 		// Bound the reply write: a requester that vanished mid-read must not
 		// park this service goroutine on a full TCP buffer forever.
-		c.SetWriteDeadline(time.Now().Add(opTimeout))
+		c.SetWriteDeadline(time.Now().Add(w.tm.OpTimeout))
 		_, err = c.Write(reply)
 		c.SetWriteDeadline(time.Time{})
 		if err != nil {
 			return
 		}
-		outBuf = reply[:0]
+		if !cached {
+			// A cached reply is the session window's property — recycling it
+			// as scratch would corrupt a future replay.
+			outBuf = reply[:0]
+		}
 	}
 }
 
@@ -96,10 +153,16 @@ func (w *World) handle(op uint8, d *dec, scratch []byte) (reply []byte) {
 	e.u8(stOK)
 	defer func() {
 		if r := recover(); r != nil {
-			f := newEnc(e.b[:0])
-			f.u8(stFault)
-			f.bytes([]byte(fmt.Sprint(r)))
-			reply = f.finish()
+			// Classify before shipping: the requester re-panics a typed value
+			// (abort, peer failure with its culprit rank, or a RemoteFault
+			// carrying this rank and the message) instead of a bare string.
+			kind, rank := faultGeneric, w.rank
+			if pf, ok := r.(*simnet.ErrPeerFailed); ok {
+				kind, rank = faultPeerFailed, pf.Rank
+			} else if simnet.IsAbortPanic(r) {
+				kind = faultAborted
+			}
+			reply = faultReply(e.b[:0], kind, rank, fmt.Sprint(r))
 		}
 	}()
 	switch op {

@@ -1,0 +1,320 @@
+package netrun
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fompi/internal/faultnet"
+	"fompi/internal/simnet"
+)
+
+// The data-plane session layer (DESIGN.md §11): every requester→owner
+// stream carries a resumable session, so a transient transport fault — a
+// mid-op TCP reset, a blackholed write — is recovered by re-dialing and
+// retransmitting instead of tearing the world down. The requester stamps
+// each data-plane request with (sid, seq, ack); the owner records applied
+// seqs with their cached reply bytes in a window bounded by the requester's
+// cumulative ack; and the opResume handshake on a fresh connection asks the
+// owner whether the in-flight op already applied, replaying the cached
+// reply when it did. The op therefore executes exactly once however many
+// times the connection under it dies, and — since recovery is pure
+// real-time plumbing below the Transport line — virtual time stays
+// bit-identical to a fault-free run.
+//
+// Genuinely dead peers still fail fast: the whole resume loop shares one
+// opTimeout budget, every iteration observes the coordinator's abort
+// verdict, and exhausting the budget lands in the same netFault
+// classification the pre-session code used.
+
+// RemoteFault is a fault reported by an owner's service loop in reply to a
+// wire operation this rank issued — the remote half of the "faults surface
+// in the process that issued the bad operation" contract. It preserves
+// which rank reported the fault and the owner-side message verbatim
+// (callErr used to re-panic the bare string, losing both).
+type RemoteFault struct {
+	Rank int    // rank whose service loop reported the fault
+	Msg  string // the owner-side panic message, verbatim
+}
+
+func (e *RemoteFault) Error() string {
+	return fmt.Sprintf("%s [remote fault reported by rank %d]", e.Msg, e.Rank)
+}
+
+// sidFor builds this process's session identity: the rank (shifted clear of
+// the entropy bits) so owners can reject a session claimed from the wrong
+// connection, plus the pid as a tiebreaker against a stray same-rank
+// process from a stale world wandering in through a recycled address.
+func sidFor(rank, pid int) uint64 {
+	return (uint64(rank)+1)<<32 | uint64(uint32(pid))
+}
+
+// sidRank recovers the rank a session identity was minted for.
+func sidRank(sid uint64) int { return int(sid>>32) - 1 }
+
+// reqSession is the requester half of one rank-pair session: the sequence
+// counter and the frame scratch that owns the in-flight request across
+// redials (retransmission must survive dropPeer, so data-plane frames are
+// built here, not in the connection's buffer).
+type reqSession struct {
+	seq uint64
+	buf []byte
+}
+
+// reqData starts a sessioned data-plane request to rank r: the common
+// header plus (sid, seq, ack). ack is seq-1 — the endpoint confinement
+// contract means at most one op is in flight, so by the time seq issues,
+// every reply below it has been seen — and it lets the owner evict all
+// cached replies at or below it.
+func (w *World) reqData(r int, op uint8) enc {
+	s := &w.rsess[r]
+	s.seq++
+	e := newEnc(s.buf)
+	e.u8(op)
+	e.i64(atomic.LoadInt64(&w.clocks[w.rank]))
+	e.u64(w.sid)
+	e.u64(s.seq)
+	e.u64(s.seq - 1)
+	return e
+}
+
+// callData issues one sessioned data-plane request and blocks for its
+// reply, transparently recovering from transient transport faults: a failed
+// round trip drops the connection, re-dials, re-attaches the session with
+// opResume, and either adopts the replayed reply (the op applied before the
+// fault) or retransmits the frame (it never arrived). The whole loop runs
+// against one opTimeout budget so a genuinely dead peer still surfaces as a
+// typed failure within the PR 7 detection promise.
+func (w *World) callData(r int, e enc) dec {
+	s := &w.rsess[r]
+	frame := e.finish()
+	s.buf = frame // keep the backing array for the next request
+	deadline := time.Now().Add(w.tm.OpTimeout)
+	// Per-attempt reply deadline: a blackholed write must not consume the
+	// whole budget waiting for a reply that never left, or there would be
+	// no budget left to retransmit in.
+	slice := w.tm.OpTimeout / 4
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if w.Aborted() {
+			panic(w.abortPanic())
+		}
+		if attempt > 0 && time.Now().After(deadline) {
+			panic(w.netFault(r, lastErr))
+		}
+		p, err := w.peerErr(r)
+		if err != nil {
+			lastErr = err // peerErr already backed off across its dial attempts
+			continue
+		}
+		if attempt > 0 {
+			reply, applied, err := w.sendResume(r, p, s, attemptDeadline(deadline, slice))
+			if err != nil {
+				lastErr = err
+				w.dropPeer(r, p)
+				continue
+			}
+			if applied {
+				faultnet.Logf("netrun: rank %d resumed session to rank %d, seq %d replayed from cache", w.rank, r, s.seq)
+				return w.replyDec(r, reply)
+			}
+			faultnet.Logf("netrun: rank %d resumed session to rank %d, seq %d retransmitting", w.rank, r, s.seq)
+		}
+		reply, err := w.wireCall(p, frame, attemptDeadline(deadline, slice))
+		if err != nil {
+			lastErr = err
+			w.dropPeer(r, p)
+			faultnet.Logf("netrun: rank %d lost rank %d mid-op (seq %d): %v; reconnecting", w.rank, r, s.seq, err)
+			continue
+		}
+		return w.replyDec(r, reply)
+	}
+}
+
+// attemptDeadline bounds one attempt: the per-attempt slice, clipped to the
+// overall budget.
+func attemptDeadline(deadline time.Time, slice time.Duration) time.Time {
+	if d := time.Now().Add(slice); d.Before(deadline) {
+		return d
+	}
+	return deadline
+}
+
+// wireCall runs one framed round trip on p under a deadline. On success the
+// reply buffer is retained in p.rbuf for reuse; on any error the caller
+// must drop the connection (its stream may be desynced).
+func (w *World) wireCall(p *peerConn, frame []byte, deadline time.Time) ([]byte, error) {
+	p.c.SetDeadline(deadline)
+	if _, err := p.c.Write(frame); err != nil {
+		return nil, err
+	}
+	reply, err := readFrame(p.rd, p.rbuf)
+	if err != nil {
+		return nil, err
+	}
+	p.c.SetDeadline(time.Time{})
+	p.rbuf = reply
+	if len(reply) == 0 {
+		return nil, fmt.Errorf("empty reply")
+	}
+	return reply, nil
+}
+
+// sendResume re-attaches this rank's session on a fresh connection to r and
+// asks after the in-flight seq. applied=true means the owner already
+// executed it and reply holds the cached reply payload (status byte first —
+// a replayed fault is re-delivered byte-identically).
+func (w *World) sendResume(r int, p *peerConn, s *reqSession, deadline time.Time) (reply []byte, applied bool, err error) {
+	e := newEnc(p.buf)
+	e.u8(opResume)
+	e.i64(atomic.LoadInt64(&w.clocks[w.rank]))
+	e.u64(w.sid)
+	e.u64(s.seq)
+	e.u64(s.seq - 1)
+	frame := e.finish()
+	p.buf = frame[:0]
+	raw, err := w.wireCall(p, frame, deadline)
+	if err != nil {
+		return nil, false, err
+	}
+	if raw[0] == stFault {
+		panic(w.remoteFault(r, raw)) // session mismatch: a protocol violation, not a transient
+	}
+	d := dec{b: raw, pos: 1}
+	have := d.boolVal()
+	if d.bad {
+		return nil, false, fmt.Errorf("truncated resume reply")
+	}
+	if !have {
+		return nil, false, nil
+	}
+	return raw[2:], true, nil
+}
+
+// replyDec classifies one reply payload: faults re-panic typed (RemoteFault
+// preserving the owner's rank and message, composed with the abort
+// machinery per the fault kind), successes decode past the status byte.
+func (w *World) replyDec(owner int, reply []byte) dec {
+	if reply[0] == stFault {
+		panic(w.remoteFault(owner, reply))
+	}
+	return dec{b: reply, pos: 1}
+}
+
+// remoteFault decodes a structured fault reply into the value the requester
+// unwinds with: ErrAborted for an owner that was itself unwinding the world
+// abort, *simnet.ErrPeerFailed carrying the blamed rank (recorded locally
+// too, so this rank's own abort panic names it), and *RemoteFault for a
+// genuine program fault at the owner.
+func (w *World) remoteFault(owner int, reply []byte) any {
+	d := dec{b: reply, pos: 1}
+	kind := d.u8()
+	rank := int(d.u32())
+	msg := string(d.rest())
+	if d.bad {
+		return &RemoteFault{Rank: owner, Msg: string(reply[1:])}
+	}
+	switch kind {
+	case faultAborted:
+		return simnet.ErrAborted
+	case faultPeerFailed:
+		w.noteFailedRank(rank)
+		return &simnet.ErrPeerFailed{Rank: rank, Cause: &RemoteFault{Rank: owner, Msg: msg}}
+	}
+	return &RemoteFault{Rank: owner, Msg: msg}
+}
+
+// faultReply builds a structured fault reply frame.
+func faultReply(scratch []byte, kind uint8, rank int, msg string) []byte {
+	f := newEnc(scratch)
+	f.u8(stFault)
+	f.u8(kind)
+	f.u32(uint32(rank))
+	f.bytes([]byte(msg))
+	return f.finish()
+}
+
+// ownerSession is the owner half of one requester's session: the highest
+// applied sequence and the cached reply frames not yet covered by the
+// requester's cumulative ack. The window stays tiny — the requester has at
+// most one op in flight, so at most the current op's reply (plus, briefly,
+// its predecessor's) is retained.
+type ownerSession struct {
+	mu      sync.Mutex
+	applied uint64
+	replies map[uint64][]byte // seq -> full reply frame, evicted once acked
+}
+
+// evictLocked drops every cached reply the requester has acknowledged.
+func (s *ownerSession) evictLocked(ack uint64) {
+	for k := range s.replies {
+		if k <= ack {
+			delete(s.replies, k)
+		}
+	}
+}
+
+// session resolves (creating on first use) the state of one session.
+func (w *World) session(sid uint64) *ownerSession {
+	w.sessMu.Lock()
+	defer w.sessMu.Unlock()
+	s := w.sessions[sid]
+	if s == nil {
+		s = &ownerSession{replies: make(map[uint64][]byte)}
+		w.sessions[sid] = s
+	}
+	return s
+}
+
+// sessionApply executes one sessioned request exactly once: a seq already
+// in the window replays its cached reply byte-identically (fromCache=true —
+// the caller must not recycle it as scratch); a fresh seq executes under
+// the session lock — held across check, execute, and record, so a zombie
+// connection's handler can never interleave a second execution of the same
+// seq — and its reply is cached until the requester acks past it.
+func (w *World) sessionApply(src int, sid, seq, ack uint64, op uint8, d *dec, scratch []byte) (reply []byte, fromCache bool) {
+	if r := sidRank(sid); r != src {
+		return faultReply(scratch, faultGeneric, w.rank,
+			fmt.Sprintf("netrun: session %#x claims rank %d but its connection said HELLO as rank %d", sid, r, src)), false
+	}
+	s := w.session(sid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.evictLocked(ack)
+	if cached, ok := s.replies[seq]; ok {
+		return cached, true
+	}
+	if seq <= s.applied {
+		// Applied, acked, evicted — and now re-sent: the requester broke the
+		// cumulative-ack contract, and replaying is no longer possible.
+		return faultReply(scratch, faultGeneric, w.rank,
+			fmt.Sprintf("netrun: session %#x replayed seq %d past its own ack", sid, seq)), false
+	}
+	reply = w.handle(op, d, scratch)
+	s.applied = seq
+	s.replies[seq] = append([]byte(nil), reply...)
+	return reply, false
+}
+
+// sessionResume answers an opResume handshake: whether the named in-flight
+// seq already applied, with the cached reply payload inlined when it did.
+func (w *World) sessionResume(src int, sid, seq, ack uint64, scratch []byte) []byte {
+	if r := sidRank(sid); r != src {
+		return faultReply(scratch, faultGeneric, w.rank,
+			fmt.Sprintf("netrun: resume of session %#x claims rank %d but its connection said HELLO as rank %d", sid, r, src))
+	}
+	s := w.session(sid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.evictLocked(ack)
+	e := newEnc(scratch)
+	e.u8(stOK)
+	if cached, ok := s.replies[seq]; ok {
+		e.u8(1)
+		e.bytes(cached[4:]) // the cached frame's payload, inlined past the have byte
+	} else {
+		e.u8(0)
+	}
+	return e.finish()
+}

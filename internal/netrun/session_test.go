@@ -1,0 +1,303 @@
+package netrun
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"fompi/internal/faultnet"
+	"fompi/internal/simnet"
+)
+
+// sessionWorld builds the minimal owner-side World the session layer needs:
+// a rank, a clock table, the NIC booking state, and an empty session table.
+func sessionWorld() *World {
+	w := &World{
+		rank:     1,
+		clocks:   make([]int64, 4),
+		sessions: make(map[uint64]*ownerSession),
+	}
+	w.reserveFn = w.reserveLocalNIC
+	return w
+}
+
+// nicReserveFields encodes the opNicReserve payload past the session header:
+// with arrival 0 and xfer 1, every execution advances the owner's busy
+// interval by exactly one — a counter that detects double application.
+func nicReserveFields() []byte {
+	b := binary.LittleEndian.AppendUint64(nil, 0) // arrival
+	return binary.LittleEndian.AppendUint64(b, 1) // xfer
+}
+
+func TestSessionDuplicateSeqReplaysCachedReply(t *testing.T) {
+	w := sessionWorld()
+	sid := sidFor(0, 4242)
+
+	d1 := dec{b: nicReserveFields()}
+	r1, cached := w.sessionApply(0, sid, 1, 0, opNicReserve, &d1, nil)
+	if cached {
+		t.Fatalf("first application of seq 1 claimed to come from cache")
+	}
+	first := append([]byte(nil), r1...)
+
+	d2 := dec{b: nicReserveFields()}
+	r2, cached := w.sessionApply(0, sid, 1, 0, opNicReserve, &d2, nil)
+	if !cached {
+		t.Fatalf("duplicate seq 1 was not served from cache")
+	}
+	if !bytes.Equal(first, r2) {
+		t.Fatalf("replayed reply differs from the original:\n  first  %x\n  replay %x", first, r2)
+	}
+	if w.nicBusy != 1 {
+		t.Fatalf("owner NIC busy = %d after a duplicated seq, want 1 (applied exactly once)", w.nicBusy)
+	}
+}
+
+func TestSessionReplaysFaultReplyByteIdentically(t *testing.T) {
+	w := sessionWorld()
+	sid := sidFor(0, 7)
+
+	// opPut against an unregistered region faults in handle; the fault reply
+	// must be cached and replayed like any other, so a retransmitted bad op
+	// re-delivers the same fault instead of re-executing.
+	putFields := binary.LittleEndian.AppendUint32(nil, 9) // unknown key
+	d1 := dec{b: putFields}
+	r1, cached := w.sessionApply(0, sid, 1, 0, opPut, &d1, nil)
+	if cached || r1[4] != stFault {
+		t.Fatalf("expected a fresh fault reply, got cached=%v status=%d", cached, r1[4])
+	}
+	first := append([]byte(nil), r1...)
+	d2 := dec{b: putFields}
+	r2, cached := w.sessionApply(0, sid, 1, 0, opPut, &d2, nil)
+	if !cached || !bytes.Equal(first, r2) {
+		t.Fatalf("fault reply not replayed byte-identically (cached=%v)", cached)
+	}
+}
+
+func TestSessionEvictionHonorsAck(t *testing.T) {
+	w := sessionWorld()
+	sid := sidFor(0, 9)
+
+	apply := func(seq, ack uint64) {
+		t.Helper()
+		d := dec{b: nicReserveFields()}
+		if _, cached := w.sessionApply(0, sid, seq, ack, opNicReserve, &d, nil); cached {
+			t.Fatalf("seq %d unexpectedly served from cache", seq)
+		}
+	}
+	cachedSeqs := func() []uint64 {
+		s := w.sessions[sid]
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		var got []uint64
+		for k := range s.replies {
+			got = append(got, k)
+		}
+		return got
+	}
+
+	apply(1, 0)
+	apply(2, 0) // ack stuck at 0: nothing may be evicted
+	if got := cachedSeqs(); len(got) != 2 {
+		t.Fatalf("window holds %v, want both unacked replies {1, 2}", got)
+	}
+	apply(3, 1) // acks seq 1 only: 2 must survive
+	s := w.sessions[sid]
+	s.mu.Lock()
+	_, have1 := s.replies[1]
+	_, have2 := s.replies[2]
+	_, have3 := s.replies[3]
+	s.mu.Unlock()
+	if have1 || !have2 || !have3 {
+		t.Fatalf("after ack=1 window holds {1:%v 2:%v 3:%v}, want only 2 and 3", have1, have2, have3)
+	}
+	apply(4, 3) // cumulative ack clears everything below
+	if got := cachedSeqs(); len(got) != 1 {
+		t.Fatalf("after ack=3 window holds %v, want only {4}", got)
+	}
+
+	// A resume for a seq still in the window replays it; an evicted or
+	// never-applied seq answers have=0 (retransmit).
+	rr := w.sessionResume(0, sid, 4, 3, nil)
+	if rr[4] != stOK || rr[5] != 1 {
+		t.Fatalf("resume of cached seq 4: status %d have %d, want replay", rr[4], rr[5])
+	}
+	rr = w.sessionResume(0, sid, 99, 3, nil)
+	if rr[4] != stOK || rr[5] != 0 {
+		t.Fatalf("resume of unknown seq 99: status %d have %d, want retransmit", rr[4], rr[5])
+	}
+}
+
+func TestSessionRejectsRankMismatch(t *testing.T) {
+	w := sessionWorld()
+	sid := sidFor(0, 11) // minted for rank 0
+
+	d := dec{b: nicReserveFields()}
+	reply, cached := w.sessionApply(2, sid, 1, 0, opNicReserve, &d, nil) // conn said HELLO as rank 2
+	if cached || reply[4] != stFault {
+		t.Fatalf("rank-mismatched session was not rejected (cached=%v status=%d)", cached, reply[4])
+	}
+	if w.nicBusy != 0 {
+		t.Fatalf("rank-mismatched request executed anyway (nicBusy=%d)", w.nicBusy)
+	}
+	v := w.remoteFault(1, reply[4:])
+	rf, ok := v.(*RemoteFault)
+	if !ok {
+		t.Fatalf("mismatch fault decoded as %T (%v), want *RemoteFault", v, v)
+	}
+	if rf.Rank != 1 {
+		t.Fatalf("RemoteFault blames rank %d, want the owner rank 1", rf.Rank)
+	}
+
+	rr := w.sessionResume(2, sid, 1, 0, nil)
+	if rr[4] != stFault {
+		t.Fatalf("rank-mismatched resume was not rejected (status %d)", rr[4])
+	}
+}
+
+func TestRemoteFaultKinds(t *testing.T) {
+	w := sessionWorld()
+	w.failedRank.Store(-1)
+
+	generic := faultReply(nil, faultGeneric, 1, "simnet: access to unregistered region")
+	if v, ok := w.remoteFault(1, generic[4:]).(*RemoteFault); !ok || v.Rank != 1 {
+		t.Fatalf("generic fault decoded as %#v, want *RemoteFault{Rank: 1}", v)
+	}
+
+	aborted := faultReply(nil, faultAborted, 1, "aborted")
+	if v := w.remoteFault(1, aborted[4:]); v != simnet.ErrAborted {
+		t.Fatalf("aborted fault decoded as %#v, want simnet.ErrAborted", v)
+	}
+
+	pf := faultReply(nil, faultPeerFailed, 3, "no heartbeat")
+	v, ok := w.remoteFault(1, pf[4:]).(*simnet.ErrPeerFailed)
+	if !ok || v.Rank != 3 {
+		t.Fatalf("peer-failed fault decoded as %#v, want *ErrPeerFailed{Rank: 3}", v)
+	}
+	if w.FailedRank() != 3 {
+		t.Fatalf("peer-failed fault did not record the blamed rank (got %d)", w.FailedRank())
+	}
+	if !simnet.IsAbortPanic(v) {
+		t.Fatalf("*ErrPeerFailed must compose with the abort classification")
+	}
+}
+
+func TestParseTimeouts(t *testing.T) {
+	tm, err := ParseTimeouts("heartbeat=500ms, stale=3s,optimeout=2s,ctlidle=6s")
+	if err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	want := Timeouts{500 * time.Millisecond, 3 * time.Second, 2 * time.Second, 6 * time.Second}
+	if tm != want {
+		t.Fatalf("parsed %+v, want %+v", tm, want)
+	}
+	if rt, err := ParseTimeouts(tm.spec()); err != nil || rt != tm {
+		t.Fatalf("spec round trip: %+v (%v), want %+v", rt, err, tm)
+	}
+	for _, bad := range []string{"heartbeat", "stale=-1s", "optimeout=0s", "warp=9s", "heartbeat=fast"} {
+		if _, err := ParseTimeouts(bad); err == nil {
+			t.Fatalf("spec %q parsed without error", bad)
+		}
+	}
+	// stale must exceed the heartbeat cadence or every rank is "dead".
+	t.Setenv(EnvTimeouts, "heartbeat=2s,stale=1s")
+	if _, err := resolveTimeouts(Timeouts{}); err == nil {
+		t.Fatalf("stale < heartbeat resolved without error")
+	}
+	t.Setenv(EnvTimeouts, "heartbeat=250ms")
+	got, err := resolveTimeouts(Timeouts{OpTimeout: 4 * time.Second})
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	if got.HeartbeatEvery != 250*time.Millisecond || got.OpTimeout != 4*time.Second ||
+		got.HeartbeatStale != heartbeatStale || got.CtlIdleTimeout != ctlIdleTimeout {
+		t.Fatalf("resolution layered wrong: %+v", got)
+	}
+}
+
+// TestResumeExactlyOnceUnderRecurringResets runs a real two-rank loopback
+// world under recurring data-plane connection resets and proves the session
+// layer's exactly-once contract end to end: each rank books the peer's NIC
+// `rounds` times with (arrival 0, xfer 1), so the i-th booking must return
+// exactly i. A lost request that was silently re-executed would skip a value;
+// a reply replayed from the wrong seq would repeat one. The faultnet spec
+// scopes resets to the data plane, so the coordinator's failure detector
+// keeps running — exactly the regime the resume protocol is for.
+func TestResumeExactlyOnceUnderRecurringResets(t *testing.T) {
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("probe listen: %v", err)
+	}
+	addr := probe.Addr().String()
+	probe.Close()
+
+	t.Setenv(faultnet.EnvVar, "seed=3,reseteveryn=25,plane=data")
+	t.Setenv(EnvTimeouts, "heartbeat=500ms,stale=5s,optimeout=5s,ctlidle=10s")
+	t.Setenv(envCoord, addr)
+	t.Setenv(envRank, "")
+
+	o := Options{Ranks: 2, RanksPerNode: 1, Hosts: []string{"localhost"}, Listen: addr}
+	launchErr := make(chan error, 1)
+	go func() { launchErr <- Launch(o) }()
+	for i := 0; ; i++ {
+		c, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			c.Close()
+			break
+		}
+		if i > 100 {
+			t.Fatalf("coordinator never started listening: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	const rounds = 300
+	workerErr := make(chan error, 2)
+	worker := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				workerErr <- errFromPanic(r)
+			}
+		}()
+		w, err := Join(Options{Ranks: 2, RanksPerNode: 1})
+		if err != nil {
+			workerErr <- err
+			return
+		}
+		w.Ready()
+		peer := 1 - w.Rank()
+		var mismatch error
+		for i := int64(1); i <= rounds; i++ {
+			if got := int64(w.ReserveNIC(peer, 0, 1)); got != i {
+				mismatch = fmt.Errorf("rank %d booking %d returned %d: an op was lost or applied twice", w.Rank(), i, got)
+				break
+			}
+		}
+		w.Finish()
+		workerErr <- mismatch
+	}
+	go worker()
+	go worker()
+
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-workerErr:
+			if err != nil {
+				t.Fatalf("worker: %v", err)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatalf("workers did not finish under recurring resets")
+		}
+	}
+	select {
+	case err := <-launchErr:
+		if err != nil {
+			t.Fatalf("coordinator: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("coordinator did not return")
+	}
+}

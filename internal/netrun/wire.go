@@ -27,13 +27,29 @@ import (
 // Every request carries the sender's current virtual clock; the owner folds
 // it into its pacing table, so data traffic doubles as clock gossip (the
 // piggyback half of the pacing discipline; opClock is the heartbeat half).
+//
+// Since v4 the data-plane ops ride a resumable session (DESIGN.md §11): after
+// the clock, each carries (sid u64, seq u64, ack u64) — a session identity
+// encoding the requester's rank, a per-owner monotonically increasing
+// sequence number, and the cumulative sequence the requester has seen a
+// reply for. The owner keeps a bounded per-session window of applied seqs
+// with their cached reply bytes (evicted once acked), so a request
+// retransmitted after a connection reset is answered from the cache instead
+// of re-executed — ops apply exactly once no matter how many times the TCP
+// stream under them dies. opResume is the re-attach handshake on a fresh
+// connection: it names the in-flight (sid, seq) and the owner answers
+// whether that seq was already applied, replaying the cached reply inline
+// when it was.
 const (
 	// protoVersion gates the JOIN handshake; bump on any frame change.
 	// v2: JOIN carries a host key and WORLD a host catalog (hybrid topology).
 	// v3: the control stream speaks PING/PONG heartbeats and RANKFAIL
 	// verdicts after GO; a v2 peer would neither answer probes nor
 	// understand the verdict lines.
-	protoVersion = 3
+	// v4: data-plane requests carry the session header (sid, seq, ack),
+	// opResume re-attaches a session after a reset, and fault replies are
+	// structured (kind byte + rank + message) instead of a bare string.
+	protoVersion = 4
 
 	// maxFrame bounds a frame against stream corruption: the largest
 	// legitimate payload is a bulk put of a whole region, and regions are
@@ -57,12 +73,36 @@ const (
 	opDoorWait                    // gen u64, timeoutUs u32
 	opRing                        // - (no reply)
 	opClock                       // - (reply: owner's published clock)
+	opResume                      // sid u64, seq u64, ack u64 (session re-attach after a reset)
 )
+
+// sessioned reports whether op carries the session header (sid, seq, ack)
+// after its clock: exactly the data-plane ops, whose execution mutates owner
+// state (bytes, stamps, AMO results, NIC bookings) and therefore must never
+// be applied twice. The control ops (opRegQuery, opDoorGen, opDoorWait,
+// opClock) are idempotent and keep the bare header — callIdem simply
+// re-issues them.
+func sessioned(op uint8) bool {
+	switch op {
+	case opPut, opGet, opStoreW, opLoadW, opWordAmo, opBulkAmo, opNotify, opNicReserve:
+		return true
+	}
+	return false
+}
 
 // Reply status bytes.
 const (
 	stOK    uint8 = 0
-	stFault uint8 = 1 // payload is the fault message; the requester re-panics it
+	stFault uint8 = 1 // payload: kind u8, rank u32, message bytes (see faultKind)
+)
+
+// Fault kinds: the typed classification of an owner-reported fault, so the
+// requester re-panics a value that composes with the abort machinery instead
+// of a bare string.
+const (
+	faultGeneric    uint8 = 0 // program fault at the owner: *RemoteFault
+	faultAborted    uint8 = 1 // owner was unwinding a world abort: ErrAborted
+	faultPeerFailed uint8 = 2 // owner blamed a dead rank: *simnet.ErrPeerFailed
 )
 
 // Region-query states (opRegQuery replies).

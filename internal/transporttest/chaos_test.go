@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"fompi/internal/faultnet"
+	"fompi/internal/mprun"
+	"fompi/internal/netrun"
 	"fompi/internal/rankio"
 	"fompi/internal/simnet"
 	"fompi/internal/spmd"
@@ -18,12 +20,19 @@ import (
 
 // The chaos half of the conformance suite: the same workloads as the clean
 // tests, run under internal/faultnet's injected faults and real rank death.
-// Two claims are pinned here. Transient faults (delays, torn writes, refused
-// first dials) must be invisible to virtual time — the vtime workload's
-// clocks stay bit-identical to a fault-free run, because virtual time lives
-// entirely above the Transport line. Fatal faults (mid-stream resets, a
-// SIGKILLed rank) must tear the world down promptly with typed errors —
-// never a hang, never an untyped string.
+// Two claims are pinned here. Transient faults — delays, torn writes,
+// refused first dials, and (since the session layer) mid-stream data-plane
+// resets and periodic blackholes — must be invisible to virtual time: the
+// vtime workload's clocks stay bit-identical to a fault-free run, because
+// recovery is pure real-time plumbing below the Transport line. Fatal
+// faults (a dead control plane, a SIGKILLed rank) must tear the world down
+// promptly with typed errors — never a hang, never an untyped string.
+
+// chaosTimeouts tightens the failure-model knobs for every chaos leg: the
+// per-op budget bounds each injected blackhole stall, and the heartbeat /
+// idle cutoffs keep the fatal legs' detection latency (and so the CI job)
+// small without loosening the promises under test.
+const chaosTimeouts = "heartbeat=500ms,stale=4s,optimeout=2s,ctlidle=8s"
 
 // chaosSpec appends the shared chaos log to a fault spec when the runner
 // asked for one (FOMPI_CHAOS_LOG=/path — CI uploads it as an artifact).
@@ -89,18 +98,27 @@ func TestKillMidRun(t *testing.T) {
 	})
 }
 
-// chaosTransientSpec injects only survivable faults: delayed and torn
-// writes on every connection, plus a refused first dial to every address
-// (exercising the dial-retry paths). Nothing in it can lose or corrupt
-// delivered bytes, so the world must complete — with identical clocks.
-const chaosTransientSpec = "seed=11,delayp=0.08,delaymax=2ms,partialp=0.15,dialfailn=1"
+// The transient scenarios: fixed-seed fault schedules the session layer
+// must absorb without perturbing virtual time. The first injects only
+// byte-level trouble (delays, torn writes, refused first dials); the
+// recurring two keep re-breaking the data plane — every fresh connection is
+// reset again, every conn periodically blackholes writes — so one run
+// crosses the reconnect/resume/replay path many times. plane=data confines
+// the conn-killing modes to the resumable streams; killing the control
+// plane is the *fatal* test's job.
+var chaosTransientScenarios = []struct{ name, spec string }{
+	{"transient", "seed=11,delayp=0.08,delaymax=2ms,partialp=0.15,dialfailn=1"},
+	{"recurring-resets", "seed=17,reseteveryn=40,plane=data"},
+	{"periodic-blackholes", "seed=23,dropeveryn=60,dropfor=2,plane=data,delayp=0.05,delaymax=1ms"},
+}
 
 // TestChaosTransientVirtualTime pins the tentpole's robustness corollary:
-// virtual time is invariant under transient real-time faults. The expected
-// clocks come from a fault-free in-process run; the TCP-carrying backends
-// then run the same workload with faultnet injecting a fixed-seed schedule
-// of delays, partial writes, and refused dials, and every rank's final
-// virtual time must match bit for bit.
+// virtual time is invariant under transient real-time faults — including
+// mid-op connection resets and blackholed writes, which the session layer
+// recovers by resume-and-replay. The expected clocks come from a fault-free
+// in-process run; the TCP-carrying backends then run the same workload under
+// each fixed-seed fault scenario, and every rank's final virtual time must
+// match bit for bit.
 func TestChaosTransientVirtualTime(t *testing.T) {
 	cfg := spmd.Config{Ranks: 4, RanksPerNode: 2}
 	want := make([]timing.Time, cfg.Ranks)
@@ -110,32 +128,57 @@ func TestChaosTransientVirtualTime(t *testing.T) {
 	}); err != nil {
 		t.Fatalf("fault-free reference run: %v", err)
 	}
-	t.Setenv(faultnet.EnvVar, chaosSpec(chaosTransientSpec)) // workers inherit it
-	eachBackendLeg(t, "TestChaosTransientVirtualTime", cfg, func(label string, c spmd.Config) {
-		if label == "in-process" || label == "multi-process" {
-			return // no TCP: nothing to inject
+	// A worker process serves exactly one world of one scenario: it must
+	// keep the fault spec it inherited from its launcher (not rewind the
+	// matrix to scenario one) and stop after its single backend leg — a
+	// second spmd.Run would try to re-join a coordinator that is done.
+	worker := mprun.IsWorker() || netrun.IsWorker()
+	if !worker {
+		t.Setenv(netrun.EnvTimeouts, chaosTimeouts)
+	}
+	for _, sc := range chaosTransientScenarios {
+		if !worker {
+			t.Setenv(faultnet.EnvVar, chaosSpec(sc.spec))
 		}
-		if err := spmd.Run(c, func(p *spmd.Proc) {
-			reg, key := setupRegion(p, 1024)
-			got := vtimeWorkload(p, key, reg)
-			check(got == want[p.Rank()],
-				"rank %d virtual time %d under transient faults on the %s backend, %d fault-free",
-				p.Rank(), got, label, want[p.Rank()])
-		}); err != nil {
-			t.Fatalf("%s backend under transient faults: %v", label, err)
+		eachBackendLeg(t, "TestChaosTransientVirtualTime", cfg, func(label string, c spmd.Config) {
+			if label == "in-process" || label == "multi-process" {
+				return // no TCP: nothing to inject
+			}
+			if err := spmd.Run(c, func(p *spmd.Proc) {
+				reg, key := setupRegion(p, 1024)
+				got := vtimeWorkload(p, key, reg)
+				check(got == want[p.Rank()],
+					"rank %d virtual time %d under %s faults on the %s backend, %d fault-free",
+					p.Rank(), got, sc.name, label, want[p.Rank()])
+			}); err != nil {
+				t.Fatalf("%s backend under %s faults: %v", label, sc.name, err)
+			}
+		})
+		if worker {
+			break
 		}
-	})
+	}
 }
 
 // TestChaosFatalTeardown pins the other half of the fault split: a fault
-// the protocol cannot retry (every connection resets mid-stream) must end
-// in a prompt, typed teardown — the launcher returns *rankio.RankError and
-// no rank is left hanging — not in a stall or an unclassified crash.
+// the protocol cannot retry must end in a prompt, typed teardown — the
+// launcher returns *rankio.RankError and no rank is left hanging — not in a
+// stall or an unclassified crash. Since the session layer made data-plane
+// resets survivable, the unretryable fault is a dead *control* plane: the
+// spec resets every connection (plane=all) after a small op budget, so the
+// heartbeat traffic kills the coordinator↔worker streams a few seconds
+// after GO while the ranks sit parked on a wait only an abort can release.
 func TestChaosFatalTeardown(t *testing.T) {
 	cfg := spmd.Config{Ranks: 4, RanksPerNode: 2}
 	body := func(p *spmd.Proc) {
-		reg, key := setupRegion(p, 1024)
-		vtimeWorkload(p, key, reg)
+		reg, _ := setupRegion(p, 1024)
+		// Park forever: teardown must come from failure detection, never
+		// from the workload winning a race against the injected faults.
+		p.EP().WaitLocal(func() bool { return reg.LocalWord(64) == 0xdead })
+		panic("unreachable: the wait above can only end by abort")
+	}
+	if !mprun.IsWorker() && !netrun.IsWorker() {
+		t.Setenv(netrun.EnvTimeouts, chaosTimeouts)
 	}
 	eachBackendLeg(t, "TestChaosFatalTeardown", cfg, func(label string, c spmd.Config) {
 		if label == "in-process" || label == "multi-process" {
@@ -143,14 +186,17 @@ func TestChaosFatalTeardown(t *testing.T) {
 		}
 		// Setenv inside the leg: the reference-free test still must not
 		// leak resets into another leg's bootstrap on a worker re-run.
-		t.Setenv(faultnet.EnvVar, chaosSpec("seed=5,resetafter=30"))
-		err, _ := chaosRun(t, label, 90*time.Second, func() error { return spmd.Run(c, body) })
+		t.Setenv(faultnet.EnvVar, chaosSpec("seed=5,resetafter=20"))
+		err, elapsed := chaosRun(t, label, 60*time.Second, func() error { return spmd.Run(c, body) })
 		if err == nil {
-			t.Fatalf("%s backend: every connection reset mid-stream, yet the world reported success", label)
+			t.Fatalf("%s backend: control plane reset mid-run, yet the world reported success", label)
 		}
 		var re *rankio.RankError
 		if !errors.As(err, &re) {
 			t.Fatalf("%s backend: fatal-fault error %v (%T) is not a rankio.RankError", label, err, err)
+		}
+		if elapsed > 30*time.Second {
+			t.Fatalf("%s backend: control-plane death took %v to surface, want well under the chaos budget", label, elapsed)
 		}
 	})
 }
