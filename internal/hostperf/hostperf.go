@@ -170,6 +170,8 @@ const (
 	pingpongRounds = 400
 	crossPutReps   = 200
 	crossPutBytes  = 32 << 10
+	msgrateWindow  = 64
+	msgrateMsgs    = 6400
 )
 
 // CrossScenarios returns the host-perf subset that measures a cross-process
@@ -202,6 +204,35 @@ func CrossScenarios(backend spmd.Backend, relaunch func(name string) []string) [
 					} else {
 						ep.WaitLocal(func() bool { return reg.LocalWord(0) >= r })
 						ep.StoreW(simnet.Addr{Rank: peer, Key: key, Off: 0}, r)
+					}
+				}
+				p.Barrier()
+			})
+		}},
+		// Back-to-back 8-byte PutNB windows, waited per window: the
+		// transport's small-message rate (msgs/sec). On the wire backends
+		// this is the scenario the pipelined engine (netrun session.go)
+		// exists for — with FOMPI_NET_WINDOW=1 every message pays a full
+		// round trip and the rate collapses to 1/RTT.
+		{Name: "x_msgrate", Unit: "msg", Ops: msgrateMsgs, Run: func() {
+			spmd.MustRun(cfg2("x_msgrate"), func(p *spmd.Proc) {
+				reg := p.EP().Register(4096)
+				key := reg.Key()
+				p.Barrier()
+				if p.Rank() == 0 {
+					ep := p.EP()
+					var word [8]byte
+					hs := make([]simnet.Handle, 0, msgrateWindow)
+					for sent := 0; sent < msgrateMsgs; {
+						hs = hs[:0]
+						for i := 0; i < msgrateWindow && sent < msgrateMsgs; i++ {
+							off := (sent % 512) * 8
+							hs = append(hs, ep.PutNB(simnet.Addr{Rank: 1, Key: key, Off: off}, word[:]))
+							sent++
+						}
+						for _, h := range hs {
+							ep.Wait(h)
+						}
 					}
 				}
 				p.Barrier()

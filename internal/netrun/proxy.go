@@ -14,10 +14,14 @@ import (
 
 // Requester side of the wire protocol: every Endpoint operation on a region
 // owned by another rank becomes one request frame on this rank's connection
-// to the owner, and blocks for the reply (whose virtual times the Endpoint
-// folds into its clock). Requests are confined to the rank's goroutine —
-// the Endpoint confinement contract — so a connection carries at most one
-// outstanding request and replies match by order.
+// to the owner. Requests are confined to the rank's goroutine — the
+// Endpoint confinement contract — so replies match requests by order with
+// no tags. Since v5 the put-shaped operations pipeline through the
+// per-destination window (session.go): PutAsync and friends fuse into
+// opBatch frames and deliver their completion times at the next drain,
+// while value-returning operations still block — after draining every
+// window frame ahead of them, which is what keeps the stream's
+// request/reply order aligned.
 
 // peerConn is one lazily dialed requester connection.
 type peerConn struct {
@@ -137,6 +141,11 @@ func (w *World) callErr(r int, p *peerConn, e enc) (dec, error) {
 // through here — they ride the session layer (reqData/callData), which
 // recovers by resume-and-replay instead of blind reissue.
 func (w *World) callIdem(r int, op uint8, args func(e *enc)) dec {
+	// Control replies share the stream with pending data replies, and reply
+	// matching is by order: the window to r must be empty before a control
+	// request goes out. (Every callIdem caller runs on the rank's goroutine,
+	// the same confinement the window state relies on.)
+	w.drainDst(r)
 	var lastErr error
 	for attempt, back := 0, idemBackoff; attempt < idemAttempts; attempt, back = attempt+1, back*2 {
 		if w.Aborted() {
@@ -190,6 +199,13 @@ func (w *World) netFault(r int, err error) any {
 // must redial with a fresh HELLO.
 func (w *World) sendRing(r int) {
 	defer func() { recover() }()
+	// Best effort: push any queued window frames out first so the ring
+	// stays ordered behind the data it announces. (A reconnect can still
+	// reorder them; waiters tolerate that — WaitDoor allows spurious
+	// wakeups and re-polls on a timeout slice.)
+	if len(w.rsess) > 0 && r != w.rank {
+		w.sendPending(r)
+	}
 	p := w.peer(r)
 	e := w.req(p, opRing)
 	frame := e.finish()
@@ -269,7 +285,10 @@ type remoteMem struct {
 	size int
 }
 
-var _ simnet.RemoteMem = (*remoteMem)(nil)
+var (
+	_ simnet.RemoteMem = (*remoteMem)(nil)
+	_ simnet.AsyncMem  = (*remoteMem)(nil)
+)
 
 // Size returns the registered length learned at materialization.
 func (m *remoteMem) Size() int { return m.size }
@@ -378,4 +397,39 @@ func (m *remoteMem) Notify(off int, word uint64, reserve bool, arrival timing.Ti
 	e.boolByte(reserve)
 	d := m.w.callData(m.rank, e)
 	return timing.Time(d.i64())
+}
+
+// PutAsync queues one put as a fused sub-op on the window to the owner (see
+// simnet.AsyncMem): the field layout past the opcode is exactly Put's, and
+// the completion time lands in sink at the next drain.
+func (m *remoteMem) PutAsync(off int, src []byte, reserve bool, arrival timing.Time, xfer int64, sink *timing.Time, fold bool) {
+	e := m.w.subOp(m.rank, opPut, sink, fold)
+	m.addrHdr(&e, off)
+	e.i64(int64(arrival))
+	e.i64(xfer)
+	e.boolByte(reserve)
+	e.bytes(src)
+	m.w.subDone(m.rank, e)
+}
+
+// StoreWordAsync queues one word store as a fused sub-op (see PutAsync).
+func (m *remoteMem) StoreWordAsync(off int, v uint64, reserve bool, arrival timing.Time, xfer int64, sink *timing.Time, fold bool) {
+	e := m.w.subOp(m.rank, opStoreW, sink, fold)
+	m.addrHdr(&e, off)
+	e.u64(v)
+	e.i64(int64(arrival))
+	e.i64(xfer)
+	e.boolByte(reserve)
+	m.w.subDone(m.rank, e)
+}
+
+// NotifyAsync queues one ring deposit as a fused sub-op (see PutAsync).
+func (m *remoteMem) NotifyAsync(off int, word uint64, reserve bool, arrival timing.Time, xfer int64, sink *timing.Time, fold bool) {
+	e := m.w.subOp(m.rank, opNotify, sink, fold)
+	m.addrHdr(&e, off)
+	e.u64(word)
+	e.i64(int64(arrival))
+	e.i64(xfer)
+	e.boolByte(reserve)
+	m.w.subDone(m.rank, e)
 }

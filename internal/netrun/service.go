@@ -248,6 +248,38 @@ func (w *World) handle(op uint8, d *dec, scratch []byte) (reply []byte) {
 		reserve := d.boolVal()
 		d.must()
 		e.i64(int64(x.Notify(off, word, reserve, arrival, xfer)))
+	case opBatch:
+		// A fused frame (DESIGN.md §12): execute the sub-ops in order —
+		// each through this same handler, so its arithmetic and its fault
+		// behavior are exactly the unfused op's — and concatenate their
+		// reply frames behind a count. A faulting sub-op ends the batch
+		// with its fault frame as the last sub-reply; the requester
+		// re-panics it when the batch drains. A malformed frame faults as
+		// a whole before any sub-op executes.
+		ring, subs, err := parseBatch(d.rest())
+		if err != nil {
+			panic(err.Error())
+		}
+		nAt := len(e.b)
+		e.u32(0) // sub-reply count, patched below
+		n := 0
+		var scratch2 []byte // sub-reply scratch, reused across sub-ops
+		for _, sub := range subs {
+			sd := dec{b: sub, pos: 1}
+			sr := w.handle(sub[0], &sd, scratch2)
+			e.bytes(sr)
+			scratch2 = sr[:0]
+			n++
+			if sr[4] == stFault {
+				break
+			}
+		}
+		binary.LittleEndian.PutUint32(e.b[nAt:], uint32(n))
+		if ring {
+			// The piggybacked doorbell ring, ordered behind the data it
+			// announces (the ring that would otherwise be its own opRing).
+			w.ringDoor()
+		}
 	case opRegQuery:
 		k := simnet.Key(d.u32())
 		w.mineMu.RLock()

@@ -10,6 +10,7 @@ import (
 
 	"fompi/internal/faultnet"
 	"fompi/internal/simnet"
+	"fompi/internal/timing"
 )
 
 // sessionWorld builds the minimal owner-side World the session layer needs:
@@ -218,6 +219,121 @@ func TestParseTimeouts(t *testing.T) {
 	}
 }
 
+// mkNotifyBatch builds an opBatch payload of ring deposits (word values) the
+// way flushFused + NotifyAsync would: no piggybacked doorbell, each sub-op
+// carrying (key 0, off 0, word, arrival 0, xfer 1, reserve).
+func mkNotifyBatch(words ...uint64) []byte {
+	b := []byte{0}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(words)))
+	for _, v := range words {
+		sub := []byte{opNotify}
+		sub = binary.LittleEndian.AppendUint32(sub, 0) // key
+		sub = binary.LittleEndian.AppendUint64(sub, 0) // off
+		sub = binary.LittleEndian.AppendUint64(sub, v) // word
+		sub = binary.LittleEndian.AppendUint64(sub, 0) // arrival
+		sub = binary.LittleEndian.AppendUint64(sub, 1) // xfer
+		sub = append(sub, 1)                           // reserve
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(sub)))
+		b = append(b, sub...)
+	}
+	return b
+}
+
+// TestSessionBatchSuffixReplay is the owner half of a reset mid-window: a
+// requester with three batch frames in flight loses its connection after
+// processing only the first reply, and retransmits the unacked suffix
+// {seq 2, seq 3} verbatim — acks frozen at build time. The owner must
+// replay both from cache byte-identically and apply nothing twice: the
+// notify ring's producer ticket is a perfect double-apply counter (every
+// execution fetch-adds it).
+func TestSessionBatchSuffixReplay(t *testing.T) {
+	w := sessionWorld()
+	buf := make([]byte, simnet.NotifyRingBytes(8))
+	reg := simnet.MakeRegion(1, 0, buf, timing.NewStamps(len(buf)))
+	reg.LocalWordStore(16, 8, 0) // bind the ring: capacity word
+	w.mine = []*simnet.Region{&reg}
+	sid := sidFor(0, 77)
+
+	apply := func(seq, ack uint64, payload []byte) ([]byte, bool) {
+		d := dec{b: payload}
+		return w.sessionApply(0, sid, seq, ack, opBatch, &d, nil)
+	}
+	// The in-flight window: seq 1 (two deposits), seq 2 (one), seq 3 (two).
+	// Each frame's ack is the cumulative ack at build time: 0, 0, then 1
+	// (seq 1's reply was processed before seq 3 was built).
+	r1, _ := apply(1, 0, mkNotifyBatch(10, 11))
+	if r1[4] != stOK {
+		t.Fatalf("batch seq 1 faulted: %x", r1)
+	}
+	r2, _ := apply(2, 0, mkNotifyBatch(12))
+	r3, _ := apply(3, 1, mkNotifyBatch(13, 14))
+	first2 := append([]byte(nil), r2...)
+	first3 := append([]byte(nil), r3...)
+	if got := reg.LocalWord(0); got != 5 {
+		t.Fatalf("producer ticket = %d after 5 deposits, want 5", got)
+	}
+
+	// Reset: the requester saw only seq 1's reply, so it retransmits the
+	// suffix {2, 3} byte-identically on a fresh connection.
+	rr2, c2 := apply(2, 0, mkNotifyBatch(12))
+	rr3, c3 := apply(3, 1, mkNotifyBatch(13, 14))
+	if !c2 || !c3 {
+		t.Fatalf("suffix replay not served from cache (seq2=%v seq3=%v)", c2, c3)
+	}
+	if !bytes.Equal(first2, rr2) || !bytes.Equal(first3, rr3) {
+		t.Fatalf("replayed suffix replies differ from the originals")
+	}
+	if got := reg.LocalWord(0); got != 5 {
+		t.Fatalf("producer ticket = %d after suffix replay, want still 5 (no re-execution)", got)
+	}
+
+	// Recovery done: a fresh frame executes once and its ack evicts the
+	// replayed window.
+	r4, c4 := apply(4, 3, mkNotifyBatch(15))
+	if c4 || r4[4] != stOK {
+		t.Fatalf("post-recovery batch: cached=%v status=%d, want a fresh OK", c4, r4[4])
+	}
+	if got := reg.LocalWord(0); got != 6 {
+		t.Fatalf("producer ticket = %d, want 6", got)
+	}
+	s := w.sessions[sid]
+	s.mu.Lock()
+	_, have2 := s.replies[2]
+	_, have3 := s.replies[3]
+	s.mu.Unlock()
+	if have2 || have3 {
+		t.Fatalf("ack=3 did not evict the replayed window (2:%v 3:%v)", have2, have3)
+	}
+}
+
+func TestParseWindow(t *testing.T) {
+	for spec, want := range map[string]int{"": 0, "1": 1, " 64 ": 64, "4096": 4096} {
+		if got, err := ParseWindow(spec); err != nil || got != want {
+			t.Errorf("ParseWindow(%q) = %d, %v; want %d", spec, got, err, want)
+		}
+	}
+	for _, bad := range []string{"0", "-3", "4097", "many", "64x"} {
+		if _, err := ParseWindow(bad); err == nil {
+			t.Errorf("ParseWindow(%q) parsed without error", bad)
+		}
+	}
+	t.Setenv(EnvWindow, "8")
+	if got, err := resolveWindow(0); err != nil || got != 8 {
+		t.Errorf("resolveWindow(0) with env 8 = %d, %v; want 8", got, err)
+	}
+	if got, err := resolveWindow(2); err != nil || got != 2 {
+		t.Errorf("resolveWindow(2) must override the env (got %d, %v)", got, err)
+	}
+	t.Setenv(EnvWindow, "")
+	if got, err := resolveWindow(0); err != nil || got != defaultNetWindow {
+		t.Errorf("resolveWindow(0) with no env = %d, %v; want the %d default", got, err, defaultNetWindow)
+	}
+	t.Setenv(EnvWindow, "boom")
+	if _, err := resolveWindow(0); err == nil {
+		t.Errorf("bad env spec resolved without error")
+	}
+}
+
 // TestResumeExactlyOnceUnderRecurringResets runs a real two-rank loopback
 // world under recurring data-plane connection resets and proves the session
 // layer's exactly-once contract end to end: each rank books the peer's NIC
@@ -275,6 +391,112 @@ func TestResumeExactlyOnceUnderRecurringResets(t *testing.T) {
 				mismatch = fmt.Errorf("rank %d booking %d returned %d: an op was lost or applied twice", w.Rank(), i, got)
 				break
 			}
+		}
+		w.Finish()
+		workerErr <- mismatch
+	}
+	go worker()
+	go worker()
+
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-workerErr:
+			if err != nil {
+				t.Fatalf("worker: %v", err)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatalf("workers did not finish under recurring resets")
+		}
+	}
+	select {
+	case err := <-launchErr:
+		if err != nil {
+			t.Fatalf("coordinator: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("coordinator did not return")
+	}
+}
+
+// TestWindowReplayUnderRecurringResets is the wire-level half of the
+// mid-window replay proof: each rank streams fused notify windows at its
+// peer — ten NotifyAsync deposits per DrainWire, thirty windows — while
+// faultnet resets the data plane every 25 frames, so resets land with
+// batches genuinely in flight and the engine must retransmit unacked
+// suffixes across fresh connections. The notify ring's producer ticket
+// counts executions: exactly `windows*perWindow` at the end means every
+// deposit applied exactly once despite the replays.
+func TestWindowReplayUnderRecurringResets(t *testing.T) {
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("probe listen: %v", err)
+	}
+	addr := probe.Addr().String()
+	probe.Close()
+
+	t.Setenv(faultnet.EnvVar, "seed=5,reseteveryn=25,plane=data")
+	t.Setenv(EnvTimeouts, "heartbeat=500ms,stale=5s,optimeout=5s,ctlidle=10s")
+	t.Setenv(envCoord, addr)
+	t.Setenv(envRank, "")
+
+	o := Options{Ranks: 2, RanksPerNode: 1, Hosts: []string{"localhost"}, Listen: addr}
+	launchErr := make(chan error, 1)
+	go func() { launchErr <- Launch(o) }()
+	for i := 0; ; i++ {
+		c, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			c.Close()
+			break
+		}
+		if i > 100 {
+			t.Fatalf("coordinator never started listening: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	const (
+		ringCap   = 512
+		windows   = 30
+		perWindow = 10
+		flagOff   = 24 + ringCap*8 // first word past the ring
+	)
+	workerErr := make(chan error, 2)
+	worker := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				workerErr <- errFromPanic(r)
+			}
+		}()
+		w, err := Join(Options{Ranks: 2, RanksPerNode: 1})
+		if err != nil {
+			workerErr <- err
+			return
+		}
+		buf := make([]byte, flagOff+8)
+		reg := simnet.MakeRegion(w.Rank(), 0, buf, timing.NewStamps(len(buf)))
+		reg.LocalWordStore(16, ringCap, 0) // bind the ring before peers deposit
+		w.RegisterRegion(w.Rank(), &reg)
+		w.Ready()
+		peer := 1 - w.Rank()
+		m := &remoteMem{w: w, rank: peer, key: 0, size: len(buf)}
+		var sink timing.Time
+		for b := 0; b < windows; b++ {
+			for i := 0; i < perWindow; i++ {
+				m.NotifyAsync(0, uint64(b*perWindow+i), true, 0, 1, &sink, true)
+			}
+			w.DrainWire()
+		}
+		// Announce completion with a sessioned store (ordered behind the
+		// drained windows), then wait for the peer's announcement before
+		// reading the local ticket.
+		m.StoreWord(flagOff, 1, true, 0, 1)
+		for reg.LocalWord(flagOff) == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		var mismatch error
+		if got := reg.LocalWord(0); got != windows*perWindow {
+			mismatch = fmt.Errorf("rank %d ring ticket = %d, want %d: a deposit was lost or applied twice",
+				w.Rank(), got, windows*perWindow)
 		}
 		w.Finish()
 		workerErr <- mismatch

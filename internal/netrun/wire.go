@@ -3,6 +3,7 @@ package netrun
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -16,13 +17,14 @@ import (
 //
 // Each rank pair uses one stream per direction: rank A's requests to rank B
 // travel on the connection A dialed to B's data listener, and the replies
-// return on it. A requester issues at most one request at a time (endpoints
-// are confined to their rank's goroutine and block for the reply), so the
-// stream needs no tags: replies match requests by order, and TCP's in-order
-// delivery makes the owner apply A's operations in A's issue order — the
-// property the put-then-flag ordering contract rides on. opRing is the one
-// fire-and-forget message (no reply), which keeps doorbell rings cheap while
-// still ordered behind the data they announce.
+// return on it. A requester keeps a bounded window of requests in flight
+// (DESIGN.md §12) but replies still match requests by order — the stream
+// needs no tags — and TCP's in-order delivery makes the owner apply A's
+// operations in A's issue order, the property the put-then-flag ordering
+// contract rides on. Value-returning operations (gets, loads, AMOs) block
+// for their reply, which drains every frame ahead of them first. opRing is
+// the one fire-and-forget message (no reply), which keeps doorbell rings
+// cheap while still ordered behind the data they announce.
 //
 // Every request carries the sender's current virtual clock; the owner folds
 // it into its pacing table, so data traffic doubles as clock gossip (the
@@ -49,7 +51,13 @@ const (
 	// v4: data-plane requests carry the session header (sid, seq, ack),
 	// opResume re-attaches a session after a reset, and fault replies are
 	// structured (kind byte + rank + message) instead of a bare string.
-	protoVersion = 4
+	// v5: opBatch fuses put-shaped data-plane ops into one sessioned frame
+	// (per-op replies concatenated in one reply frame) and requesters keep
+	// an outstanding-request window per destination, so the cumulative ack
+	// may trail seq by up to the window depth and a resumed connection
+	// retransmits the whole unacked suffix in order instead of probing a
+	// single in-flight seq with opResume.
+	protoVersion = 5
 
 	// maxFrame bounds a frame against stream corruption: the largest
 	// legitimate payload is a bulk put of a whole region, and regions are
@@ -74,6 +82,7 @@ const (
 	opRing                        // - (no reply)
 	opClock                       // - (reply: owner's published clock)
 	opResume                      // sid u64, seq u64, ack u64 (session re-attach after a reset)
+	opBatch                       // ring u8, nops u32, nops × (len u32, op u8, op fields) — fused data-plane ops
 )
 
 // sessioned reports whether op carries the session header (sid, seq, ack)
@@ -84,10 +93,78 @@ const (
 // re-issues them.
 func sessioned(op uint8) bool {
 	switch op {
-	case opPut, opGet, opStoreW, opLoadW, opWordAmo, opBulkAmo, opNotify, opNicReserve:
+	case opPut, opGet, opStoreW, opLoadW, opWordAmo, opBulkAmo, opNotify, opNicReserve, opBatch:
 		return true
 	}
 	return false
+}
+
+// batchable reports whether op may ride inside an opBatch frame: exactly
+// the put-shaped data-plane ops, whose reply is a single completion time
+// the requester can absorb asynchronously (simnet.AsyncMem). Value-
+// returning ops (gets, loads, AMOs) block their caller anyway and stay
+// unfused; opBatch itself is excluded, so frames cannot nest.
+func batchable(op uint8) bool {
+	switch op {
+	case opPut, opStoreW, opNotify:
+		return true
+	}
+	return false
+}
+
+// Typed opBatch parse errors. parseBatch must reject malformed frames with
+// one of these (wrapped with position detail) and never panic or silently
+// truncate: batch frames cross a process trust boundary, and the owner
+// turns the error into a structured fault reply for the requester.
+var (
+	ErrBatchHeader   = errors.New("netrun: batch frame truncated before its op count")
+	ErrBatchCount    = errors.New("netrun: batch op count exceeds its frame")
+	ErrBatchOpLen    = errors.New("netrun: batch sub-op length overruns its frame")
+	ErrBatchOpEmpty  = errors.New("netrun: batch sub-op has no opcode")
+	ErrBatchOpCode   = errors.New("netrun: batch sub-op opcode is not batchable")
+	ErrBatchTrailing = errors.New("netrun: trailing bytes after the last batch sub-op")
+)
+
+// parseBatch splits an opBatch payload — everything after the session
+// header — into its doorbell-ring flag and per-op sub-frames (each op byte
+// + op fields, exactly the layout the unfused request carries after its
+// session header). Pure and total: any malformed input yields a typed
+// error, never a panic.
+func parseBatch(p []byte) (ring bool, subs [][]byte, err error) {
+	if len(p) < 5 {
+		return false, nil, fmt.Errorf("%w (%d bytes)", ErrBatchHeader, len(p))
+	}
+	ring = p[0] != 0
+	n := int(binary.LittleEndian.Uint32(p[1:5]))
+	p = p[5:]
+	// Each sub-op needs at least its length prefix and opcode, which bounds
+	// a sane count by the bytes actually present.
+	if n < 0 || n > len(p)/5 {
+		return false, nil, fmt.Errorf("%w (%d ops in %d bytes)", ErrBatchCount, n, len(p))
+	}
+	subs = make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		k := int(binary.LittleEndian.Uint32(p[:4]))
+		if k < 0 || k > len(p)-4 {
+			return false, nil, fmt.Errorf("%w (op %d claims %d of %d bytes)", ErrBatchOpLen, i, k, len(p)-4)
+		}
+		sub := p[4 : 4+k]
+		if len(sub) == 0 {
+			return false, nil, fmt.Errorf("%w (op %d)", ErrBatchOpEmpty, i)
+		}
+		if !batchable(sub[0]) {
+			return false, nil, fmt.Errorf("%w (op %d has opcode %d)", ErrBatchOpCode, i, sub[0])
+		}
+		subs = append(subs, sub)
+		p = p[4+k:]
+		if i < n-1 && len(p) < 4 {
+			return false, nil, fmt.Errorf("%w (op %d)", ErrBatchOpLen, i+1)
+		}
+	}
+	if len(p) != 0 {
+		return false, nil, fmt.Errorf("%w (%d bytes)", ErrBatchTrailing, len(p))
+	}
+	return ring, subs, nil
 }
 
 // Reply status bytes.

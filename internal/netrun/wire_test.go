@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"testing"
 )
 
@@ -61,6 +62,108 @@ func TestReadFrameLimit(t *testing.T) {
 	if _, err := readFrame(rd, nil); err == nil {
 		t.Fatalf("oversized frame length accepted")
 	}
+}
+
+// buildBatch assembles an opBatch payload the way flushFused does: the ring
+// flag, the sub-op count, and each sub-frame length-prefixed.
+func buildBatch(ring bool, subs ...[]byte) []byte {
+	b := []byte{0}
+	if ring {
+		b[0] = 1
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(subs)))
+	for _, s := range subs {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(s)))
+		b = append(b, s...)
+	}
+	return b
+}
+
+func TestParseBatchRoundTrip(t *testing.T) {
+	sub1 := append([]byte{opPut}, bytes.Repeat([]byte{7}, 29)...)
+	sub2 := append([]byte{opStoreW}, bytes.Repeat([]byte{9}, 37)...)
+	sub3 := []byte{opNotify}
+	in := buildBatch(true, sub1, sub2, sub3)
+	ring, subs, err := parseBatch(in)
+	if err != nil {
+		t.Fatalf("parseBatch: %v", err)
+	}
+	if !ring || len(subs) != 3 ||
+		!bytes.Equal(subs[0], sub1) || !bytes.Equal(subs[1], sub2) || !bytes.Equal(subs[2], sub3) {
+		t.Fatalf("parsed (ring=%v, %d subs), want the three sub-ops back verbatim", ring, len(subs))
+	}
+	if _, subs, err := parseBatch(buildBatch(false)); err != nil || len(subs) != 0 {
+		t.Fatalf("empty batch: subs=%d err=%v, want a valid zero-op frame", len(subs), err)
+	}
+}
+
+// TestParseBatchErrors pins the typed-error contract: every malformed shape
+// yields its sentinel (wrapped with position detail), never a panic and
+// never a silently truncated parse.
+func TestParseBatchErrors(t *testing.T) {
+	sub := append([]byte{opPut}, 1, 2, 3)
+	cases := []struct {
+		name string
+		in   []byte
+		want error
+	}{
+		{"empty", nil, ErrBatchHeader},
+		{"short header", []byte{0, 1, 0}, ErrBatchHeader},
+		{"count exceeds frame", buildBatch(false)[:5:5], ErrBatchCount},
+		{"huge count", append([]byte{0}, 0xff, 0xff, 0xff, 0xff), ErrBatchCount},
+		{"sub-op length overrun", func() []byte {
+			b := buildBatch(false, sub)
+			binary.LittleEndian.PutUint32(b[5:], 1000)
+			return b
+		}(), ErrBatchOpLen},
+		{"empty sub-op", buildBatch(false, sub, []byte{}), ErrBatchOpEmpty},
+		{"unbatchable opcode", buildBatch(false, []byte{opGet, 1, 2}), ErrBatchOpCode},
+		{"nested batch", buildBatch(false, []byte{opBatch, 0}), ErrBatchOpCode},
+		{"trailing bytes", append(buildBatch(false, sub), 0xaa), ErrBatchTrailing},
+	}
+	for _, c := range cases {
+		if c.name == "count exceeds frame" {
+			// A one-op count with zero payload bytes behind it.
+			c.in = append([]byte{0}, 1, 0, 0, 0)
+		}
+		_, _, err := parseBatch(c.in)
+		if !errors.Is(err, c.want) {
+			t.Errorf("%s: parseBatch(%x) = %v, want %v", c.name, c.in, err, c.want)
+		}
+	}
+}
+
+// FuzzParseBatch holds parseBatch total over arbitrary frames: no panic, no
+// silent truncation (a successful parse must re-encode to the exact input),
+// and every rejection is one of the typed sentinels.
+func FuzzParseBatch(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add(buildBatch(false))
+	f.Add(buildBatch(true, append([]byte{opPut}, bytes.Repeat([]byte{3}, 29)...)))
+	f.Add(buildBatch(false, []byte{opNotify, 1}, []byte{opStoreW, 2, 3}))
+	f.Add(append([]byte{2}, 0xff, 0xff, 0xff, 0x7f, 1, 2, 3))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		ring, subs, err := parseBatch(in)
+		if err != nil {
+			for _, want := range []error{ErrBatchHeader, ErrBatchCount, ErrBatchOpLen,
+				ErrBatchOpEmpty, ErrBatchOpCode, ErrBatchTrailing} {
+				if errors.Is(err, want) {
+					return
+				}
+			}
+			t.Fatalf("parseBatch(%x) rejected with an untyped error: %v", in, err)
+		}
+		for i, s := range subs {
+			if len(s) == 0 || !batchable(s[0]) {
+				t.Fatalf("parseBatch(%x) accepted invalid sub-op %d: %x", in, i, s)
+			}
+		}
+		// Any nonzero ring byte is truthy, so compare the re-encoding past
+		// byte 0 and the flag by value.
+		if out := buildBatch(ring, subs...); !bytes.Equal(out[1:], in[1:]) || ring != (in[0] != 0) {
+			t.Fatalf("parseBatch(%x) re-encodes to %x: silent truncation or reordering", in, out)
+		}
+	})
 }
 
 // TestEncScratchReuse pins the zero-allocation reuse contract request paths

@@ -12,10 +12,11 @@ import (
 // model and virtual clock. An Endpoint is owned by its rank's goroutine and
 // must not be shared across goroutines.
 type Endpoint struct {
-	fab  Transport
-	rank int
-	node int // cached fab.NodeOf(rank): intra/inter decisions are one division
-	cm   *CostModel
+	fab   Transport
+	rank  int
+	node  int // cached fab.NodeOf(rank): intra/inter decisions are one division
+	cm    *CostModel
+	drain WireDrainer // fab's pipelined-wire extension, when it has one
 
 	clock       timing.Time
 	implicitMax timing.Time
@@ -48,8 +49,13 @@ type regMemoEnt struct {
 }
 
 // Handle identifies an explicit-nonblocking operation; it completes at a
-// known virtual time.
-type Handle struct{ comp timing.Time }
+// known virtual time. On a pipelined wire backend the completion time may
+// still be in flight: pend then points at the slot the backend fills when
+// the reply drains, and Wait/Test drain the wire before reading it.
+type Handle struct {
+	comp timing.Time
+	pend *timing.Time
+}
 
 // NewEndpoint creates an endpoint for rank over any transport backend with
 // the layer cost model cm. All timing logic lives here, above the Transport
@@ -58,7 +64,17 @@ func NewEndpoint(t Transport, rank int, cm *CostModel) *Endpoint {
 	if rank < 0 || rank >= t.Size() {
 		panic("simnet: endpoint rank out of range")
 	}
-	return &Endpoint{fab: t, rank: rank, node: t.NodeOf(rank), cm: cm}
+	ep := &Endpoint{fab: t, rank: rank, node: t.NodeOf(rank), cm: cm}
+	ep.drain, _ = t.(WireDrainer)
+	return ep
+}
+
+// drainWire blocks until every pipelined wire operation has delivered its
+// completion time (a no-op on backends without an in-flight window).
+func (ep *Endpoint) drainWire() {
+	if ep.drain != nil {
+		ep.drain.DrainWire()
+	}
 }
 
 // Endpoint creates an endpoint for rank with the layer cost model cm.
@@ -175,15 +191,16 @@ func (ep *Endpoint) flushBatchNotifies() {
 }
 
 // flushBeforeBlock releases everything a real-time wait must not hold back:
-// deferred doorbells (a peer may be parked on one) and the batched clock
-// publish (a pace-blocked peer may be waiting for this rank's progress).
-// The batch scope itself stays open.
+// deferred doorbells (a peer may be parked on one), the batched clock
+// publish (a pace-blocked peer may be waiting for this rank's progress),
+// and the pipelined wire window (an async put's bytes must land before this
+// rank parks on a reply to them). The batch scope itself stays open.
 func (ep *Endpoint) flushBeforeBlock() {
-	if ep.batchDepth == 0 {
-		return
+	if ep.batchDepth > 0 {
+		ep.flushBatchNotifies()
+		ep.fab.PublishClock(ep.rank, ep.clock)
 	}
-	ep.flushBatchNotifies()
-	ep.fab.PublishClock(ep.rank, ep.clock)
+	ep.drainWire()
 }
 
 // notifyDst rings dst's doorbell, or defers the ring — deduplicated per
@@ -345,8 +362,13 @@ func (ep *Endpoint) sameNodeTo(peer int) bool {
 	return ep.node == ep.fab.NodeOf(peer)
 }
 
-// putCommon moves the bytes now and returns the virtual completion time.
-func (ep *Endpoint) putCommon(dst Addr, src []byte) timing.Time {
+// putIssue moves the bytes now. With sink nil it blocks for the completion
+// time and returns it. With sink non-nil the completion is delivered to
+// *sink instead — folded with Max when fold is true, assigned otherwise —
+// and on a pipelined wire backend the delivery may be deferred to the next
+// drain (deferred=true, comp meaningless); everywhere else it happens
+// before returning. All clock and cost arithmetic is identical either way.
+func (ep *Endpoint) putIssue(dst Addr, src []byte, sink *timing.Time, fold bool) (comp timing.Time, deferred bool) {
 	ep.paceOp()
 	same := ep.sameNodeTo(dst.Rank)
 	pr := ep.cm.For(same)
@@ -357,11 +379,15 @@ func (ep *Endpoint) putCommon(dst Addr, src []byte) timing.Time {
 		// XPMEM copy occupies the issuing CPU.
 		ep.clock += timing.Time(pr.xferNs(len(src)))
 	}
-	var comp timing.Time
 	if rm := reg.rmt; rm != nil {
 		xfer := pr.xferNs(len(src))
-		comp = rm.Put(dst.Off, src, !same,
-			ep.xferArrival(same, pr.PutLatNs+pr.knee(len(src)), xfer), xfer)
+		arrival := ep.xferArrival(same, pr.PutLatNs+pr.knee(len(src)), xfer)
+		if sink != nil && reg.rmta != nil {
+			reg.rmta.PutAsync(dst.Off, src, !same, arrival, xfer, sink, fold)
+			deferred = true
+		} else {
+			comp = rm.Put(dst.Off, src, !same, arrival, xfer)
+		}
 	} else {
 		copy(reg.buf[dst.Off:dst.Off+len(src)], src)
 		comp = ep.schedXferOn(same, dst.Rank, ep.clock, pr.PutLatNs+pr.knee(len(src)), pr.xferNs(len(src)))
@@ -370,18 +396,39 @@ func (ep *Endpoint) putCommon(dst Addr, src []byte) timing.Time {
 	ep.ctr.Puts++
 	ep.ctr.BytesPut += int64(len(src))
 	ep.notifyDst(dst.Rank)
+	if !deferred && sink != nil {
+		if fold {
+			*sink = timing.Max(*sink, comp)
+		} else {
+			*sink = comp
+		}
+	}
+	return comp, deferred
+}
+
+// putCommon moves the bytes now and returns the virtual completion time.
+func (ep *Endpoint) putCommon(dst Addr, src []byte) timing.Time {
+	comp, _ := ep.putIssue(dst, src, nil, false)
 	return comp
 }
 
 // PutNBI issues an implicit-nonblocking put, completed by Gsync.
 func (ep *Endpoint) PutNBI(dst Addr, src []byte) {
-	comp := ep.putCommon(dst, src)
-	ep.implicitMax = timing.Max(ep.implicitMax, comp)
+	ep.putIssue(dst, src, &ep.implicitMax, true)
 }
 
 // PutNB issues an explicit-nonblocking put and returns its handle.
 func (ep *Endpoint) PutNB(dst Addr, src []byte) Handle {
-	return Handle{comp: ep.putCommon(dst, src)}
+	if ep.drain == nil {
+		return Handle{comp: ep.putCommon(dst, src)}
+	}
+	// Pipelined backend: the put may go out without waiting for its reply,
+	// so the handle carries the slot the drain will fill.
+	box := new(timing.Time)
+	if _, deferred := ep.putIssue(dst, src, box, false); deferred {
+		return Handle{pend: box}
+	}
+	return Handle{comp: *box}
 }
 
 // Put performs a blocking put (remote completion before return).
@@ -526,15 +573,21 @@ func (ep *Endpoint) StoreW(a Addr, v uint64) {
 	reg := ep.region(a)
 	reg.check(a.Off, 8)
 	ep.clock += timing.Time(pr.InjectNs)
-	var comp timing.Time
-	if rm := reg.rmt; rm != nil {
-		comp = rm.StoreWord(a.Off, v, !same, ep.xferArrival(same, pr.PutLatNs, pr.xferNs(8)), pr.xferNs(8))
+	if reg.rmta != nil {
+		// Pipelined wire: the completion folds into implicitMax when the
+		// window drains (Gsync drains first; Max is commutative, so the
+		// deferral cannot change the fold's result).
+		reg.rmta.StoreWordAsync(a.Off, v, !same,
+			ep.xferArrival(same, pr.PutLatNs, pr.xferNs(8)), pr.xferNs(8), &ep.implicitMax, true)
+	} else if rm := reg.rmt; rm != nil {
+		comp := rm.StoreWord(a.Off, v, !same, ep.xferArrival(same, pr.PutLatNs, pr.xferNs(8)), pr.xferNs(8))
+		ep.implicitMax = timing.Max(ep.implicitMax, comp)
 	} else {
-		comp = ep.schedXferOn(same, a.Rank, ep.clock, pr.PutLatNs, pr.xferNs(8))
+		comp := ep.schedXferOn(same, a.Rank, ep.clock, pr.PutLatNs, pr.xferNs(8))
 		hostatomic.Store(reg.buf, a.Off, v)
 		reg.stamps.Set(a.Off, comp)
+		ep.implicitMax = timing.Max(ep.implicitMax, comp)
 	}
-	ep.implicitMax = timing.Max(ep.implicitMax, comp)
 	ep.ctr.Puts++
 	ep.ctr.BytesPut += 8
 	ep.notifyDst(a.Rank)
@@ -567,9 +620,12 @@ func (ep *Endpoint) loadWordStamped(reg *Region, off int) (uint64, timing.Time) 
 }
 
 // Gsync completes all implicit-nonblocking operations (DMAPP bulk
-// completion): the foMPI flush primitive.
+// completion): the foMPI flush primitive. On a pipelined wire backend it
+// drains the in-flight window first, so every deferred completion has
+// folded into implicitMax before the clock reads it.
 func (ep *Endpoint) Gsync() {
 	ep.ctr.Gsyncs++
+	ep.drainWire()
 	ep.clock = timing.Max(ep.clock+timing.Time(ep.cm.Inter.GsyncNs), ep.implicitMax)
 }
 
@@ -587,11 +643,25 @@ func (ep *Endpoint) MemSync() {
 	ep.clock += timing.Time(ep.cm.Intra.SyncNs)
 }
 
-// Wait blocks until the explicit-nonblocking operation completes.
-func (ep *Endpoint) Wait(h Handle) { ep.AdvanceTo(h.comp) }
+// Wait blocks until the explicit-nonblocking operation completes, draining
+// the wire window first when the handle's completion is still in flight.
+func (ep *Endpoint) Wait(h Handle) {
+	if h.pend != nil {
+		ep.drainWire()
+		ep.AdvanceTo(*h.pend)
+		return
+	}
+	ep.AdvanceTo(h.comp)
+}
 
 // Test reports whether h has completed by the rank's current virtual time.
-func (ep *Endpoint) Test(h Handle) bool { return h.comp <= ep.clock }
+func (ep *Endpoint) Test(h Handle) bool {
+	if h.pend != nil {
+		ep.drainWire()
+		return *h.pend <= ep.clock
+	}
+	return h.comp <= ep.clock
+}
 
 // WaitLocal blocks the goroutine until pred holds. Writers to this rank's
 // regions ring its doorbell, so no busy spinning occurs. The caller is
@@ -663,5 +733,12 @@ func (c Counters) Sub(o Counters) Counters {
 // RemoteOps returns the number of remote operations issued.
 func (c Counters) RemoteOps() int64 { return c.Puts + c.Gets + c.Amos }
 
-// CompTime returns the operation's virtual completion time (instrumentation).
-func (h Handle) CompTime() timing.Time { return h.comp }
+// CompTime returns the operation's virtual completion time
+// (instrumentation). A handle from a pipelined wire backend holds it only
+// once the window has drained — after Wait(h) or any other blocking point.
+func (h Handle) CompTime() timing.Time {
+	if h.pend != nil {
+		return *h.pend
+	}
+	return h.comp
+}

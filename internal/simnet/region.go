@@ -19,6 +19,7 @@ type Region struct {
 	buf    []byte
 	stamps *timing.Stamps
 	rmt    RemoteMem // non-nil on proxies for unreachable remote memory
+	rmta   AsyncMem  // rmt's pipelined extension, when it offers one
 }
 
 // MakeRegion initializes a registration handle over transport-owned memory.
@@ -35,7 +36,10 @@ func MakeRegion(owner int, key Key, buf []byte, st *timing.Stamps) Region {
 // proxy; the owner-side accessors (Bytes, LocalWord, StampMax...) stay with
 // the owning process.
 func MakeRemoteRegion(owner int, key Key, rm RemoteMem) Region {
-	return Region{owner: owner, key: key, rmt: rm}
+	r := Region{owner: owner, key: key, rmt: rm}
+	// The pipelined extension is resolved once here, not per operation.
+	r.rmta, _ = rm.(AsyncMem)
+	return r
 }
 
 // Owner returns the owning rank.

@@ -84,6 +84,35 @@ type RemoteMem interface {
 	Notify(off int, word uint64, reserve bool, arrival timing.Time, xfer int64) timing.Time
 }
 
+// AsyncMem is the optional pipelined extension of RemoteMem: a backend
+// whose wire can keep several requests in flight implements it so Endpoint
+// may issue the put-shaped operations (put, word store, ring deposit)
+// without blocking one round trip each. The owner must apply the
+// operations with semantics identical to the synchronous methods and in
+// this rank's issue order — interleaved with the synchronous calls exactly
+// as issued. The completion time is delivered later, on the issuing rank's
+// goroutine, during the next WireDrainer.DrainWire (or any synchronous
+// call on the same destination, which drains everything ahead of it): the
+// backend writes through sink, folding with timing.Max when fold is true
+// (the implicit-completion accumulator discipline — commutative, so
+// delivery order cannot leak into virtual time) and assigning when false.
+// sink must stay valid until the delivery happens.
+type AsyncMem interface {
+	RemoteMem
+	PutAsync(off int, src []byte, reserve bool, arrival timing.Time, xfer int64, sink *timing.Time, fold bool)
+	StoreWordAsync(off int, v uint64, reserve bool, arrival timing.Time, xfer int64, sink *timing.Time, fold bool)
+	NotifyAsync(off int, word uint64, reserve bool, arrival timing.Time, xfer int64, sink *timing.Time, fold bool)
+}
+
+// WireDrainer is the Transport extension paired with AsyncMem: DrainWire
+// blocks until every async operation this rank issued has executed at its
+// owner and delivered its completion time to its sink. Endpoint calls it
+// at every blocking point (Gsync, Wait, Test, WaitLocal, PollRemoteWord)
+// so no virtual-time read can observe a partially delivered window.
+type WireDrainer interface {
+	DrainWire()
+}
+
 // RegionExec executes RemoteMem-shaped operations against a locally
 // addressable region on behalf of a remote requester: the owner-side half of
 // an inter-node backend's service loop. ReserveNIC books the owner rank's

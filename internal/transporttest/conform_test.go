@@ -41,39 +41,64 @@ func check(cond bool, format string, args ...any) {
 	}
 }
 
+// EnvBackends scopes the suite to a subset of backend legs: a
+// comma-separated list of leg labels (in-process, multi-process,
+// inter-node, hybrid). Empty (the default) runs all four. CI uses it to
+// give each backend-specific job its own leg instead of every job
+// repeating the whole matrix; the verify job keeps the canonical
+// all-backends run. Worker processes inherit the variable, which is
+// harmless: a worker only ever runs the leg of the world that launched it,
+// and that leg was enabled in the launcher.
+const EnvBackends = "FOMPI_TT_BACKENDS"
+
+// legEnabled consults EnvBackends for one leg label.
+func legEnabled(label string) bool {
+	spec := strings.TrimSpace(os.Getenv(EnvBackends))
+	if spec == "" {
+		return true
+	}
+	for _, l := range strings.Split(spec, ",") {
+		if strings.TrimSpace(l) == label {
+			return true
+		}
+	}
+	return false
+}
+
 // eachBackendLeg invokes leg once per backend this process should run: all
-// four in the launcher, only its own in a worker process — a worker's job
-// is to be one rank of the world that re-executed it, never to launch the
-// other backends' worlds. name must be the calling test's exact function
-// name: the cross-process launchers re-execute the test binary with
-// -test.run anchored to it, and the re-run must reach the same spmd.Run
-// call for its backend (which is also why each conformance test contains
-// exactly one run per cross-process backend). The cfg handed to leg is
-// ready to run (backend and relaunch argv set). Hybrid workers satisfy
-// netrun.IsWorker too (they join through the same coordinator), so the
-// inter-node leg checks hybridrun.IsWorker explicitly.
+// four in the launcher (minus any EnvBackends scoping), only its own in a
+// worker process — a worker's job is to be one rank of the world that
+// re-executed it, never to launch the other backends' worlds. name must be
+// the calling test's exact function name: the cross-process launchers
+// re-execute the test binary with -test.run anchored to it, and the re-run
+// must reach the same spmd.Run call for its backend (which is also why
+// each conformance test contains exactly one run per cross-process
+// backend). The cfg handed to leg is ready to run (backend and relaunch
+// argv set). Hybrid workers satisfy netrun.IsWorker too (they join through
+// the same coordinator), so the inter-node leg checks hybridrun.IsWorker
+// explicitly.
 func eachBackendLeg(t *testing.T, name string, cfg spmd.Config, leg func(label string, cfg spmd.Config)) {
 	t.Helper()
-	if !mprun.IsWorker() && !netrun.IsWorker() {
+	if !mprun.IsWorker() && !netrun.IsWorker() && legEnabled("in-process") {
 		leg("in-process", cfg)
 	}
 	if runtime.GOOS == "windows" {
 		t.Skip("cross-process backends need mmap + unix sockets")
 	}
 	relaunch := []string{os.Args[0], "-test.run=^" + name + "$"}
-	if !netrun.IsWorker() {
+	if !netrun.IsWorker() && legEnabled("multi-process") {
 		mp := cfg
 		mp.Backend = spmd.BackendMP
 		mp.MPRelaunch = relaunch
 		leg("multi-process", mp)
 	}
-	if !mprun.IsWorker() && !hybridrun.IsWorker() {
+	if !mprun.IsWorker() && !hybridrun.IsWorker() && legEnabled("inter-node") {
 		nt := cfg
 		nt.Backend = spmd.BackendNet
 		nt.MPRelaunch = relaunch
 		leg("inter-node", nt)
 	}
-	if !mprun.IsWorker() && (hybridrun.IsWorker() || !netrun.IsWorker()) {
+	if !mprun.IsWorker() && (hybridrun.IsWorker() || !netrun.IsWorker()) && legEnabled("hybrid") {
 		hy := cfg
 		hy.Backend = spmd.BackendHybrid
 		hy.MPRelaunch = relaunch
