@@ -40,6 +40,7 @@ import (
 	"fompi/internal/mprun"
 	"fompi/internal/netrun"
 	"fompi/internal/rankio"
+	"fompi/internal/telemetry"
 )
 
 func main() {
@@ -60,6 +61,10 @@ func main() {
 		"net/hybrid failure-model timing spec, e.g. 'heartbeat=500ms,stale=3s,optimeout=2s,ctlidle=6s' (default from "+netrun.EnvTimeouts+"; zero-value keys keep the defaults)")
 	netWindow := flag.String("net-window", os.Getenv(netrun.EnvWindow),
 		"net/hybrid outstanding-request window depth per destination, 1-4096 (default from "+netrun.EnvWindow+", then 64; 1 restores blocking one-op-per-round-trip behavior)")
+	stats := flag.Bool("stats", os.Getenv(telemetry.EnvVar) != "" && os.Getenv(telemetry.EnvVar) != "0",
+		"enable telemetry: each rank dumps a JSON stats line at exit and the coordinator publishes the merged world aggregate (default from "+telemetry.EnvVar+")")
+	debugAddr := flag.String("debug-addr", os.Getenv(telemetry.EnvDebugAddr),
+		"bind an HTTP observability listener (expvar under /debug/vars, pprof under /debug/pprof/) in every world process, e.g. 127.0.0.1:0 (default from "+telemetry.EnvDebugAddr+")")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: fompi-run [flags] program [args...]\n")
 		flag.PrintDefaults()
@@ -97,6 +102,16 @@ func main() {
 			os.Exit(2)
 		}
 		os.Setenv(netrun.EnvWindow, *netWindow)
+	}
+	if *stats {
+		// Same inheritance pattern as -faults: spawned workers read the
+		// environment; the launcher-side coordinator flips its own flag too
+		// so it aggregates the STATS frames the workers will send.
+		os.Setenv(telemetry.EnvVar, "1")
+		telemetry.SetEnabled(true)
+	}
+	if *debugAddr != "" {
+		os.Setenv(telemetry.EnvDebugAddr, *debugAddr)
 	}
 
 	var hostList []string

@@ -24,7 +24,9 @@ import (
 	"time"
 
 	"fompi/internal/hostperf"
+	"fompi/internal/netrun"
 	"fompi/internal/spmd"
+	"fompi/internal/telemetry"
 )
 
 // Schema identifies the report layout; bump on incompatible change.
@@ -38,6 +40,12 @@ type result struct {
 	WallMs      float64 `json:"wall_ms"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Telemetry embedded from the world aggregate of a cross-process run
+	// (scripts/bench_wire.sh keys on name/ns_per_op order, so these stay
+	// after ns_per_op). Window quantiles are bucket upper bounds.
+	WinP50      uint64 `json:"win_p50,omitempty"`
+	WinP99      uint64 `json:"win_p99,omitempty"`
+	Retransmits uint64 `json:"retransmits,omitempty"`
 }
 
 type report struct {
@@ -214,7 +222,13 @@ func main() {
 		}
 	}
 	scenarios := hostperf.Scenarios()
-	if *backend != "proc" && *backend != "" {
+	cross := *backend != "proc" && *backend != ""
+	if cross {
+		// Cross-process runs carry telemetry: the env flag makes the
+		// re-executed worker ranks inherit it, and the coordinator in this
+		// process aggregates their STATS frames for the report below.
+		os.Setenv(telemetry.EnvVar, "1")
+		telemetry.SetEnabled(true)
 		// In a worker rank, this same loop reaches the one scenario the
 		// launcher anchored -only to, whose spmd world executes the worker
 		// body and exits the process.
@@ -227,6 +241,17 @@ func main() {
 			continue
 		}
 		res := measure(sc, *iters)
+		if cross {
+			// The netrun coordinator ran inside measure; its last world's
+			// aggregate covers this scenario's final iteration (mp worlds
+			// have no wire coordinator and report no snapshot).
+			if snap, ok := netrun.LastStats(); ok {
+				if h, ok := snap.Hists["net.window"]; ok {
+					res.WinP50, res.WinP99 = h.Quantile(0.5), h.Quantile(0.99)
+				}
+				res.Retransmits = snap.Counters["net.retransmits"]
+			}
+		}
 		fmt.Fprintf(os.Stderr, "%-16s %12.1f ns/%s %10.2f allocs/%s %10.1f ms\n",
 			res.Name, res.NsPerOp, res.Unit, res.AllocsPerOp, res.Unit, res.WallMs)
 		rep.Results = append(rep.Results, res)

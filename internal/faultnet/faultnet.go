@@ -58,6 +58,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"fompi/internal/telemetry"
 )
 
 // EnvVar is the environment variable carrying the fault spec.
@@ -200,6 +202,17 @@ var (
 	warned  bool
 )
 
+// Injected-fault metrics, one counter per mode. They feed the same event
+// stream as the transports' recovery metrics (net.resumes, net.retransmits),
+// so an aggregated snapshot pairs each cause with its observed cure.
+var (
+	mFaultReset   = telemetry.NewCounter("fault.reset")
+	mFaultDrop    = telemetry.NewCounter("fault.drop")
+	mFaultDelay   = telemetry.NewCounter("fault.delay")
+	mFaultPartial = telemetry.NewCounter("fault.partial")
+	mFaultDial    = telemetry.NewCounter("fault.dial")
+)
+
 func current() *injector {
 	spec := os.Getenv(EnvVar)
 	curMu.Lock()
@@ -296,6 +309,8 @@ func dialPlane(network, addr string, timeout time.Duration, plane string) (net.C
 	}
 	inj.mu.Unlock()
 	if fail {
+		mFaultDial.Inc()
+		telemetry.RecordEvent(telemetry.EvFaultDial, uint64(nth+1), 0)
 		inj.logf("dial %s refused (%d/%d)", addr, nth+1, inj.cfg.DialFailN)
 		return nil, &errInjected{msg: "dial failure to " + addr}
 	}
@@ -436,6 +451,8 @@ func (c *conn) tripReset() error {
 	c.mu.Lock()
 	ops := c.ops
 	c.mu.Unlock()
+	mFaultReset.Inc()
+	telemetry.RecordEvent(telemetry.EvFaultReset, uint64(c.id), uint64(ops))
 	c.inj.logf("conn %d (%s) reset at op %d", c.id, c.label, ops)
 	c.Conn.Close()
 	return &errInjected{msg: "connection reset"}
@@ -468,14 +485,20 @@ func (c *conn) Write(p []byte) (int, error) {
 		return 0, c.tripReset()
 	}
 	if drop {
+		mFaultDrop.Inc()
+		telemetry.RecordEvent(telemetry.EvFaultDrop, uint64(c.id), uint64(len(p)))
 		c.inj.logf("conn %d (%s) dropped %d-byte write", c.id, c.label, len(p))
 		return len(p), nil // swallowed: peer starves, deadlines must save us
 	}
 	if delay > 0 {
+		mFaultDelay.Inc()
+		telemetry.RecordEvent(telemetry.EvFaultDelay, uint64(c.id), uint64(delay))
 		c.inj.logf("conn %d (%s) delayed write %v", c.id, c.label, delay)
 		time.Sleep(delay)
 	}
 	if split != 0 && len(p) > 1 {
+		mFaultPartial.Inc()
+		telemetry.RecordEvent(telemetry.EvFaultPartial, uint64(c.id), uint64(len(p)))
 		c.inj.logf("conn %d (%s) partial write %d+%d", c.id, c.label, len(p)/2, len(p)-len(p)/2)
 		n, err := c.Conn.Write(p[:len(p)/2])
 		if err != nil {

@@ -47,6 +47,7 @@ import (
 
 	"fompi/internal/mprun"
 	"fompi/internal/netrun"
+	"fompi/internal/rankio"
 	"fompi/internal/segpool"
 	"fompi/internal/simnet"
 )
@@ -113,8 +114,7 @@ func Launch(o Options) error {
 	}
 	n.ExtraEnv = append(append([]string{}, n.ExtraEnv...), envWorld+"=1")
 	if len(n.Hosts) != 0 {
-		fmt.Fprintf(os.Stderr,
-			"hybridrun: host-list mode: also export %s=1 (and per-host %s) in each worker's environment\n",
+		rankio.Logf("hybridrun", "host-list mode: also export %s=1 (and per-host %s) in each worker's environment",
 			envWorld, "FOMPI_NET_HOST")
 	}
 	return netrun.Launch(n)
@@ -144,7 +144,7 @@ func SweepStaleArenas(minAge time.Duration) int {
 			continue
 		}
 		if os.Remove(p) == nil {
-			fmt.Fprintf(os.Stderr, "hybridrun: removed stale arena path %s (left by a crashed world)\n", p)
+			rankio.Logf("hybridrun", "removed stale arena path %s (left by a crashed world)", p)
 			removed++
 		}
 	}

@@ -13,7 +13,21 @@ import (
 
 	"fompi/internal/segpool"
 	"fompi/internal/simnet"
+	"fompi/internal/telemetry"
 	"fompi/internal/timing"
+)
+
+// Arena-side telemetry. The pacing and doorbell names are shared with the
+// other backends (the registry is idempotent by name); the recycle counters
+// mirror segpool's in-process pool for arena-backed segments.
+var (
+	mPaceParks   = telemetry.NewCounter("pace.parks")
+	mPaceParkNs  = telemetry.NewHistogram("pace.park_ns")
+	mPaceStalls  = telemetry.NewCounter("pace.stalls")
+	mPacePokes   = telemetry.NewCounter("pace.pokes")
+	mDoorRings   = telemetry.NewCounter("door.rings")
+	mRecycles    = telemetry.NewCounter("seg.recycle")
+	mRecycleScrb = telemetry.NewCounter("seg.recycle_scrubbed")
 )
 
 // ArenaConfig describes one shared-memory arena: how many local ranks map it,
@@ -226,8 +240,10 @@ func (a *Arena) AllocSeg(local, size int) *segpool.Seg {
 // Recycle returns a segment to the local free list (see Transport.RecycleSeg).
 func (a *Arena) Recycle(s *segpool.Seg, scrubbed bool, extra ...segpool.Range) {
 	if scrubbed {
+		mRecycleScrb.Inc()
 		segpool.Scrub(s, extra...)
 	} else {
+		mRecycles.Inc()
 		clear(s.Buf)
 		s.St.Reset()
 	}
@@ -363,6 +379,7 @@ func (a *Arena) PublishClock(local int, t timing.Time) {
 		for mask != 0 {
 			r := bits.TrailingZeros64(mask)
 			mask &^= 1 << r
+			mPacePokes.Inc()
 			a.sendDoor(wd*64 + r)
 		}
 	}
@@ -399,6 +416,11 @@ func (a *Arena) Pace(local int, t timing.Time, aborted func() bool) {
 	bit := uint64(1) << uint(local%64)
 	setBit(wp, bit)
 	defer clearBit(wp, bit)
+	if telemetry.On() {
+		mPaceParks.Inc()
+		start := time.Now()
+		defer func() { mPaceParkNs.Record(uint64(time.Since(start))) }()
+	}
 	var scratch [8]byte
 	last, idle, d := int64(-1), 0, paceSleepMin
 	for {
@@ -409,6 +431,8 @@ func (a *Arena) Pace(local int, t timing.Time, aborted func() bool) {
 		if min != last {
 			last, idle = min, 0
 		} else if idle >= 2 {
+			mPaceStalls.Inc()
+			telemetry.RecordEvent(telemetry.EvStall, uint64(local), uint64(me-min))
 			return
 		}
 		a.door.SetReadDeadline(time.Now().Add(d))
@@ -433,6 +457,7 @@ func (a *Arena) Pace(local int, t timing.Time, aborted func() bool) {
 // ring exactly the parked ranks, wherever their bit lives; the common
 // no-waiter case stays one atomic load per word.
 func (a *Arena) Ring(local int) {
+	mDoorRings.Inc()
 	atomic.AddUint64(u64at(a.m, a.lay.rankOff(local)+rnDoorGen), 1)
 	for wd := 0; wd < a.lay.maskWords; wd++ {
 		mask := atomic.LoadUint64(u64at(a.m, a.lay.waiterOff(local, wd)))

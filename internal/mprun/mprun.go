@@ -310,7 +310,7 @@ func SweepStaleWorlds(minAge time.Duration) int {
 			continue
 		}
 		if os.RemoveAll(dir) == nil {
-			fmt.Fprintf(os.Stderr, "mprun: removed stale world dir %s (left by a crashed launcher)\n", dir)
+			rankio.Logf("mprun", "removed stale world dir %s (left by a crashed launcher)", dir)
 			removed++
 		}
 	}

@@ -39,6 +39,7 @@ import (
 	"fompi/internal/rankio"
 	"fompi/internal/segpool"
 	"fompi/internal/simnet"
+	"fompi/internal/telemetry"
 	"fompi/internal/timing"
 )
 
@@ -482,6 +483,7 @@ func (w *World) SetDoorOps(ops *DoorOps) { w.doorOps.Store(ops) }
 // ringDoor, doorGenSelf and doorWaitAny are the owner-side doorbell entry
 // points, indirected through DoorOps when one is installed.
 func (w *World) ringDoor() {
+	mDoorRings.Inc()
 	if ops := w.doorOps.Load(); ops != nil {
 		ops.Ring()
 		return
@@ -579,9 +581,9 @@ func Launch(o Options) error {
 				dial = net.JoinHostPort("<this-host>", port)
 			}
 		}
-		fmt.Fprintf(os.Stderr,
-			"netrun: coordinator listening on %s; start %d workers across {%s} with\n"+
-				"  %s=%s [%s=<rank>] [%s=<host-key>] <program> ...\n",
+		rankio.Logf("netrun",
+			"coordinator listening on %s; start %d workers across {%s} with\n"+
+				"  %s=%s [%s=<rank>] [%s=<host-key>] <program> ...",
 			coordAddr, o.Ranks, strings.Join(o.Hosts, ", "), envCoord, dial, envRank, envHost)
 	}
 
@@ -656,7 +658,7 @@ func coordinate(ln net.Listener, o Options, tm Timeouts, cmds []*rankio.Cmd) err
 		if err != nil {
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() && time.Now().Before(deadline) {
-				fmt.Fprintf(os.Stderr, "netrun: still waiting for ranks %v (%d of %d joined)\n",
+				rankio.Logf("netrun", "still waiting for ranks %v (%d of %d joined)",
 					missingRanks(workers, len(unassigned)), i, o.Ranks)
 				progress = time.Now().Add(joinProgressDot)
 				i--
@@ -771,6 +773,12 @@ func coordinate(ln net.Listener, o Options, tm Timeouts, cmds []*rankio.Cmd) err
 				case strings.HasPrefix(line, "PONG "):
 					events <- wkEvent{rank: r, kind: 'P'}
 					continue
+				case strings.HasPrefix(line, "STATS "):
+					// One telemetry snapshot, shipped before the worker's
+					// DONE/FAIL line — stream order guarantees the status
+					// loop merges it before accounting the rank finished.
+					events <- wkEvent{rank: r, kind: 'S', msg: strings.TrimPrefix(line, "STATS ")}
+					continue
 				}
 				code := 0
 				if cmds != nil {
@@ -803,6 +811,7 @@ func coordinate(ln net.Listener, o Options, tm Timeouts, cmds []*rankio.Cmd) err
 			firstCode = code
 		}
 	}
+	statsAgg := telemetry.Snapshot{Rank: -1}
 	doneSet := make([]bool, o.Ranks)
 	exitedSet := make([]bool, o.Ranks)
 	lastPong := make([]time.Time, o.Ranks)
@@ -845,6 +854,10 @@ func coordinate(ln net.Listener, o Options, tm Timeouts, cmds []*rankio.Cmd) err
 				}
 			case 'P':
 				lastPong[ev.rank] = time.Now()
+			case 'S':
+				if snap, err := telemetry.ParseSnapshot([]byte(ev.msg)); err == nil {
+					statsAgg.Merge(snap)
+				}
 			case 'F':
 				fail(ev.rank, ev.msg, 0)
 				if strings.Contains(ev.msg, rankio.PeerAbortMsg) {
@@ -900,6 +913,7 @@ func coordinate(ln net.Listener, o Options, tm Timeouts, cmds []*rankio.Cmd) err
 			}
 		}
 	}
+	publishStats(statsAgg)
 	if firstErr != nil {
 		if firstCode == 0 {
 			firstCode = 1
@@ -1097,6 +1111,7 @@ func (w *World) watchCtl() {
 			var r int
 			if _, serr := fmt.Sscanf(trimmed, "RANKFAIL %d", &r); serr == nil {
 				w.noteFailedRank(r)
+				telemetry.RecordEvent(telemetry.EvRankFail, uint64(r), 0)
 			}
 			continue // the ABORT that follows the verdict tears down
 		case trimmed == "ABORT":
@@ -1121,6 +1136,7 @@ func (w *World) watchCtl() {
 func (w *World) Finish() {
 	w.finished.Store(true)
 	w.ctlWr.Lock()
+	w.sendStatsLocked() // before DONE: the snapshot must precede teardown
 	fmt.Fprintf(w.ctl, "DONE %d\n", w.rank)
 	w.ctlWr.Unlock()
 	select {
@@ -1138,6 +1154,9 @@ func (w *World) Fail(msg string) {
 	w.finished.Store(true)
 	msg = strings.ReplaceAll(msg, "\n", " ")
 	w.ctlWr.Lock()
+	// Before FAIL, so the victim's flight-recorder tail (the snapshot's
+	// events) reaches the coordinator with the failure it explains.
+	w.sendStatsLocked()
 	fmt.Fprintf(w.ctl, "FAIL %d %s\n", w.rank, msg)
 	w.ctlWr.Unlock()
 	w.localAbort()
@@ -1149,6 +1168,7 @@ func (w *World) Fail(msg string) {
 // wake, in-flight requests fail fast, service connections drop.
 func (w *World) localAbort() {
 	w.abortOnce.Do(func() {
+		telemetry.RecordEvent(telemetry.EvAbort, uint64(w.rank), 0)
 		w.aborted.Store(true)
 		close(w.done)
 		w.door.ring()
@@ -1364,6 +1384,12 @@ func (w *World) Pace(rank int, t timing.Time) {
 	w.PublishClock(rank, t)
 	me := int64(t)
 	last, idle, d := int64(-1), 0, paceSleepMin
+	var parkStart time.Time
+	defer func() {
+		if !parkStart.IsZero() {
+			mPaceParkNs.Record(uint64(time.Since(parkStart)))
+		}
+	}()
 	for {
 		min := w.paceMinRefresh(me)
 		if me <= min+w.opts.PaceWindowNs || w.Aborted() {
@@ -1371,10 +1397,16 @@ func (w *World) Pace(rank int, t timing.Time) {
 		}
 		if min == last {
 			if idle++; idle >= 2 {
+				mPaceStalls.Inc()
+				telemetry.RecordEvent(telemetry.EvStall, uint64(rank), uint64(me-min))
 				return
 			}
 		} else {
 			last, idle = min, 0
+		}
+		if parkStart.IsZero() && telemetry.On() {
+			parkStart = time.Now()
+			mPaceParks.Inc()
 		}
 		time.Sleep(d)
 		if d < paceSleepMax {
@@ -1411,6 +1443,7 @@ func (w *World) paceMinRefresh(me int64) int64 {
 // the separate message.
 func (w *World) RingDoorbell(rank int) {
 	if rank == w.rank {
+		mDoorRings.Inc()
 		w.door.ring()
 		return
 	}

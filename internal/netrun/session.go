@@ -9,6 +9,7 @@ import (
 
 	"fompi/internal/faultnet"
 	"fompi/internal/simnet"
+	"fompi/internal/telemetry"
 	"fompi/internal/timing"
 )
 
@@ -77,6 +78,10 @@ type pendOp struct {
 	seq   uint64
 	frame []byte
 	sinks []sinkRef
+	// sentAt stamps the first wire write (unix ns; telemetry only, 0 when
+	// disabled): a later write of the same entry is a retransmission, and
+	// the reply pop records first-send-to-reply as the op's wire RTT.
+	sentAt int64
 }
 
 // reqSession is the requester half of one rank-pair session: the sequence
@@ -145,6 +150,7 @@ func (w *World) callData(r int, e enc) dec {
 	// next reqData reuse the scratch.
 	s.inflight = append(s.inflight, &pendOp{seq: s.seq, frame: frame})
 	s.bytes += len(frame)
+	mWindow.Record(uint64(len(s.inflight)))
 	w.sendPending(r) // best effort: a failure is recovered in drainOne
 	for {
 		if reply := w.drainOne(r); reply != nil {
@@ -220,6 +226,8 @@ func (w *World) flushFused(r int) {
 		po = &pendOp{}
 	}
 	w.winRoom(r, len(s.bbuf)+64)
+	mBatches.Inc()
+	mFusedOps.Record(uint64(s.bops))
 	s.seq++
 	e := newEnc(po.frame)
 	e.u8(opBatch)
@@ -232,6 +240,7 @@ func (w *World) flushFused(r int) {
 	e.bytes(s.bbuf)
 	po.frame = e.finish()
 	po.seq = s.seq
+	po.sentAt = 0 // recycled entries must not inherit the old send stamp
 	po.sinks = append(po.sinks[:0], s.bsinks...)
 	s.bbuf = s.bbuf[:0]
 	s.bsinks = s.bsinks[:0]
@@ -239,6 +248,7 @@ func (w *World) flushFused(r int) {
 	s.bring = false
 	s.inflight = append(s.inflight, po)
 	s.bytes += len(po.frame)
+	mWindow.Record(uint64(len(s.inflight)))
 	w.sendPending(r) // best effort: a failure is recovered in drainOne
 }
 
@@ -257,6 +267,14 @@ func (w *World) sendPending(r int) error {
 	}
 	for s.sent < len(s.inflight) {
 		po := s.inflight[s.sent]
+		if telemetry.On() {
+			if po.sentAt == 0 {
+				po.sentAt = time.Now().UnixNano()
+			} else {
+				mRetransmits.Inc()
+				telemetry.RecordEvent(telemetry.EvRetransmit, uint64(r), po.seq)
+			}
+		}
 		p.c.SetWriteDeadline(time.Now().Add(w.tm.OpTimeout))
 		_, err := p.c.Write(po.frame)
 		p.c.SetWriteDeadline(time.Time{})
@@ -310,6 +328,8 @@ func (w *World) drainOne(r int) []byte {
 			lastErr = err
 			w.dropPeer(r, p)
 			s.conn, s.sent = nil, 0
+			mResumes.Inc()
+			telemetry.RecordEvent(telemetry.EvReconnect, uint64(r), po.seq)
 			faultnet.Logf("netrun: rank %d lost rank %d mid-window (head seq %d, %d in flight): %v; reconnecting",
 				w.rank, r, po.seq, len(s.inflight), err)
 			continue
@@ -323,6 +343,9 @@ func (w *World) drainOne(r int) []byte {
 		s.sent--
 		s.acked = po.seq
 		s.bytes -= len(po.frame)
+		if po.sentAt != 0 && telemetry.On() {
+			mRTT.Record(uint64(time.Now().UnixNano() - po.sentAt))
+		}
 		if po.sinks == nil {
 			return reply
 		}
@@ -513,6 +536,8 @@ func (w *World) sessionApply(src int, sid, seq, ack uint64, op uint8, d *dec, sc
 	defer s.mu.Unlock()
 	s.evictLocked(ack)
 	if cached, ok := s.replies[seq]; ok {
+		mDedupHits.Inc()
+		telemetry.RecordEvent(telemetry.EvDedupHit, uint64(src), seq)
 		return cached, true
 	}
 	if seq <= s.applied {

@@ -354,6 +354,7 @@ func TestResumeExactlyOnceUnderRecurringResets(t *testing.T) {
 	t.Setenv(EnvTimeouts, "heartbeat=500ms,stale=5s,optimeout=5s,ctlidle=10s")
 	t.Setenv(envCoord, addr)
 	t.Setenv(envRank, "")
+	base := enableTelemetry(t)
 
 	o := Options{Ranks: 2, RanksPerNode: 1, Hosts: []string{"localhost"}, Listen: addr}
 	launchErr := make(chan error, 1)
@@ -416,6 +417,28 @@ func TestResumeExactlyOnceUnderRecurringResets(t *testing.T) {
 	case <-time.After(30 * time.Second):
 		t.Fatalf("coordinator did not return")
 	}
+
+	// The run proved the values arrived exactly once; the counters must now
+	// tell the same story in telemetry terms. Every injected reset forces
+	// at least one mid-window recovery somewhere, every recovery retransmits
+	// at least the head of its window, and a dedup hit can only come from a
+	// retransmitted frame the owner had already executed.
+	resets := counterDelta(base, "fault.reset")
+	resumes := counterDelta(base, "net.resumes")
+	retrans := counterDelta(base, "net.retransmits")
+	dedup := counterDelta(base, "net.dedup_hits")
+	if resets == 0 {
+		t.Fatalf("fault.reset = 0: the chaos spec injected nothing")
+	}
+	if resumes == 0 {
+		t.Fatalf("net.resumes = 0 with %d injected resets: recoveries went uncounted", resets)
+	}
+	if retrans < resumes {
+		t.Fatalf("net.retransmits (%d) < net.resumes (%d): each recovery must retransmit at least its head frame", retrans, resumes)
+	}
+	if dedup > retrans {
+		t.Fatalf("net.dedup_hits (%d) > net.retransmits (%d): a cached reply replayed without a re-sent frame", dedup, retrans)
+	}
 }
 
 // TestWindowReplayUnderRecurringResets is the wire-level half of the
@@ -438,6 +461,7 @@ func TestWindowReplayUnderRecurringResets(t *testing.T) {
 	t.Setenv(EnvTimeouts, "heartbeat=500ms,stale=5s,optimeout=5s,ctlidle=10s")
 	t.Setenv(envCoord, addr)
 	t.Setenv(envRank, "")
+	base := enableTelemetry(t)
 
 	o := Options{Ranks: 2, RanksPerNode: 1, Hosts: []string{"localhost"}, Listen: addr}
 	launchErr := make(chan error, 1)
@@ -521,5 +545,24 @@ func TestWindowReplayUnderRecurringResets(t *testing.T) {
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatalf("coordinator did not return")
+	}
+
+	// Counter invariants for the batched regime: the fused windows must show
+	// up as flushed batches, and the reset/recovery relations from the
+	// single-op test hold unchanged for window suffix replay.
+	if batches := counterDelta(base, "net.batches"); batches == 0 {
+		t.Fatalf("net.batches = 0 after %d fused windows per rank", windows)
+	}
+	resets := counterDelta(base, "fault.reset")
+	retrans := counterDelta(base, "net.retransmits")
+	dedup := counterDelta(base, "net.dedup_hits")
+	if resets == 0 {
+		t.Fatalf("fault.reset = 0: the chaos spec injected nothing")
+	}
+	if resumes := counterDelta(base, "net.resumes"); resumes == 0 || retrans < resumes {
+		t.Fatalf("net.resumes = %d, net.retransmits = %d: every mid-window recovery must count and retransmit at least its head", resumes, retrans)
+	}
+	if dedup > retrans {
+		t.Fatalf("net.dedup_hits (%d) > net.retransmits (%d): a cached reply replayed without a re-sent frame", dedup, retrans)
 	}
 }

@@ -16,6 +16,16 @@ import (
 	"sync"
 )
 
+// Logf writes one tagged diagnostic line to stderr: "tag[pid N]: message".
+// It is the shared logger for worker- and launcher-side diagnostics (join
+// progress, rendezvous banners, stats dumps), formatted like faultnet's
+// chaos-log lines so the two streams interleave attributably when several
+// processes share a terminal. One Write call per line keeps concurrent
+// processes' lines whole.
+func Logf(tag, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "%s[pid %d]: %s\n", tag, os.Getpid(), fmt.Sprintf(format, args...))
+}
+
 // RankError reports a failed world launch together with the first non-zero
 // worker exit code observed, so launchers can propagate it as their own
 // exit status instead of a generic 1.

@@ -11,7 +11,18 @@ package segpool
 import (
 	"sync"
 
+	"fompi/internal/telemetry"
 	"fompi/internal/timing"
+)
+
+// Pool traffic metrics: how many segments worlds requested, and how the
+// recycled ones were wiped — full clear (seg.put) versus stamp-directed
+// scrub (seg.put_scrubbed), the cheap path whose hit rate these counters
+// exist to make visible.
+var (
+	mGet         = telemetry.NewCounter("seg.get")
+	mPut         = telemetry.NewCounter("seg.put")
+	mPutScrubbed = telemetry.NewCounter("seg.put_scrubbed")
 )
 
 // Seg is one recyclable backing segment: the registered bytes and their
@@ -35,6 +46,7 @@ func poolFor(size int) *sync.Pool {
 // Get returns an all-zero segment of the given size, recycled if one is
 // pooled and freshly allocated otherwise.
 func Get(size int) *Seg {
+	mGet.Inc()
 	if s, ok := poolFor(size).Get().(*Seg); ok && s != nil {
 		return s
 	}
@@ -47,6 +59,7 @@ func Get(size int) *Seg {
 // address it has synchronized (the world exited cleanly, or the collective
 // free completed).
 func Put(s *Seg) {
+	mPut.Inc()
 	clear(s.Buf)
 	s.St.Reset()
 	poolFor(len(s.Buf)).Put(s)
@@ -85,6 +98,7 @@ func Scrub(s *Seg, extra ...Range) {
 // Callers whose buffers receive untracked writes (user-held window memory)
 // must use Put.
 func PutScrubbed(s *Seg, extra ...Range) {
+	mPutScrubbed.Inc()
 	Scrub(s, extra...)
 	poolFor(len(s.Buf)).Put(s)
 }

@@ -29,7 +29,20 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fompi/internal/telemetry"
 	"fompi/internal/timing"
+)
+
+// Pacing and doorbell metrics. The names are shared with the other
+// backends' pacing valves (internal/netrun, internal/mprun) — the telemetry
+// registry is idempotent by name, so whichever transports a world composes,
+// an aggregated snapshot reports one pacing story.
+var (
+	mPaceParks  = telemetry.NewCounter("pace.parks")
+	mPaceParkNs = telemetry.NewHistogram("pace.park_ns")
+	mPaceStalls = telemetry.NewCounter("pace.stalls")
+	mPacePokes  = telemetry.NewCounter("pace.pokes")
+	mDoorRings  = telemetry.NewCounter("door.rings")
 )
 
 // Key identifies a registered memory region within its owner rank.
@@ -79,6 +92,7 @@ type node struct {
 // generation without sleeping or is registered in doorWaiters before the
 // writer decides whether to broadcast — no lost wakeups.
 func (nd *node) notify() {
+	mDoorRings.Inc()
 	nd.doorGen.Add(1)
 	if nd.doorWaiters.Load() == 0 {
 		return
@@ -270,6 +284,7 @@ func (f *Fabric) wakeWaiters(min int64) {
 		if live {
 			select {
 			case f.paceSlots[e.rank].ch <- struct{}{}:
+				mPacePokes.Inc()
 			default:
 			}
 		}
@@ -348,6 +363,12 @@ func (f *Fabric) paceBlock(rank int, me int64) {
 	lastMin := int64(-1) // minimum observed at the previous heartbeat
 	idleBeats := 0
 	parkDur := paceParkHeartbeat
+	var parkStart time.Time
+	defer func() {
+		if !parkStart.IsZero() {
+			mPaceParkNs.Record(uint64(time.Since(parkStart)))
+		}
+	}()
 	for {
 		min, arg := f.paceMinCached()
 		if me <= min+f.paceWindow || f.aborted.Load() {
@@ -381,6 +402,10 @@ func (f *Fabric) paceBlock(rank int, me int64) {
 		}
 		woken := false
 		if !eligible {
+			if parkStart.IsZero() && telemetry.On() {
+				parkStart = time.Now()
+				mPaceParks.Inc()
+			}
 			if slot.timer == nil {
 				slot.timer = time.NewTimer(parkDur)
 			} else {
@@ -423,6 +448,8 @@ func (f *Fabric) paceBlock(rank int, me int64) {
 		if cur, _ := f.paceMinCached(); cur != lastMin {
 			lastMin, idleBeats = cur, 0
 		} else if idleBeats++; idleBeats >= 2 {
+			mPaceStalls.Inc()
+			telemetry.RecordEvent(telemetry.EvStall, uint64(rank), uint64(me-target))
 			return
 		}
 		if parkDur < paceParkMax {

@@ -28,8 +28,39 @@ import (
 	"fompi/internal/rankio"
 	"fompi/internal/segpool"
 	"fompi/internal/simnet"
+	"fompi/internal/telemetry"
 	"fompi/internal/timing"
 )
+
+// startDebug binds the optional observability HTTP listener (expvar +
+// pprof) when FOMPI_DEBUG_ADDR is set. A bind failure is a warning, not a
+// world error: several worker processes on one host race for a fixed port,
+// and whichever wins serves the host's debug endpoint.
+var debugOnce sync.Once
+
+func startDebug() {
+	debugOnce.Do(func() {
+		addr := os.Getenv(telemetry.EnvDebugAddr)
+		if addr == "" {
+			return
+		}
+		if bound, err := telemetry.ServeDebug(addr); err != nil {
+			rankio.Logf("spmd", "debug listener %s: %v", addr, err)
+		} else {
+			rankio.Logf("spmd", "debug listener on http://%s/debug/vars (pprof under /debug/pprof/)", bound)
+		}
+	})
+}
+
+// dumpRankStats emits one rank's telemetry snapshot as a one-line JSON
+// stats dump on stderr (the FOMPI_STATS per-rank view; the coordinator's
+// merged aggregate is published separately by the launcher).
+func dumpRankStats(rank int) {
+	if !telemetry.On() {
+		return
+	}
+	rankio.Logf("stats", "%s", telemetry.Capture(rank).JSON())
+}
 
 // Backend selects the transport substrate of a world.
 type Backend string
@@ -191,6 +222,7 @@ type Proc struct {
 // must not retain ScratchRegion (or fabric addresses into it) past Run.
 func Run(cfg Config, body func(*Proc)) error {
 	cfg = cfg.withDefaults()
+	startDebug()
 	switch cfg.Backend {
 	case BackendInProc:
 		return runInProc(cfg, body)
@@ -304,6 +336,11 @@ func runCrossWorker(cfg Config, cw crossWorld, body func(*Proc)) {
 		body(p)
 		return true
 	}()
+	// The stderr dump precedes Finish deliberately: Finish ships the STATS
+	// control frame and the DONE status line, after which the launcher may
+	// tear the world down under us. (On the panic path Fail already ran
+	// inside the recover; the dump is the local post-mortem copy.)
+	dumpRankStats(rank)
 	if !ok {
 		os.Exit(1)
 	}
@@ -346,6 +383,19 @@ func runInProc(cfg Config, body func(*Proc)) error {
 	wg.Wait()
 	if firstErr == nil && !w.fab.Aborted() {
 		w.recycle()
+	}
+	// The in-process world has no coordinator to aggregate per-rank frames:
+	// every rank shares this process's registry, so one capture *is* the
+	// world total. Publish it the way netrun's coordinator would.
+	if telemetry.On() {
+		snap := telemetry.Capture(-1)
+		if path := os.Getenv(telemetry.EnvOut); path != "" {
+			if err := os.WriteFile(path, append(snap.JSON(), '\n'), 0o644); err != nil {
+				rankio.Logf("stats", "write %s: %v", path, err)
+			}
+		} else {
+			rankio.Logf("stats", "world stats %s", snap.JSON())
+		}
 	}
 	return firstErr
 }

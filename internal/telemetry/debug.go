@@ -1,0 +1,47 @@
+package telemetry
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the expvar registration: Publish panics on duplicate
+// names, and tests may start more than one debug server per process.
+var publishOnce sync.Once
+
+// ServeDebug starts an HTTP listener on addr serving the live-profiling
+// surface for long soaks:
+//
+//	/debug/vars          expvar (includes the "fompi" snapshot variable)
+//	/debug/stats         this process's Snapshot as one line of JSON
+//	/debug/pprof/...     net/http/pprof (profile, heap, trace, ...)
+//
+// It returns the bound address (addr may carry port 0) and never blocks;
+// the server runs until the process exits. A private mux keeps the
+// process's default mux clean for programs that run their own.
+func ServeDebug(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	publishOnce.Do(func() {
+		expvar.Publish("fompi", expvar.Func(func() any { return Capture(-1) }))
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/stats", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(Capture(-1).JSON())
+		w.Write([]byte("\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go http.Serve(ln, mux)
+	return ln.Addr().String(), nil
+}
